@@ -1,0 +1,36 @@
+"""Shared machinery for the benchmark suite.
+
+Each ``test_bench_*`` module regenerates one table/figure of the paper:
+it runs the corresponding harness experiment under pytest-benchmark
+(one round — the experiment itself is the deterministic measurement; the
+benchmark clock captures the harness cost), prints the paper-style
+table, and asserts the *shape* of the result (who wins, direction of
+trends, rough factors) — absolute numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness import run_experiment
+
+
+@pytest.fixture
+def run_exp(benchmark):
+    """Run a harness experiment once under the benchmark clock, print
+    its table, and hand the result to the caller for shape assertions."""
+
+    def _run(exp_id: str, scale: str = "small"):
+        result = benchmark.pedantic(run_experiment, args=(exp_id, scale),
+                                    rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return _run
+
+
+def bw(row) -> float:
+    return row["_bw"]
+
+
+def thr(row) -> float:
+    return row["_thr"]

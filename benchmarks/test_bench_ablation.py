@@ -1,0 +1,30 @@
+"""Bench: design-choice ablations called out in DESIGN.md.
+
+* extent-cache cleaning / extent log: §IV-B claims "little impact on the
+  IO performance of data servers" — bandwidths must agree within a few
+  percent across variants;
+* lock-range expansion: greedy expansion is what collapses N-1
+  segmented's lock traffic to ~one request per client (§II-A).
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_ablation_extent_cache(run_exp):
+    res = run_exp("ablation_cache")
+    bws = [bw(row) for row in res.rows]
+    ref = bws[0]
+    for val in bws:
+        assert abs(val - ref) < 0.1 * ref, bws
+    totals = [row["_total"] for row in res.rows]
+    for val in totals:
+        assert abs(val - totals[0]) < 0.1 * totals[0], totals
+
+
+def test_bench_ablation_expansion(run_exp):
+    res = run_exp("ablation_expansion")
+    greedy = res.row_lookup(expansion="greedy")
+    none = res.row_lookup(expansion="none")
+    # Greedy expansion: a handful of requests total; none: one per write.
+    assert greedy["_requests"] < none["_requests"] / 10
+    assert bw(greedy) > 1.5 * bw(none)

@@ -1,0 +1,34 @@
+"""Bench: extension experiments (client scaling, two-phase read-back).
+
+Not in the paper's figures; these probe the adjacent questions the
+paper's 96-client deployment raises and pin the answers as shapes.
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_ext_client_scaling(run_exp):
+    res = run_exp("ext_scaling")
+    for clients in (4, 8, 16, 32):
+        seq = bw(res.row_lookup(clients=clients, DLM="seqdlm"))
+        basic = bw(res.row_lookup(clients=clients, DLM="dlm-basic"))
+        assert seq > 1.5 * basic, clients
+    # SeqDLM aggregates with client count...
+    seq4 = bw(res.row_lookup(clients=4, DLM="seqdlm"))
+    seq32 = bw(res.row_lookup(clients=32, DLM="seqdlm"))
+    assert seq32 > 2 * seq4
+    # ...while the traditional DLM's conflict chain stays pinned.
+    b4 = bw(res.row_lookup(clients=4, DLM="dlm-basic"))
+    b32 = bw(res.row_lookup(clients=32, DLM="dlm-basic"))
+    assert b32 < 2 * b4
+
+
+def test_bench_ext_read_phase(run_exp):
+    res = run_exp("ext_read_phase")
+    rows = {r["DLM"]: r for r in res.rows}
+    # Write phase: SeqDLM wins.
+    assert rows["seqdlm"]["_wbw"] > 2 * rows["dlm-basic"]["_wbw"]
+    # Read phase: all DLMs within a few percent (PR semantics identical).
+    ref = rows["dlm-basic"]["_rbw"]
+    for dlm, row in rows.items():
+        assert abs(row["_rbw"] - ref) < 0.1 * ref, dlm

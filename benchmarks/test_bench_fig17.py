@@ -1,0 +1,24 @@
+"""Bench: Fig. 17 — time breakdown of the fully conflicting sequence.
+
+Shape: under PW the lock conflict resolution (revocation + cancel)
+dominates the total time (the paper measures 67.9–69.3 %), grows with
+the write size, and is dominated by the cancel (flush) part; under NBW
+early grant collapses the total.
+"""
+
+
+def test_bench_fig17(run_exp):
+    res = run_exp("fig17")
+    for xfer in ("16K", "64K", "256K", "1024K"):
+        pw = res.row_lookup(mode="PW", xfer=xfer)
+        nbw = res.row_lookup(mode="NBW", xfer=xfer)
+        # Conflict resolution dominates PW...
+        assert (pw["_rev"] + pw["_cancel"]) > 0.5 * pw["_total"], xfer
+        # ...and within it the cancel (flush) part dominates revocation.
+        assert pw["_cancel"] > pw["_rev"], xfer
+        # NBW total is far below PW at every size.
+        assert nbw["_total"] < pw["_total"] / 2, xfer
+    # PW total grows with write size (flush time scales with X).
+    pw_16 = res.row_lookup(mode="PW", xfer="16K")["_total"]
+    pw_1m = res.row_lookup(mode="PW", xfer="1024K")["_total"]
+    assert pw_1m > pw_16

@@ -1,0 +1,38 @@
+"""Bench: Fig. 18 — lock-resource throughput under contention.
+
+Shape (paper): NBW (early grant) beats PW by a growing factor with write
+size (4.26x at 64 KB, 30x at 1 MB without ER; 12.9x / 40x with ER);
+early revocation helps NBW but not PW; the locking/IO ratio of NBW
+falls as the write size grows.
+"""
+
+from benchmarks.conftest import thr
+
+
+def test_bench_fig18(run_exp):
+    res = run_exp("fig18")
+    for xfer in ("64K", "1024K"):
+        pw = thr(res.row_lookup(config="PW", xfer=xfer))
+        pw_no_er = thr(res.row_lookup(config="PW no-ER", xfer=xfer))
+        nbw = thr(res.row_lookup(
+            config="NBW no-ER (early grant only)", xfer=xfer))
+        nbw_er = thr(res.row_lookup(config="NBW+ER", xfer=xfer))
+        # Early grant alone is a clear win over PW.
+        assert nbw > 2 * pw, (xfer, nbw, pw)
+        # Early revocation must not help PW (PW never early-grants).
+        assert abs(pw - pw_no_er) < 0.25 * pw, (pw, pw_no_er)
+    # Early revocation adds on top of early grant where revoke round
+    # trips dominate (small writes); at 1 MB both variants are bound by
+    # the client cache speed, so ER is within noise of plain early grant.
+    assert thr(res.row_lookup(config="NBW+ER", xfer="64K")) > \
+        1.2 * thr(res.row_lookup(config="NBW no-ER (early grant only)",
+                                 xfer="64K"))
+    assert thr(res.row_lookup(config="NBW+ER", xfer="1024K")) > \
+        0.75 * thr(res.row_lookup(config="NBW no-ER (early grant only)",
+                                  xfer="1024K"))
+    # The PW->NBW gap widens with write size (flush cost scales with X).
+    gap_64 = (thr(res.row_lookup(config="NBW+ER", xfer="64K"))
+              / thr(res.row_lookup(config="PW", xfer="64K")))
+    gap_1m = (thr(res.row_lookup(config="NBW+ER", xfer="1024K"))
+              / thr(res.row_lookup(config="PW", xfer="1024K")))
+    assert gap_1m > gap_64, (gap_64, gap_1m)

@@ -1,0 +1,36 @@
+"""Bench: Fig. 19 — automatic lock conversion.
+
+Shape (paper): (a) interleaved reads/writes — NBW with upgrading matches
+PW (one conversion then pure cache hits) while NBW without upgrading
+thrashes on self-conflicts; (b) two-stripe spanning writes — BW with
+downgrading beats both BW-without-downgrading and PW (2.48x at 64 KB,
+9.4x at 1 MB in the paper).
+"""
+
+from benchmarks.conftest import thr
+
+
+def test_bench_fig19_upgrading(run_exp):
+    res = run_exp("fig19")
+    pw = thr(res.row_lookup(test="upgrading (a)", config="PW"))
+    up = thr(res.row_lookup(test="upgrading (a)", config="NBW+U"))
+    no_up = thr(res.row_lookup(test="upgrading (a)", config="NBW-U"))
+    # With upgrading, NBW converges to PW-like throughput...
+    assert up > 0.5 * pw, (up, pw)
+    # ...without it, self-conflicts make it far slower.
+    assert no_up < up / 2, (no_up, up)
+
+
+def test_bench_fig19_downgrading(run_exp):
+    res = run_exp("fig19")
+    for xfer in ("64K", "1024K"):
+        bwd = thr(res.row_lookup(test="downgrading (b)", config="BW+D",
+                                 xfer=xfer))
+        bw_no_d = thr(res.row_lookup(test="downgrading (b)", config="BW-D",
+                                     xfer=xfer))
+        pw = thr(res.row_lookup(test="downgrading (b)", config="PW",
+                                xfer=xfer))
+        assert bwd > 1.5 * bw_no_d, (xfer, bwd, bw_no_d)
+        assert bwd > 1.5 * pw, (xfer, bwd, pw)
+        # Without conversion, BW and PW behave alike (both blocking).
+        assert abs(bw_no_d - pw) < 0.5 * max(bw_no_d, pw)

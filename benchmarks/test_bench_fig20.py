@@ -1,0 +1,54 @@
+"""Bench: Fig. 20 — IOR N-1 strided on a single stripe.
+
+Shape (paper): SeqDLM strided reaches 81.7–96.9 % of segmented and beats
+DLM-basic/DLM-Lustre by a large, size-growing factor (up to 18.1x); the
+traditional DLMs' bandwidth is pinned near the storage device; SeqDLM's
+PIO time is a small fraction of its total (paper ~5 %) while the
+traditional DLMs' PIO takes nearly all of it (up to 99 %).
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_fig20(run_exp):
+    res = run_exp("fig20")
+    for xfer in ("64K", "256K", "1024K"):
+        seq = res.row_lookup(config="SeqDLM", xfer=xfer)
+        basic = res.row_lookup(config="DLM-basic", xfer=xfer)
+        lustre = res.row_lookup(config="DLM-Lustre", xfer=xfer)
+        seg = res.row_lookup(config="SeqDLM segmented (ref)", xfer=xfer)
+        # SeqDLM wins big over both traditional DLMs.
+        assert bw(seq) > 3 * bw(basic), xfer
+        assert bw(seq) > 3 * bw(lustre), xfer
+        # ...and sits in the same league as uncontended segmented IO.
+        # (The paper reports 81.7-96.9% of segmented; our lock path is
+        # pinned at the measured 213 kOPS dispatch rate, which caps the
+        # 64K point near ~25% — see EXPERIMENTS.md.)
+        assert bw(seq) > 0.2 * bw(seg), xfer
+        # PIO dominates the traditional DLMs' total time (paper: up to
+        # 99%) but is a minor part of SeqDLM's (flush decoupled).
+        basic_share = basic["_pio"] / (basic["_pio"] + basic["_f"])
+        seq_share = seq["_pio"] / (seq["_pio"] + seq["_f"])
+        assert seq_share < 0.5 * basic_share, xfer
+        assert seq_share < 0.4, xfer
+    assert res.row_lookup(config="DLM-basic", xfer="64K")["_pio"] > \
+        0.6 * (res.row_lookup(config="DLM-basic", xfer="64K")["_pio"]
+               + res.row_lookup(config="DLM-basic", xfer="64K")["_f"])
+    # The speedup grows with the write size.
+    sp = {x: bw(res.row_lookup(config="SeqDLM", xfer=x))
+          / bw(res.row_lookup(config="DLM-basic", xfer=x))
+          for x in ("64K", "1024K")}
+    assert sp["1024K"] > sp["64K"], sp
+
+
+def test_bench_fig20_original_lustre_slower_at_small_sizes(run_exp):
+    """DLM-Lustre inside ccPFS beats 'original Lustre' at small write
+    sizes thanks to the registered memory pool; the gap narrows with
+    size (paper §V-C1)."""
+    res = run_exp("fig20")
+    gap_small = (bw(res.row_lookup(config="DLM-Lustre", xfer="64K"))
+                 / bw(res.row_lookup(config="Lustre (orig)", xfer="64K")))
+    gap_big = (bw(res.row_lookup(config="DLM-Lustre", xfer="1024K"))
+               / bw(res.row_lookup(config="Lustre (orig)", xfer="1024K")))
+    assert gap_small >= 1.0
+    assert gap_big <= gap_small + 0.25

@@ -1,0 +1,42 @@
+"""Bench: Fig. 21+22 — N-1 strided on multi-stripe files, IO500-hard
+write sizes (47,008 B and multiples; unaligned, some writes spanning two
+stripes).
+
+Shape (paper): the traditional DLMs' bandwidth grows with write size but
+stays device-bound; SeqDLM's grows with write size and is NOT
+device-bound (3.6–10.3x over DLM-Lustre on 4 stripes, 2.0–6.2x on 8);
+SeqDLM's lead comes from a much shorter PIO time; with more stripes the
+traditional DLMs close part of the gap (less contention per resource).
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_fig21_22(run_exp):
+    res = run_exp("fig21_22")
+    for stripes in (4, 8):
+        for xfer in (47_008, 188_032, 752_128):
+            seq = res.row_lookup(stripes=stripes, DLM="seqdlm", _xfer=xfer)
+            lus = res.row_lookup(stripes=stripes, DLM="dlm-lustre",
+                                 _xfer=xfer)
+            assert bw(seq) > 1.5 * bw(lus), (stripes, xfer)
+            # SeqDLM's PIO share of the total is far below the
+            # traditional DLM's (flushing decoupled, Fig. 22).
+            seq_share = seq["_pio"] / (seq["_pio"] + seq["_f"])
+            lus_share = lus["_pio"] / (lus["_pio"] + lus["_f"])
+            assert seq_share < 0.8 * lus_share, (stripes, xfer)
+        # Traditional bandwidth grows with write size.
+        small = bw(res.row_lookup(stripes=stripes, DLM="dlm-lustre",
+                                  _xfer=47_008))
+        big = bw(res.row_lookup(stripes=stripes, DLM="dlm-lustre",
+                                _xfer=752_128))
+        assert big > small, stripes
+    # The SeqDLM advantage grows with the write size on 4 stripes
+    # (paper: 3.6x at 47,008 B -> 10.3x at 16x that size).
+    sp_small = (bw(res.row_lookup(stripes=4, DLM="seqdlm", _xfer=47_008))
+                / bw(res.row_lookup(stripes=4, DLM="dlm-lustre",
+                                    _xfer=47_008)))
+    sp_big = (bw(res.row_lookup(stripes=4, DLM="seqdlm", _xfer=752_128))
+              / bw(res.row_lookup(stripes=4, DLM="dlm-lustre",
+                                  _xfer=752_128)))
+    assert sp_big > sp_small, (sp_small, sp_big)

@@ -1,0 +1,45 @@
+"""Bench: Fig. 24+25 — VPIC-IO (h5bench particle writes).
+
+Shape (paper): ccPFS-SeqDLM beats ccPFS-DLM-Lustre at every stripe
+count and write size (6.2x/1.5x at 1/16 stripes for the small writes,
+34.8x/8.8x for the large); bandwidth grows with stripe count for the
+traditional DLM (less per-resource contention); SeqDLM's advantage
+comes from a much shorter PIO phase; the extent cache + cleaning add no
+material overhead (PIO+F totals comparable).
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_fig24_25(run_exp):
+    res = run_exp("fig24_25")
+    for wsize in ("64K", "256K"):
+        for stripes in (1, 4, 16):
+            s = res.row_lookup(config="ccPFS-S", stripes=stripes,
+                               **{"write size": wsize})
+            l = res.row_lookup(config="ccPFS-L", stripes=stripes,
+                               **{"write size": wsize})
+            # Paper factors: 6.2x/34.8x on 1 stripe down to 1.5x/8.8x
+            # on 16 stripes — the advantage shrinks with stripe count.
+            floor = 1.4 if stripes == 16 else 2.0
+            assert bw(s) > floor * bw(l), (wsize, stripes)
+            assert s["_pio"] < l["_pio"], (wsize, stripes)
+        # Traditional DLM gains from more stripes.
+        l1 = bw(res.row_lookup(config="ccPFS-L", stripes=1,
+                               **{"write size": wsize}))
+        l16 = bw(res.row_lookup(config="ccPFS-L", stripes=16,
+                                **{"write size": wsize}))
+        assert l16 > l1, wsize
+    # The SeqDLM advantage on one stripe does not shrink with write
+    # size (the paper sees it grow 6.2x -> 34.8x; at our scaled op
+    # counts both systems' single-stripe bottlenecks scale together, so
+    # we only pin the direction loosely — see EXPERIMENTS.md).
+    gap_small = (bw(res.row_lookup(config="ccPFS-S", stripes=1,
+                                   **{"write size": "64K"}))
+                 / bw(res.row_lookup(config="ccPFS-L", stripes=1,
+                                     **{"write size": "64K"})))
+    gap_large = (bw(res.row_lookup(config="ccPFS-S", stripes=1,
+                                   **{"write size": "256K"}))
+                 / bw(res.row_lookup(config="ccPFS-L", stripes=1,
+                                     **{"write size": "256K"})))
+    assert gap_large > 0.8 * gap_small, (gap_small, gap_large)

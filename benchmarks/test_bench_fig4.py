@@ -1,0 +1,22 @@
+"""Bench: Fig. 4 — the motivating IO-pattern gap on a traditional DLM.
+
+Shape: N-N and N-1 segmented are fast (cache-bound, growing with write
+size); N-1 strided is far slower at every size — the high-contention gap
+that motivates SeqDLM.
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_fig4(run_exp):
+    res = run_exp("fig4")
+    for xfer in ("16K", "64K", "256K", "1024K"):
+        nn = bw(res.row_lookup(pattern="n-n", xfer=xfer))
+        seg = bw(res.row_lookup(pattern="n1-segmented", xfer=xfer))
+        strided = bw(res.row_lookup(pattern="n1-strided", xfer=xfer))
+        # The gap: strided is several times slower than both others.
+        assert strided < seg / 2, (xfer, strided, seg)
+        assert strided < nn / 2, (xfer, strided, nn)
+    # N-N and segmented approach the cache plateau at larger sizes.
+    assert bw(res.row_lookup(pattern="n-n", xfer="1024K")) > \
+        bw(res.row_lookup(pattern="n-n", xfer="16K"))

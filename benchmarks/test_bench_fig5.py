@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — degrading the flush path lifts the traditional DLM.
+
+Shape: fakeWrite (no disk) beats the full flush; fakeWrite plus
+first-page-only wire transfers beats fakeWrite alone — confirming data
+flushing (term ③) as the §II-C bottleneck.
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_fig5(run_exp):
+    res = run_exp("fig5")
+    for xfer in ("64K", "1024K"):
+        full = bw(res.row_lookup(config="full flush", xfer=xfer))
+        nodisk = bw(res.row_lookup(config="fakeWrite (no disk)",
+                                   xfer=xfer))
+        nowire = bw(res.row_lookup(
+            config="fakeWrite + first-page wire", xfer=xfer))
+        assert nodisk > full, (xfer, nodisk, full)
+        assert nowire >= nodisk, (xfer, nowire, nodisk)
+        # Removing the flush entirely should be a substantial lift.
+        assert nowire > 1.5 * full, (xfer, nowire, full)

@@ -1,0 +1,35 @@
+"""Bench: SeqDLM vs Lustre-style lockahead (the paper's [12]).
+
+Shape: on disjoint strided IO the two schools are comparable (lockahead
+avoids conflicts, SeqDLM makes them cheap); on overlapping IO lockahead
+collapses back to a conflict chain while SeqDLM is unaffected — the
+paper's §I argument for attacking conflict *resolution cost* instead of
+conflict *count*.
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_ext_lockahead(run_exp):
+    res = run_exp("ext_lockahead")
+
+    la_disjoint = bw(res.row_lookup(workload="disjoint strided",
+                                    approach="lockahead (precise locks)"))
+    seq_disjoint = bw(res.row_lookup(workload="disjoint strided",
+                                     approach="SeqDLM"))
+    trad_disjoint = bw(res.row_lookup(
+        workload="disjoint strided",
+        approach="traditional (expanded locks)"))
+    # Both schools crush the expanded-lock baseline on disjoint IO...
+    assert la_disjoint > 3 * trad_disjoint
+    assert seq_disjoint > 3 * trad_disjoint
+    # ...and land in the same league as each other.
+    assert 0.5 < la_disjoint / seq_disjoint < 2.0
+
+    la_overlap = bw(res.row_lookup(workload="overlapping",
+                                   approach="lockahead (precise locks)"))
+    seq_overlap = bw(res.row_lookup(workload="overlapping",
+                                    approach="SeqDLM"))
+    # Overlap kills lockahead but not SeqDLM.
+    assert seq_overlap > 3 * la_overlap
+    assert seq_overlap > 0.8 * seq_disjoint

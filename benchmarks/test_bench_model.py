@@ -1,0 +1,21 @@
+"""Bench: §II-C analytical model (Table I, Equations 1/2).
+
+Paper claims pinned here: for D = 1 MB, ① ≈ 1e-13 s/B, ② ≈ 1e-12 s/B,
+③ ≈ 4.1e-10 s/B, so data flushing dominates at every size, and B_total
+is pinned near B_flush ≈ 2.42 GB/s.
+"""
+
+from repro.analysis.model import TABLE1, flush_bandwidth, terms
+
+
+def test_bench_model(run_exp):
+    res = run_exp("model")
+    # Flushing dominates at every write size.
+    for row in res.rows:
+        assert "flushing" in row["bottleneck"]
+    # The paper's 1 MB term values.
+    t1, t2, t3 = terms(1_000_000)
+    assert 0.5e-13 < t1 < 2e-13
+    assert 0.5e-12 < t2 < 2e-12
+    assert 3e-10 < t3 < 5e-10
+    assert abs(flush_bandwidth(TABLE1) - 2.42e9) < 0.05e9

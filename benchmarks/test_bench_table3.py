@@ -1,0 +1,21 @@
+"""Bench: Table III — IOR N-1 segmented on one stripe (low contention).
+
+Shape (paper): all three DLMs land within a few percent of each other in
+both bandwidth and total IO time — SeqDLM keeps the traditional DLM's
+low-contention advantage, and the sequencer ordering adds no material
+flushing overhead.
+"""
+
+from benchmarks.conftest import bw
+
+
+def test_bench_table3(run_exp):
+    res = run_exp("table3")
+    bws = {row["DLM"]: bw(row) for row in res.rows}
+    totals = {row["DLM"]: row["_total"] for row in res.rows}
+    ref = bws["dlm-basic"]
+    for dlm, val in bws.items():
+        assert abs(val - ref) < 0.15 * ref, (dlm, val, ref)
+    ref_t = totals["dlm-basic"]
+    for dlm, val in totals.items():
+        assert abs(val - ref_t) < 0.2 * ref_t, (dlm, val, ref_t)

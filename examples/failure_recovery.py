@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Server crash and recovery with the extent log (§IV-C2).
+
+Two clients write conflicting versions of a block (SNs 1 and 2); the
+newer version is flushed and the data server then crashes, losing its
+in-memory extent cache.  After recovery the extent log is replayed and
+the clients' lock states regathered — so when the old client's *stale*
+flush is redone, the rebuilt SN filter still rejects it.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.net.rpc import rpc_call
+from repro.pfs import Cluster, ClusterConfig
+from repro.pfs.data_server import IoWriteMsg, WireBlock
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(
+        num_data_servers=1, num_clients=2, dlm="seqdlm",
+        track_content=True, extent_log=True, flush_timeout=0.5,
+        start_cleaner=False))
+    cluster.create_file("/critical.dat", stripe_count=1)
+    sim = cluster.sim
+
+    def old_writer(c):
+        fh = yield from c.open("/critical.dat")
+        yield from c.write(fh, 0, b"OLD-DATA")
+        print(f"[{sim.now * 1e3:7.3f} ms] writer A cached 'OLD-DATA' (SN 1)")
+        yield sim.timeout(1.0)
+
+    def new_writer(c):
+        yield sim.timeout(1e-3)
+        fh = yield from c.open("/critical.dat")
+        yield from c.write(fh, 0, b"NEW-DATA")
+        yield from c.fsync(fh)
+        print(f"[{sim.now * 1e3:7.3f} ms] writer B flushed 'NEW-DATA' (SN 2)")
+
+    cluster.run_clients([old_writer(cluster.clients[0]),
+                         new_writer(cluster.clients[1])])
+    print(f"durable now: {cluster.read_back('/critical.dat')!r}")
+
+    print("\n*** data server crashes (extent cache + lock tables lost) ***")
+    cluster.crash_server(0)
+    cluster.run_clients([cluster.recover_server(0)])
+    meta = cluster.metadata.lookup("/critical.dat")
+    key = (meta.fid, 0)
+    emap = cluster.data_servers[0].extent_cache.map_for(key)
+    print(f"recovered extent cache from log: {emap.entries()}")
+    print(f"recovered lock tables: "
+          f"{len(cluster.lock_servers[0].granted_locks(key))} locks "
+          f"regathered from clients")
+
+    def redo_stale_flush(c):
+        print("\nwriter A redoes its unacked SN-1 flush of 'OLD-DATA'...")
+        reply = yield rpc_call(c.node, cluster.server_nodes[0], "io",
+                               IoWriteMsg(key, [WireBlock(0, 8, 1,
+                                                          b"OLD-DATA")]))
+        print(f"server ack: {reply!r}")
+
+    cluster.run_clients([redo_stale_flush(cluster.clients[0])])
+    final = cluster.read_back("/critical.dat")
+    print(f"durable after redo: {final!r}")
+    assert final == b"NEW-DATA", "stale redo clobbered newer data!"
+    print("the rebuilt SN filter rejected the stale redo — "
+          "write ordering survived the crash")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Watch the protocol on a timeline: early grant vs normal grant.
+
+Attaches a :class:`~repro.dlm.trace.LockTracer` to a lock server and
+replays the paper's Fig. 6 scenario — a conflicting write while the
+previous holder's flush is still in flight — once under SeqDLM and once
+under the traditional DLM, printing both swimlane timelines so the
+difference is visible at a glance.
+
+Run:  python examples/lock_trace_timeline.py
+"""
+
+from repro.dlm import LockClient, LockMode, LockServer, make_dlm_config
+from repro.dlm.trace import LockTracer, render_timeline
+from repro.net import Fabric, NetworkConfig
+from repro.sim import Simulator
+
+FLUSH_TIME = 2e-3  # a visible 2 ms data flush
+
+
+def scenario(dlm_name: str, mode: LockMode) -> str:
+    sim = Simulator()
+    fabric = Fabric(sim, NetworkConfig(latency=5e-5))
+    config = make_dlm_config(dlm_name)
+    server_node = fabric.add_node("lock-server")
+    server = LockServer(server_node, config)
+    tracer = LockTracer(server)
+
+    clients = []
+    for i in range(2):
+        node = fabric.add_node(f"client{i}")
+        clients.append(LockClient(node, config,
+                                  server_for=lambda rid: server_node))
+
+    def slow_flush(lock):
+        yield sim.timeout(FLUSH_TIME)
+    clients[0].set_flush_hooks(slow_flush, lambda lock: False)
+
+    def holder():
+        lock = yield from clients[0].lock("stripe", ((0, 4096),), mode,
+                                          True)
+        clients[0].unlock(lock)
+
+    def contender():
+        yield sim.timeout(2e-4)
+        lock = yield from clients[1].lock("stripe", ((0, 4096),), mode,
+                                          True)
+        clients[1].unlock(lock)
+
+    sim.spawn(holder())
+    sim.spawn(contender())
+    sim.run()
+    return render_timeline(tracer.events)
+
+
+def main() -> None:
+    print("=== SeqDLM (NBW): grant rides the revocation ack — the 2 ms "
+          "flush is off the critical path ===\n")
+    print(scenario("seqdlm", LockMode.NBW))
+    print("\n\n=== Traditional DLM (PW): the grant waits out revocation + "
+          "flush + release ===\n")
+    print(scenario("dlm-basic", LockMode.PW))
+
+
+if __name__ == "__main__":
+    main()

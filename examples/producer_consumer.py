@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Producer-consumer workflow over a shared file.
+
+The paper's introduction motivates client-cache coherence with
+"concurrent producer-consumer workflows": one application stage writes
+records while another reads them back, concurrently, through the same
+PFS.  File systems that cache without concurrency control (BeeGFS,
+GlusterFS, Ceph in the paper's intro) can serve stale data here; a DLM
+makes it correct — and SeqDLM makes the *write side* fast at the same
+time.
+
+This example runs a pipeline of 3 producers appending fixed-size records
+and 3 consumers polling for and verifying them, then prints both the
+verification result and the lock traffic that made it coherent.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro.pfs import Cluster, ClusterConfig
+
+RECORD = 64
+RECORDS_PER_PRODUCER = 20
+
+
+def record_payload(producer: int, seq: int) -> bytes:
+    head = f"p{producer}:r{seq:04d}:".encode()
+    return head + b"#" * (RECORD - len(head))
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(
+        num_data_servers=1, num_clients=6, dlm="seqdlm",
+        stripe_size=4096, track_content=True))
+    cluster.create_file("/pipeline.log", stripe_count=1)
+    sim = cluster.sim
+    verified = {"count": 0, "bad": 0}
+
+    def producer(idx):
+        c = cluster.clients[idx]
+        fh = yield from c.open("/pipeline.log")
+        for seq in range(RECORDS_PER_PRODUCER):
+            yield from c.append(fh, record_payload(idx, seq))
+            yield sim.timeout(1e-4)  # simulated compute between records
+        yield from c.fsync(fh)
+
+    def consumer(idx):
+        c = cluster.clients[3 + idx]
+        fh = yield from c.open("/pipeline.log")
+        seen = 0
+        total = 3 * RECORDS_PER_PRODUCER
+        while seen < total:
+            size = yield from c.file_size(fh)
+            avail = size // RECORD
+            while seen < avail:
+                data = yield from c.read(fh, seen * RECORD, RECORD)
+                # Every record must be intact: written atomically under
+                # PW append locks, visible only after its flush.
+                ok = (data[:1] == b"p" and data.endswith(b"#")
+                      and data[1:2] in (b"0", b"1", b"2"))
+                verified["count"] += 1
+                verified["bad"] += 0 if ok else 1
+                seen += 1
+            yield sim.timeout(5e-4)  # poll interval
+
+    cluster.run_clients([producer(i) for i in range(3)]
+                        + [consumer(i) for i in range(3)])
+
+    total = 3 * RECORDS_PER_PRODUCER
+    print(f"producers appended {total} records; consumers verified "
+          f"{verified['count']} reads, {verified['bad']} corrupt")
+    assert verified["bad"] == 0
+    stats = cluster.total_lock_server_stats()
+    print(f"coherence cost: {stats['requests']:.0f} lock requests, "
+          f"{stats['revocations_sent']:.0f} revocations, "
+          f"{stats['upgrades']:.0f} upgrades "
+          f"over {verified['count']} coherent reads")
+    print("every consumer read observed fully written records — the DLM "
+          "kept the\nproducer caches and the readers coherent without "
+          "any application-level syncing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: a 4-client ccPFS cluster with SeqDLM.
+
+Builds a small simulated cluster, writes from one client, reads from
+another (the DLM transparently revokes, flushes, and grants), appends
+atomically from two clients at once, and prints the lock-server
+statistics so you can see early grant at work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.pfs import Cluster, ClusterConfig
+from repro.pfs.api import libccpfs_open
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(
+        num_data_servers=2,
+        num_clients=4,
+        dlm="seqdlm",          # try "dlm-basic" to feel the difference
+        stripe_size=64 * 1024,
+        track_content=True,    # keep real bytes so we can check content
+    ))
+    cluster.create_file("/demo.dat", stripe_count=2)
+
+    def writer(client):
+        f = yield from libccpfs_open(client, "/demo.dat")
+        yield from f.pwrite(b"written by client0 through the cache", 0)
+        # Data is in the client cache; nothing has hit a data server yet.
+        print(f"[{client.sim.now * 1e3:7.3f} ms] writer: write cached, "
+              f"dirty={client.cache.dirty_bytes}B")
+
+    def reader(client):
+        yield client.sim.timeout(1e-3)
+        f = yield from libccpfs_open(client, "/demo.dat")
+        data = yield from f.pread(0, 36)
+        print(f"[{client.sim.now * 1e3:7.3f} ms] reader: got {data!r}")
+        assert data == b"written by client0 through the cache"
+
+    def appender(client, tag):
+        yield client.sim.timeout(2e-3)
+        f = yield from libccpfs_open(client, "/demo.dat")
+        off = yield from f.append(tag)
+        print(f"[{client.sim.now * 1e3:7.3f} ms] append {tag!r} at "
+              f"offset {off}")
+        yield from f.fsync()
+
+    cluster.run_clients([
+        writer(cluster.clients[0]),
+        reader(cluster.clients[1]),
+        appender(cluster.clients[2], b"<A>"),
+        appender(cluster.clients[3], b"<B>"),
+    ])
+
+    print("\nfinal file:", cluster.read_back("/demo.dat"))
+    print("\nlock-server stats:")
+    for key, val in sorted(cluster.total_lock_server_stats().items()):
+        if val:
+            print(f"  {key:<24} {val:,.6g}")
+
+
+if __name__ == "__main__":
+    main()

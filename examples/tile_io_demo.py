@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Tile-IO: atomic non-contiguous writes (the §V-D workload).
+
+A grid of overlapping image tiles is written by one client per tile,
+each as a single atomic non-contiguous operation (one extent per tile
+row).  Runs the same workload under SeqDLM (minimum covering-range
+locks) and DLM-datatype (precise extent-list locks) and prints the
+bandwidth comparison of Fig. 23 — SeqDLM conflicts *more* but wins by
+decoupling flushing from conflict resolution.
+
+Run:  python examples/tile_io_demo.py
+"""
+
+from repro.pfs import ClusterConfig
+from repro.workloads import TileIoConfig, run_tile_io
+
+
+def main() -> None:
+    base = TileIoConfig(tile_rows=2, tile_cols=3, tile_dim=96, overlap=8)
+    print(f"image: {base.image_width} x {base.image_height} px "
+          f"(4 B/px), {base.clients} clients, one tile each, "
+          f"{base.overlap}px overlaps\n")
+    for stripes in (1, 4):
+        results = {}
+        for dlm in ("dlm-datatype", "seqdlm"):
+            image_bytes = base.image_width * base.image_height * 4
+            stripe_size = max(4096, (image_bytes // stripes // 4096) * 4096)
+            cfg = TileIoConfig(
+                tile_rows=base.tile_rows, tile_cols=base.tile_cols,
+                tile_dim=base.tile_dim, overlap=base.overlap,
+                stripes=stripes,
+                cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
+                                      stripe_size=stripe_size,
+                                      track_content=False))
+            results[dlm] = run_tile_io(cfg)
+        dt, sq = results["dlm-datatype"], results["seqdlm"]
+        print(f"stripes={stripes}:")
+        print(f"  DLM-datatype  {dt.bandwidth / 1e9:6.2f} GB/s "
+              f"(PIO {dt.pio_time * 1e6:8.1f} us)")
+        print(f"  SeqDLM        {sq.bandwidth / 1e9:6.2f} GB/s "
+              f"(PIO {sq.pio_time * 1e6:8.1f} us)   "
+              f"-> {sq.bandwidth / dt.bandwidth:.1f}x")
+    print("\nSeqDLM's covering-range locks conflict on every tile "
+          "boundary, yet early grant\nmakes the handoff cheap — the "
+          "paper's Fig. 23 result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Generate REPORT.txt: every experiment's table and chart in one file.
+
+The text equivalent of the paper's evaluation section, regenerated from
+scratch on every run (deterministic, seed 0):
+
+    python scripts/make_report.py [--out REPORT.txt] [--scale small]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.cli import _CHARTS
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.harness.charts import bar_chart
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="REPORT.txt")
+    parser.add_argument("--scale", default="small",
+                        choices=("small", "paper"))
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids")
+    args = parser.parse_args()
+
+    ids = args.only or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    blocks = [
+        "SeqDLM / ccPFS — regenerated evaluation "
+        f"(scale={args.scale}, deterministic seed 0)",
+        "=" * 72,
+    ]
+    for exp_id in ids:
+        t0 = time.time()
+        print(f"running {exp_id}...", flush=True)
+        result = run_experiment(exp_id, args.scale)
+        block = [result.render()]
+        if exp_id in _CHARTS:
+            value, label, group = _CHARTS[exp_id]
+            fmt = {"_bw": lambda v: f"{v / 1e9:.2f} GB/s",
+                   "_thr": lambda v: f"{v:,.0f} ops/s",
+                   "_total": lambda v: f"{v * 1e3:.2f} ms",
+                   }.get(value, lambda v: f"{v:g}")
+            block.append("")
+            block.append(bar_chart(result, value=value, label=label,
+                                   group=group, fmt=fmt))
+        block.append(f"({time.time() - t0:.1f}s wall)")
+        blocks.append("\n".join(block))
+
+    with open(args.out, "w") as fh:
+        fh.write("\n\n".join(blocks) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

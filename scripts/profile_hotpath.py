@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot path (the optimisation workflow of the
+scientific-Python guides: measure before touching anything).
+
+Runs a representative high-contention IOR point under cProfile and
+prints the top functions by cumulative and internal time.  Use this
+before changing anything in `repro.sim`/`repro.net` — the event loop and
+the extent map dominate, and regressions there multiply across every
+experiment.
+
+    python scripts/profile_hotpath.py [--writes N] [--sort tottime]
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def workload(writes: int):
+    from repro.pfs import ClusterConfig
+    from repro.workloads import IorConfig, run_ior
+
+    return run_ior(IorConfig(
+        pattern="n1-strided", clients=16, writes_per_client=writes,
+        xfer=64 * 1024, stripes=1,
+        cluster=ClusterConfig(dlm="seqdlm", track_content=False)))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--writes", type=int, default=128,
+                        help="writes per client (default 128)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key")
+    parser.add_argument("--top", type=int, default=25)
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = workload(args.writes)
+    profiler.disable()
+
+    print(f"simulated: {result.bytes_written / 2**20:.0f} MB strided, "
+          f"bandwidth {result.bandwidth / 1e9:.2f} GB/s "
+          f"(simulated time {result.total_time * 1e3:.1f} ms)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

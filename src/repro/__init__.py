@@ -1,0 +1,34 @@
+"""SeqDLM / ccPFS — a sequencer-based distributed lock manager,
+reproduced from the SC 2022 paper on a deterministic simulation substrate.
+
+Package map
+-----------
+
+=====================  ====================================================
+``repro.sim``          discrete-event kernel (processes, events, resources)
+``repro.net``          fabric + OPS-limited RPC (the CaRT model)
+``repro.storage``      NVMe timing model + byte-accurate stripe objects
+``repro.dlm``          the lock managers: SeqDLM + the three baselines,
+                       plus the invariant validator and protocol tracer
+``repro.pfs``          ccPFS: cache, data servers, metadata, libccPFS API,
+                       IO forwarding, burst-buffer tiering, recovery
+``repro.workloads``    IOR / Tile-IO / VPIC-IO drivers
+``repro.analysis``     the paper's §II-C analytical model
+``repro.harness``      one experiment per table/figure + extensions
+``repro.cli``          ``python -m repro`` front end
+=====================  ====================================================
+
+Quick start::
+
+    from repro.pfs import Cluster, ClusterConfig
+    cluster = Cluster(ClusterConfig(num_clients=4, dlm="seqdlm"))
+
+or reproduce a figure::
+
+    from repro.harness import run_experiment
+    print(run_experiment("fig20").render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

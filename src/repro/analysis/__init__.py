@@ -1,0 +1,19 @@
+"""Analytical model of lock-conflict-resolution overhead (§II-C)."""
+
+from repro.analysis.model import (
+    TABLE1,
+    HardwareParams,
+    bandwidth_total,
+    bottleneck,
+    flush_bandwidth,
+    terms,
+)
+
+__all__ = [
+    "TABLE1",
+    "HardwareParams",
+    "bandwidth_total",
+    "bottleneck",
+    "flush_bandwidth",
+    "terms",
+]

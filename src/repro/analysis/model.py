@@ -1,0 +1,96 @@
+"""Equations (1) and (2) of the paper, §II-C.
+
+For N fully conflicting writes of size D on one stripe:
+
+    B_total ≈ 1 / ( 1/(OPS*D)  +  RTT/D  +  1/B_flush )        (1)
+    B_flush ≈ (B_net * B_disk) / (B_net + B_disk)              (2)
+
+with the three per-byte cost terms
+
+    ① 1/(OPS*D)   — lock request/grant dispatch,
+    ② RTT/D       — lock revocation round trips,
+    ③ 1/B_flush   — serialized data flushing,
+
+and the paper's conclusion that ③ dominates under high contention
+(early grant removes ③; early revocation then removes ②).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["HardwareParams", "TABLE1", "flush_bandwidth", "bandwidth_total",
+           "terms", "bottleneck", "predicted_speedup"]
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Table I: commonly-used InfiniBand + NVMe SSD figures."""
+
+    ops: float = 1e7          # lock-server RPC operations/second
+    rtt: float = 1e-6         # network round-trip time (seconds)
+    b_net: float = 12.5e9     # network bandwidth (bytes/second)
+    b_disk: float = 3e9       # device bandwidth (bytes/second)
+
+    def __post_init__(self):
+        if min(self.ops, self.rtt, self.b_net, self.b_disk) <= 0:
+            raise ValueError("all hardware parameters must be > 0")
+
+
+#: The exact Table I values.
+TABLE1 = HardwareParams()
+
+
+def flush_bandwidth(p: HardwareParams) -> float:
+    """Equation (2): the serial network→device flush bandwidth."""
+    return (p.b_net * p.b_disk) / (p.b_net + p.b_disk)
+
+
+def terms(write_size: int, p: HardwareParams = TABLE1
+          ) -> Tuple[float, float, float]:
+    """Per-byte costs ①, ②, ③ (seconds/byte) for write size D."""
+    if write_size <= 0:
+        raise ValueError(f"write size must be > 0, got {write_size}")
+    t1 = 1.0 / (p.ops * write_size)
+    t2 = p.rtt / write_size
+    t3 = 1.0 / flush_bandwidth(p)
+    return t1, t2, t3
+
+
+def bandwidth_total(n_writes: int, write_size: int,
+                    p: HardwareParams = TABLE1,
+                    approximate: bool = True) -> float:
+    """Equation (1).  With ``approximate=False`` uses the exact pre-limit
+    expression with the (N-1)/N factors."""
+    if n_writes < 1:
+        raise ValueError(f"need at least one write, got {n_writes}")
+    t1, t2, t3 = terms(write_size, p)
+    if approximate:
+        return 1.0 / (t1 + t2 + t3)
+    n, d = n_writes, write_size
+    denom = n / p.ops + (n - 1) * p.rtt + (n - 1) * d / flush_bandwidth(p)
+    return (n * d) / denom
+
+
+def bottleneck(write_size: int, p: HardwareParams = TABLE1) -> str:
+    """Which term dominates for this write size — the paper's §II-C
+    argument that ③ (data flushing) is the bottleneck."""
+    t1, t2, t3 = terms(write_size, p)
+    name = {0: "lock-dispatch (①)", 1: "revocation-rtt (②)",
+            2: "data-flushing (③)"}
+    vals = [t1, t2, t3]
+    return name[vals.index(max(vals))]
+
+
+def predicted_speedup(write_size: int, p: HardwareParams = TABLE1
+                      ) -> Dict[str, float]:
+    """Model-predicted speedups of the two optimizations over the
+    traditional DLM: *early grant* removes term ③; adding *early
+    revocation* also removes term ②."""
+    t1, t2, t3 = terms(write_size, p)
+    base = t1 + t2 + t3
+    return {
+        "early_grant": base / (t1 + t2),
+        "early_grant_plus_early_revocation": base / t1,
+    }

@@ -1,0 +1,152 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro list                      # registered experiments
+    python -m repro run fig20                 # one experiment, table out
+    python -m repro run fig20 --scale paper   # full-size op counts
+    python -m repro run all                   # everything, in order
+    python -m repro model --size 1048576      # evaluate Equation 1/2
+
+Exit status is non-zero on unknown experiments so the CLI is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.model import (
+    TABLE1,
+    bandwidth_total,
+    bottleneck,
+    flush_bandwidth,
+    terms,
+)
+from repro.harness import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SeqDLM/ccPFS reproduction: regenerate the paper's "
+        "tables and figures on the simulated substrate.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment",
+                       help="experiment id (see 'list') or 'all'")
+    run_p.add_argument("--scale", default="small",
+                       choices=("small", "paper"),
+                       help="workload scale preset (default: small)")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress tables; print timing only")
+    run_p.add_argument("--chart", action="store_true",
+                       help="also render an ASCII bar chart of the "
+                            "primary metric")
+
+    model_p = sub.add_parser("model",
+                             help="evaluate the paper's Equation 1/2")
+    model_p.add_argument("--size", type=int, default=1_000_000,
+                         help="write size D in bytes (default 1e6)")
+    model_p.add_argument("--writes", type=int, default=1000,
+                         help="number of conflicting writes N")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key in EXPERIMENTS:
+        doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{key:<{width}}  {summary}")
+    return 0
+
+
+#: Chart recipes: experiment id -> (value column, label columns, group).
+_CHARTS = {
+    "fig4": ("_bw", ("pattern",), "xfer"),
+    "fig5": ("_bw", ("config",), "xfer"),
+    "fig17": ("_total", ("mode",), "xfer"),
+    "fig18": ("_thr", ("config",), "xfer"),
+    "fig19": ("_thr", ("config", "xfer"), "test"),
+    "table3": ("_bw", ("DLM",), None),
+    "fig20": ("_bw", ("config",), "xfer"),
+    "fig21_22": ("_bw", ("DLM", "xfer"), "stripes"),
+    "fig23": ("_bw", ("DLM",), "stripes"),
+    "fig24_25": ("_bw", ("config", "stripes"), "write size"),
+    "ablation_cache": ("_bw", ("config",), None),
+    "ablation_expansion": ("_bw", ("expansion",), None),
+    "ablation_rmw": ("_bw", ("config",), None),
+    "ext_scaling": ("_bw", ("DLM",), "clients"),
+    "ext_read_phase": ("_wbw", ("DLM",), None),
+    "ext_lockahead": ("_bw", ("approach",), "workload"),
+}
+
+
+def _cmd_run(experiment: str, scale: str, quiet: bool,
+             chart: bool = False) -> int:
+    ids: List[str]
+    if experiment == "all":
+        ids = list(EXPERIMENTS)
+    elif experiment in EXPERIMENTS:
+        ids = [experiment]
+    else:
+        print(f"error: unknown experiment {experiment!r}; "
+              f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+              file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        t0 = time.time()
+        result = run_experiment(exp_id, scale)
+        dt = time.time() - t0
+        if quiet:
+            print(f"{exp_id}: {len(result.rows)} rows in {dt:.1f}s")
+        else:
+            print(result.render())
+            if chart and exp_id in _CHARTS:
+                from repro.harness.charts import bar_chart
+                value, label, group = _CHARTS[exp_id]
+                fmt = {"_bw": lambda v: f"{v / 1e9:.2f} GB/s",
+                       "_thr": lambda v: f"{v:,.0f} ops/s",
+                       "_total": lambda v: f"{v * 1e3:.2f} ms",
+                       }.get(value, lambda v: f"{v:g}")
+                print()
+                print(bar_chart(result, value=value, label=label,
+                                group=group, fmt=fmt))
+            print(f"({dt:.1f}s wall)")
+            print()
+    return 0
+
+
+def _cmd_model(size: int, writes: int) -> int:
+    t1, t2, t3 = terms(size)
+    print(f"D = {size:,} bytes, N = {writes:,} conflicting writes "
+          f"(Table I hardware)")
+    print(f"  term 1 (lock dispatch) : {t1:.3e} s/B")
+    print(f"  term 2 (revocation RTT): {t2:.3e} s/B")
+    print(f"  term 3 (data flushing) : {t3:.3e} s/B")
+    print(f"  bottleneck             : {bottleneck(size)}")
+    print(f"  B_flush  (Equation 2)  : {flush_bandwidth(TABLE1) / 1e9:.2f}"
+          f" GB/s")
+    print(f"  B_total  (Equation 1)  : "
+          f"{bandwidth_total(writes, size) / 1e9:.2f} GB/s")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.quiet,
+                        args.chart)
+    if args.command == "model":
+        return _cmd_model(args.size, args.writes)
+    return 2  # pragma: no cover

@@ -1,0 +1,56 @@
+"""Distributed lock managers — the paper's core contribution.
+
+This package implements four DLMs behind one server/client interface so
+they can be compared apples-to-apples on the same ccPFS substrate, exactly
+as the paper does (§V-A):
+
+* **DLM-basic** — the general traditional DLM of §II-A: read/write locks,
+  greedy end-of-range expansion to EOF, conflicts resolved only by full
+  lock release (revoke → flush → release).
+* **DLM-Lustre** — DLM-basic plus Lustre's contention heuristic: once more
+  than 32 locks are granted on a resource, range expansion is capped at
+  32 MB.
+* **DLM-datatype** — non-contiguous ("datatype") locking (Ching et al.):
+  one lock request carries the precise extent list of a non-contiguous IO
+  and the server never expands ranges.
+* **SeqDLM** — the paper's sequencer-based DLM: per-resource sequence
+  numbers, *early grant*, *early revocation*, the four-mode PR/NBW/BW/PW
+  compatibility matrix (Table II), deterministic mode-selection rules
+  (Fig. 10), and automatic lock conversion (upgrade/downgrade, Fig. 9).
+
+Entry points: build a :class:`~repro.dlm.config.DLMConfig` (usually via
+:func:`~repro.dlm.config.make_dlm_config`), attach a
+:class:`~repro.dlm.server.LockServer` per data-server node and a
+:class:`~repro.dlm.client.LockClient` per client node.
+"""
+
+from repro.dlm.config import DLMConfig, ExpansionPolicy, make_dlm_config
+from repro.dlm.client import ClientLock, LockClient
+from repro.dlm.extent import EOF, Extent, ExtentMap, align_extent
+from repro.dlm.lcm import is_compatible
+from repro.dlm.server import LockServer
+from repro.dlm.trace import LockTracer, render_timeline
+from repro.dlm.types import LockMode, LockState, severity_lub, can_satisfy
+from repro.dlm.validator import LockValidator, attach_validator
+
+__all__ = [
+    "ClientLock",
+    "DLMConfig",
+    "EOF",
+    "Extent",
+    "ExtentMap",
+    "ExpansionPolicy",
+    "LockClient",
+    "LockMode",
+    "LockServer",
+    "LockState",
+    "LockTracer",
+    "LockValidator",
+    "attach_validator",
+    "render_timeline",
+    "align_extent",
+    "can_satisfy",
+    "is_compatible",
+    "make_dlm_config",
+    "severity_lub",
+]

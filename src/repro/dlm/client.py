@@ -1,0 +1,317 @@
+"""The lock client: grant caching, revocation handling, lock canceling.
+
+A :class:`LockClient` lives on every ccPFS client node.  It implements the
+client half of every DLM variant:
+
+* **grant cache** — granted locks stay cached (state GRANTED) and satisfy
+  later operations with zero RPCs when the cached mode is at or above the
+  needed mode in the Fig. 9 lattice and the cached extents cover the
+  request;
+* **revocation** — on a server callback the lock flips to CANCELING, an
+  ack goes back immediately (that ack is what early grant keys on), and
+  the *cancel routine* runs once the lock's refcount drains: optional
+  downgrade (§III-D2) → data flush (via a hook installed by the ccPFS
+  client) → release;
+* **lock upgrading** — an upgraded grant absorbs same-client locks; the
+  absorbed records redirect to the merged lock so in-flight operations
+  unlock the right object (Fig. 11).
+
+The flush hook decouples this package from the page cache: the DLM hands
+over *when* to flush, ccPFS decides *what*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Hashable, List, Optional, Tuple
+
+from repro.dlm.config import DLMConfig
+from repro.dlm.extent import Extent
+from repro.dlm.messages import (
+    DowngradeMsg,
+    LockGrantMsg,
+    LockRequestMsg,
+    LockStateRecord,
+    ReleaseMsg,
+    RevokeAckMsg,
+    RevokeMsg,
+)
+from repro.dlm.types import LockMode, LockState, can_satisfy
+from repro.net.fabric import Node
+from repro.net.rpc import CTRL_MSG_BYTES, one_way, rpc_call
+
+__all__ = ["ClientLock", "LockClient", "LockClientStats"]
+
+
+@dataclass
+class ClientLock:
+    """Client-side record of one granted lock."""
+
+    lock_id: int
+    resource_id: Hashable
+    mode: LockMode
+    extents: Tuple[Extent, ...]
+    sn: int
+    state: LockState
+    refcount: int = 0
+    used_read: bool = False
+    used_write: bool = False
+    cancel_started: bool = False
+    merged_into: Optional["ClientLock"] = None
+
+    def covers(self, extents) -> bool:
+        return all(any(ls <= s and e <= le for ls, le in self.extents)
+                   for s, e in extents)
+
+
+@dataclass
+class LockClientStats:
+    """Client-side timing/counters feeding Fig. 17/18."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    grants: int = 0
+    revokes_received: int = 0
+    cancels: int = 0
+    downgrades: int = 0
+    #: Time from sending a lock request to receiving the grant.
+    lock_wait_time: float = 0.0
+    #: Time spent in cancel routines (downgrade + flush + release) — the
+    #: paper's breakdown part ② "lock cancel".
+    cancel_time: float = 0.0
+    #: Portion of cancel_time spent flushing.
+    flush_time: float = 0.0
+
+
+#: Hook type: given a lock, flush its dirty data; generator completing when
+#: the data servers have acked.
+FlushFn = Callable[[ClientLock], Generator]
+#: Hook type: does this lock currently cover dirty data?
+DirtyFn = Callable[[ClientLock], bool]
+
+
+def _noop_flush(lock: ClientLock) -> Generator:
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+class LockClient:
+    """Client half of the DLM on one node."""
+
+    def __init__(self, node: Node, config: DLMConfig,
+                 server_for: Callable[[Hashable], Node]):
+        self.node = node
+        self.sim = node.sim
+        self.config = config
+        self.server_for = server_for
+        self.stats = LockClientStats()
+        self.flush_fn: FlushFn = _noop_flush
+        self.dirty_fn: DirtyFn = lambda lock: False
+        self._cache: Dict[Hashable, List[ClientLock]] = {}
+        # Lock ids are only unique per server; key by (resource, id).
+        self._by_id: Dict[tuple, ClientLock] = {}
+        # Revocations that arrived before their grant reply (the server
+        # may revoke immediately after granting; the callback can beat
+        # the reply to us).  Applied when the grant registers.
+        self._pending_revokes: set = set()
+        node.register_service("dlm_cb", self._on_callback)
+
+    # ---------------------------------------------------------------- hooks
+    def set_flush_hooks(self, flush_fn: FlushFn, dirty_fn: DirtyFn) -> None:
+        self.flush_fn = flush_fn
+        self.dirty_fn = dirty_fn
+
+    # ------------------------------------------------------------ inspection
+    def cached_locks(self, resource_id: Hashable = None) -> List[ClientLock]:
+        if resource_id is not None:
+            return list(self._cache.get(resource_id, ()))
+        return [l for locks in self._cache.values() for l in locks]
+
+    @staticmethod
+    def resolve(lock: ClientLock) -> ClientLock:
+        """Follow upgrade-merge redirects to the live lock."""
+        while lock.merged_into is not None:
+            lock = lock.merged_into
+        return lock
+
+    def gather_lock_states(self) -> List[LockStateRecord]:
+        """Report all cached locks (server recovery, §IV-C2)."""
+        return [LockStateRecord(
+            lock_id=l.lock_id, resource_id=l.resource_id, mode=l.mode,
+            extents=l.extents, sn=l.sn, state=l.state,
+            client_name=self.node.name, has_dirty=self.dirty_fn(l))
+            for l in self.cached_locks()]
+
+    # ---------------------------------------------------------------- lock()
+    def lock(self, resource_id: Hashable, extents: Tuple[Extent, ...],
+             mode: LockMode, for_write: bool) -> Generator:
+        """Acquire a lock covering ``extents`` at (at least) ``mode``.
+
+        Returns the :class:`ClientLock`; callers must :meth:`unlock` it.
+        ``for_write`` records how the lock is used (drives the PW→PR vs
+        PW→NBW downgrade decision).
+        """
+        mode = self.config.effective_mode(mode)
+        cached = self._cache_lookup(resource_id, extents, mode)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._mark_use(cached, for_write)
+            return cached
+
+        self.stats.requests += 1
+        t0 = self.sim.now
+        server = self.server_for(resource_id)
+        grant: LockGrantMsg = yield rpc_call(
+            self.node, server, "dlm",
+            LockRequestMsg(resource_id=resource_id, mode=mode,
+                           extents=tuple(extents),
+                           client_name=self.node.name),
+            nbytes=CTRL_MSG_BYTES + 32 * max(0, len(extents) - 1))
+        self.stats.lock_wait_time += self.sim.now - t0
+        self.stats.grants += 1
+
+        lock = ClientLock(lock_id=grant.lock_id, resource_id=resource_id,
+                          mode=grant.mode, extents=grant.extents,
+                          sn=grant.sn, state=grant.state, refcount=1)
+        self._absorb(grant, lock)
+        self._cache.setdefault(resource_id, []).append(lock)
+        self._by_id[(resource_id, lock.lock_id)] = lock
+        key = (resource_id, lock.lock_id)
+        if key in self._pending_revokes:
+            # A revocation raced ahead of this grant: honour it now.
+            self._pending_revokes.discard(key)
+            lock.state = LockState.CANCELING
+            one_way(self.node, server, "dlm",
+                    RevokeAckMsg(lock.lock_id, resource_id),
+                    nbytes=CTRL_MSG_BYTES)
+        self._mark_use(lock, for_write)
+        return lock
+
+    def _cache_lookup(self, resource_id, extents, mode) -> Optional[ClientLock]:
+        for cl in self._cache.get(resource_id, ()):
+            if (cl.state is LockState.GRANTED and not cl.cancel_started
+                    and can_satisfy(cl.mode, mode) and cl.covers(extents)):
+                cl.refcount += 1
+                return cl
+        return None
+
+    def _absorb(self, grant: LockGrantMsg, new: ClientLock) -> None:
+        """Merge locks absorbed by an upgrade grant into the new lock."""
+        for old_id in grant.absorbed_lock_ids:
+            old = self._by_id.pop((new.resource_id, old_id), None)
+            if old is None:
+                continue
+            old.merged_into = new
+            new.refcount += old.refcount
+            new.used_read = new.used_read or old.used_read
+            new.used_write = new.used_write or old.used_write
+            locks = self._cache.get(old.resource_id, [])
+            if old in locks:
+                locks.remove(old)
+
+    @staticmethod
+    def _mark_use(lock: ClientLock, for_write: bool) -> None:
+        # The refcount was already bumped by the lookup/creation path.
+        if for_write:
+            lock.used_write = True
+        else:
+            lock.used_read = True
+
+    # --------------------------------------------------------------- unlock()
+    def unlock(self, lock: ClientLock) -> None:
+        """Drop one use; starts the cancel routine when a CANCELING lock
+        drains to zero uses."""
+        lock = self.resolve(lock)
+        if lock.refcount <= 0:
+            raise RuntimeError(f"unlock of unheld lock {lock.lock_id}")
+        lock.refcount -= 1
+        self._maybe_cancel(lock)
+
+    def _maybe_cancel(self, lock: ClientLock) -> None:
+        if (lock.refcount == 0 and lock.state is LockState.CANCELING
+                and not lock.cancel_started):
+            lock.cancel_started = True
+            self.sim.spawn(self._cancel(lock),
+                           name=f"cancel-{lock.lock_id}")
+
+    # ------------------------------------------------------------- callbacks
+    def _on_callback(self, msg) -> None:
+        payload = msg.payload
+        if not isinstance(payload, RevokeMsg):  # pragma: no cover
+            raise TypeError(f"unexpected callback {payload!r}")
+        self.stats.revokes_received += 1
+        server = msg.src
+        lock = self._by_id.get((payload.resource_id, payload.lock_id))
+        if lock is None:
+            # Either already released (the release in flight resolves the
+            # conflict at the server) or the grant reply has not reached
+            # us yet — stash it so the grant path can honour it.
+            self._pending_revokes.add((payload.resource_id,
+                                       payload.lock_id))
+            return
+        # Ack immediately: the lock will not be reused (Fig. 1 step ②).
+        one_way(self.node, server, "dlm",
+                RevokeAckMsg(payload.lock_id, payload.resource_id),
+                nbytes=CTRL_MSG_BYTES)
+        lock.state = LockState.CANCELING
+        self._maybe_cancel(lock)
+
+    # ---------------------------------------------------------------- cancel
+    def _cancel(self, lock: ClientLock) -> Generator:
+        """Downgrade (maybe) → flush → release (Fig. 1 steps ③/④ with the
+        §III-D2 downgrade inserted at the front)."""
+        t0 = self.sim.now
+        self.stats.cancels += 1
+        server = self.server_for(lock.resource_id)
+        flushed = False
+
+        if self.config.lock_downgrading and \
+                lock.mode in (LockMode.BW, LockMode.PW):
+            if lock.mode is LockMode.PW and not lock.used_write \
+                    and not self.dirty_fn(lock):
+                new_mode = LockMode.PR  # reader-only PW (§III-D2)
+            else:
+                new_mode = LockMode.NBW
+            if new_mode is LockMode.PR:
+                # Flush (a no-op here: no dirty data) before downgrading
+                # so PR waiters observe durable bytes.
+                tf = self.sim.now
+                yield self.sim.spawn(self.flush_fn(lock))
+                self.stats.flush_time += self.sim.now - tf
+                flushed = True
+            one_way(self.node, server, "dlm",
+                    DowngradeMsg(lock.lock_id, lock.resource_id, new_mode),
+                    nbytes=CTRL_MSG_BYTES)
+            lock.mode = new_mode
+            self.stats.downgrades += 1
+
+        if not flushed:
+            tf = self.sim.now
+            yield self.sim.spawn(self.flush_fn(lock))
+            self.stats.flush_time += self.sim.now - tf
+
+        one_way(self.node, server, "dlm",
+                ReleaseMsg(lock.lock_id, lock.resource_id),
+                nbytes=CTRL_MSG_BYTES)
+        self._forget(lock)
+        self.stats.cancel_time += self.sim.now - t0
+
+    def _forget(self, lock: ClientLock) -> None:
+        self._pending_revokes.discard((lock.resource_id, lock.lock_id))
+        self._by_id.pop((lock.resource_id, lock.lock_id), None)
+        locks = self._cache.get(lock.resource_id)
+        if locks and lock in locks:
+            locks.remove(lock)
+
+    # -------------------------------------------------------- bulk operations
+    def cancel_all(self) -> Generator:
+        """Flush and release every cached lock (used by close()/shutdown)."""
+        locks = [l for l in self.cached_locks() if not l.cancel_started]
+        procs = []
+        for lock in locks:
+            lock.state = LockState.CANCELING
+            if lock.refcount == 0:
+                lock.cancel_started = True
+                procs.append(self.sim.spawn(self._cancel(lock)))
+        if procs:
+            yield self.sim.all_of(procs)

@@ -1,0 +1,126 @@
+"""DLM variant configuration and the Fig. 10 mode-selection rules.
+
+A :class:`DLMConfig` fully describes one of the paper's four DLMs; the
+lock server and client are generic over it.  The feature flags also give
+the ablation axes evaluated in Fig. 18 (early revocation on/off) and
+Fig. 19 (lock conversion on/off).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.dlm.lcm import CompatibilityFn, seqdlm_compatible, traditional_compatible
+from repro.dlm.types import LockMode
+
+__all__ = ["ExpansionPolicy", "DLMConfig", "make_dlm_config", "select_mode",
+           "LUSTRE_EXPANSION_CAP", "LUSTRE_LOCK_COUNT_TRIGGER"]
+
+#: DLM-Lustre caps expansion at 32 MB once more than 32 locks are granted
+#: on a resource (§V-A).
+LUSTRE_EXPANSION_CAP = 32 * 1024 * 1024
+LUSTRE_LOCK_COUNT_TRIGGER = 32
+
+
+class ExpansionPolicy(enum.Enum):
+    """How the server expands the end of a requested lock range (§II-A)."""
+
+    #: Greedily expand the end to the largest compatible range / EOF
+    #: (SeqDLM and DLM-basic).
+    GREEDY = "greedy"
+    #: Greedy, but capped at 32 MB under contention (DLM-Lustre).
+    LUSTRE = "lustre"
+    #: Never expand (DLM-datatype).
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class DLMConfig:
+    """Behavioural switches for one DLM variant."""
+
+    name: str
+    lcm: CompatibilityFn
+    expansion: ExpansionPolicy
+    #: Grant a write lock pre-tagged CANCELING when a conflicting request
+    #: is already queued and expansion is impossible (§III-A2).
+    early_revocation: bool
+    #: Same-client conflicts are resolved by granting a merged, more
+    #: restrictive lock (§III-D1).
+    lock_upgrading: bool
+    #: BW/PW locks downgrade at cancel time so waiters can early-grant
+    #: (§III-D2).
+    lock_downgrading: bool
+    #: Whether the full PR/NBW/BW/PW mode set is available.  Traditional
+    #: DLMs collapse every write mode to PW.
+    rich_modes: bool
+    #: Non-contiguous extent-list lock requests (DLM-datatype).
+    datatype_locks: bool = False
+
+    def effective_mode(self, mode: LockMode) -> LockMode:
+        """Map a selected mode onto what this DLM actually supports."""
+        if self.rich_modes or mode is LockMode.PR:
+            return mode
+        return LockMode.PW
+
+    def with_overrides(self, **kw) -> "DLMConfig":
+        return replace(self, **kw)
+
+
+_PRESETS = {
+    "seqdlm": dict(lcm=seqdlm_compatible, expansion=ExpansionPolicy.GREEDY,
+                   early_revocation=True, lock_upgrading=True,
+                   lock_downgrading=True, rich_modes=True),
+    "dlm-basic": dict(lcm=traditional_compatible,
+                      expansion=ExpansionPolicy.GREEDY,
+                      early_revocation=False, lock_upgrading=False,
+                      lock_downgrading=False, rich_modes=False),
+    "dlm-lustre": dict(lcm=traditional_compatible,
+                       expansion=ExpansionPolicy.LUSTRE,
+                       early_revocation=False, lock_upgrading=False,
+                       lock_downgrading=False, rich_modes=False),
+    "dlm-datatype": dict(lcm=traditional_compatible,
+                         expansion=ExpansionPolicy.NONE,
+                         early_revocation=False, lock_upgrading=False,
+                         lock_downgrading=False, rich_modes=False,
+                         datatype_locks=True),
+}
+
+
+def make_dlm_config(name: str, **overrides) -> DLMConfig:
+    """Build one of the four evaluated DLMs, optionally overriding flags
+    (e.g. ``make_dlm_config("seqdlm", early_revocation=False)`` for the
+    Fig. 18 ablation)."""
+    key = name.lower()
+    if key not in _PRESETS:
+        raise ValueError(
+            f"unknown DLM {name!r}; choose from {sorted(_PRESETS)}")
+    params = dict(_PRESETS[key])
+    params.update(overrides)
+    return DLMConfig(name=key, **params)
+
+
+def select_mode(is_read: bool, implicit_read: bool = False,
+                multi_resource: bool = False,
+                forced: Optional[LockMode] = None) -> LockMode:
+    """The deterministic mode-selection rules of Fig. 10.
+
+    * read operations → PR;
+    * writes with implicit reads (append, partial-page read-modify-write)
+      → PW;
+    * writes that must hold several resources atomically → BW;
+    * all other writes → NBW.
+
+    ``forced`` bypasses the rules (used by micro-benchmarks that compare
+    modes directly, e.g. Fig. 17/18).
+    """
+    if forced is not None:
+        return forced
+    if is_read:
+        return LockMode.PR
+    if implicit_read:
+        return LockMode.PW
+    if multi_resource:
+        return LockMode.BW
+    return LockMode.NBW

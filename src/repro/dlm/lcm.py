@@ -1,0 +1,59 @@
+"""Lock compatibility matrices.
+
+Two LCMs drive everything:
+
+* the **traditional** matrix (DLM-basic / DLM-Lustre / DLM-datatype):
+  PR–PR compatible, anything involving a write lock incompatible, and —
+  critically — the granted lock's state is irrelevant: a conflicting
+  request waits for full *release* (revoke → flush → release).  This is
+  the "normal grant" of Fig. 6.
+
+* the **SeqDLM** matrix (Table II): identical except for the two ``N/Y``
+  cells — an NBW or BW *request* becomes compatible with a granted NBW
+  lock the moment that lock enters the CANCELING state.  That single
+  state-dependence IS early grant: the server may hand over the lock on
+  the revocation *reply*, before the previous holder has flushed.
+
+Both are expressed as predicates over ``(request mode, granted mode,
+granted state)`` so the lock server is generic over the DLM variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dlm.types import LockMode, LockState
+
+__all__ = ["seqdlm_compatible", "traditional_compatible", "is_compatible",
+           "CompatibilityFn"]
+
+CompatibilityFn = Callable[[LockMode, LockMode, LockState], bool]
+
+_PR, _NBW, _BW, _PW = LockMode.PR, LockMode.NBW, LockMode.BW, LockMode.PW
+
+
+def traditional_compatible(request: LockMode, granted: LockMode,
+                           state: LockState) -> bool:
+    """Traditional LCM: only read–read is compatible; state is ignored."""
+    return request is _PR and granted is _PR
+
+
+def seqdlm_compatible(request: LockMode, granted: LockMode,
+                      state: LockState) -> bool:
+    """Table II of the paper, including the state-dependent N/Y cells."""
+    if request is _PR:
+        return granted is _PR
+    if request is _PW:
+        return False
+    # request is NBW or BW: compatible only with a CANCELING NBW grant.
+    return granted is _NBW and state is LockState.CANCELING
+
+
+def is_compatible(lcm: CompatibilityFn, request: LockMode,
+                  granted: LockMode, state: LockState) -> bool:
+    """Convenience wrapper with argument validation (test seam)."""
+    if not isinstance(request, LockMode) or not isinstance(granted, LockMode):
+        raise TypeError("modes must be LockMode values")
+    if not isinstance(state, LockState):
+        raise TypeError("state must be a LockState value")
+    return lcm(request, granted, state)

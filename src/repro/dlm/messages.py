@@ -1,0 +1,100 @@
+"""Wire-format records exchanged between lock clients and lock servers.
+
+These are plain dataclasses delivered verbatim by the simulated fabric
+(no serialization); the byte sizes charged on the wire live with the
+senders.  The message set matches Fig. 1/Fig. 6 of the paper:
+
+``LockRequestMsg``  client -> server   ① lock request
+``LockGrantMsg``    server -> client   ⑤ lock grant (RPC reply)
+``RevokeMsg``       server -> client   ② lock revocation callback
+``RevokeAckMsg``    client -> server      revocation reply
+``DowngradeMsg``    client -> server      lock downgrading RPC (§III-D2)
+``ReleaseMsg``      client -> server   ④ lock release
+``MsnQueryMsg``     data-srv -> server    min-SN query for cache cleaning
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.dlm.types import LockMode, LockState
+
+__all__ = [
+    "LockRequestMsg",
+    "LockGrantMsg",
+    "RevokeMsg",
+    "RevokeAckMsg",
+    "DowngradeMsg",
+    "ReleaseMsg",
+    "MsnQueryMsg",
+    "LockStateRecord",
+]
+
+Extents = Tuple[Tuple[int, int], ...]
+
+
+@dataclass
+class LockRequestMsg:
+    resource_id: Hashable
+    mode: LockMode
+    #: One extent normally; several for datatype (non-contiguous) locks.
+    extents: Extents
+    client_name: str
+
+
+@dataclass
+class LockGrantMsg:
+    lock_id: int
+    resource_id: Hashable
+    mode: LockMode          # may be upgraded vs the request
+    extents: Extents        # may be expanded vs the request
+    sn: int
+    state: LockState        # CANCELING == early revocation piggyback
+    #: Same-client locks merged into this grant by lock upgrading.
+    absorbed_lock_ids: Tuple[int, ...] = ()
+
+
+@dataclass
+class RevokeMsg:
+    lock_id: int
+    resource_id: Hashable
+
+
+@dataclass
+class RevokeAckMsg:
+    lock_id: int
+    resource_id: Hashable
+
+
+@dataclass
+class DowngradeMsg:
+    lock_id: int
+    resource_id: Hashable
+    new_mode: LockMode
+
+
+@dataclass
+class ReleaseMsg:
+    lock_id: int
+    resource_id: Hashable
+
+
+@dataclass
+class MsnQueryMsg:
+    resource_id: Hashable
+    extents: Extents
+
+
+@dataclass
+class LockStateRecord:
+    """One client-held lock, as reported during server recovery (§IV-C2)."""
+
+    lock_id: int
+    resource_id: Hashable
+    mode: LockMode
+    extents: Extents
+    sn: int
+    state: LockState
+    client_name: str = ""
+    has_dirty: bool = False

@@ -1,0 +1,452 @@
+"""The generic lock server.
+
+One implementation serves all four DLM variants; the
+:class:`~repro.dlm.config.DLMConfig` decides
+
+* which compatibility matrix resolves conflicts (traditional vs Table II
+  — the latter is what enables *early grant*),
+* the range-expansion policy (greedy / Lustre-capped / none),
+* whether grants may be pre-tagged CANCELING (*early revocation*),
+* whether same-client conflicts upgrade instead of revoke.
+
+Processing model (mirrors §II-A): each lock resource keeps the set of
+granted-but-unreleased locks plus a FIFO wait queue.  Every state change
+(new request, revocation ack, downgrade, release) re-runs the queue from
+the head, granting while the head request is compatible with all granted
+locks it overlaps.  Blocked heads trigger revocation callbacks to the
+offending holders.
+
+Sequencer (§III-A1): each resource carries a monotonically increasing
+sequence number.  A granted lock receives the current SN; granting any
+write-mode lock then increments it, so all write grants of a resource are
+totally ordered.  The data path tags written bytes with these SNs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from repro.dlm.config import (
+    DLMConfig,
+    ExpansionPolicy,
+    LUSTRE_EXPANSION_CAP,
+    LUSTRE_LOCK_COUNT_TRIGGER,
+)
+from repro.dlm.extent import EOF, overlaps
+from repro.dlm.messages import (
+    DowngradeMsg,
+    LockGrantMsg,
+    LockRequestMsg,
+    LockStateRecord,
+    MsnQueryMsg,
+    ReleaseMsg,
+    RevokeAckMsg,
+    RevokeMsg,
+)
+from repro.dlm.types import LockMode, LockState, is_write_mode, severity_lub
+from repro.net.fabric import Node
+from repro.net.rpc import CTRL_MSG_BYTES, Request, RpcService, one_way
+
+__all__ = ["LockServer", "ServerLock", "LockServerStats"]
+
+
+@dataclass
+class ServerLock:
+    """Server-side record of one granted, unreleased lock."""
+
+    lock_id: int
+    resource_id: Hashable
+    client_name: str
+    mode: LockMode
+    extents: Tuple[Tuple[int, int], ...]
+    sn: int
+    state: LockState = LockState.GRANTED
+    revoke_sent: bool = False
+
+    def overlaps_extents(self, extents) -> bool:
+        mine = self.extents
+        # Fast path: single extent on both sides (the common case by
+        # orders of magnitude — datatype locks are the only multi-extent
+        # producers).  Profiling shows this predicate dominates the
+        # server's conflict scans under contention.
+        if len(mine) == 1 and len(extents) == 1:
+            (a0, a1), (b0, b1) = mine[0], extents[0]
+            return a0 < b1 and b0 < a1 and a0 < a1 and b0 < b1
+        return any(overlaps(a, b) for a in mine for b in extents)
+
+
+@dataclass
+class _Pending:
+    msg: LockRequestMsg
+    req: Request
+    arrival: float
+
+
+@dataclass
+class _Resource:
+    resource_id: Hashable
+    granted: Dict[int, ServerLock] = field(default_factory=dict)
+    queue: Deque[_Pending] = field(default_factory=deque)
+    next_sn: int = 1
+
+
+@dataclass
+class LockServerStats:
+    """Counters used by the harness and the breakdown figures."""
+
+    requests: int = 0
+    grants: int = 0
+    early_grants: int = 0
+    early_revocations: int = 0
+    revocations_sent: int = 0
+    upgrades: int = 0
+    downgrades: int = 0
+    releases: int = 0
+    expansions: int = 0
+    msn_queries: int = 0
+    #: Cumulative time between sending a revocation callback and processing
+    #: its ack — the paper's breakdown part ① "lock revocation" (Fig. 17).
+    revoke_wait_time: float = 0.0
+
+
+class LockServer:
+    """DLM service attached to one node.
+
+    The RPC service name is ``"dlm"``; clients must expose a ``"dlm_cb"``
+    service for revocation callbacks.
+    """
+
+    def __init__(self, node: Node, config: DLMConfig,
+                 ops: float = 213_000.0):
+        self.node = node
+        self.sim = node.sim
+        self.config = config
+        self.stats = LockServerStats()
+        self._resources: Dict[Hashable, _Resource] = {}
+        self._revoke_sent_at: Dict[int, float] = {}
+        self._lock_ids = itertools.count(1)
+        self.service = RpcService(node, "dlm", self._handle, ops=ops,
+                                  cost_fn=self._dispatch_cost)
+
+    @staticmethod
+    def _dispatch_cost(msg) -> float:
+        """Dispatch-cost weight per message type.  The measured CaRT OPS
+        (§V-A, ~213 k) is for request-reply RPCs (lock requests, mSN
+        queries); one-way notifications (release, revoke-ack, downgrade)
+        skip the reply path and cost a fraction of a full RPC."""
+        if isinstance(msg.payload, (LockRequestMsg, MsnQueryMsg)):
+            return 1.0
+        return 0.25
+
+    # ------------------------------------------------------------------ util
+    def _res(self, resource_id: Hashable) -> _Resource:
+        res = self._resources.get(resource_id)
+        if res is None:
+            res = self._resources[resource_id] = _Resource(resource_id)
+        return res
+
+    def reset_state(self) -> None:
+        """Drop all volatile lock state (crash simulation, §IV-C2)."""
+        self._resources.clear()
+        self._revoke_sent_at.clear()
+
+    def resource_lock_count(self, resource_id: Hashable) -> int:
+        return len(self._res(resource_id).granted)
+
+    def granted_locks(self, resource_id: Hashable) -> List[ServerLock]:
+        return list(self._res(resource_id).granted.values())
+
+    def queue_depth(self, resource_id: Hashable) -> int:
+        return len(self._res(resource_id).queue)
+
+    # ------------------------------------------------------------- dispatch
+    def _handle(self, req: Request) -> None:
+        payload = req.payload
+        if isinstance(payload, LockRequestMsg):
+            self._on_lock_request(payload, req)
+        elif isinstance(payload, RevokeAckMsg):
+            self._on_revoke_ack(payload)
+        elif isinstance(payload, DowngradeMsg):
+            self._on_downgrade(payload)
+        elif isinstance(payload, ReleaseMsg):
+            self._on_release(payload)
+        elif isinstance(payload, MsnQueryMsg):
+            self._on_msn_query(payload, req)
+        elif isinstance(payload, LockStateRecord):
+            self._on_recover_lock(payload)
+        else:  # pragma: no cover - protocol error
+            raise TypeError(f"unexpected DLM payload {payload!r}")
+
+    # ------------------------------------------------------------- requests
+    def _on_lock_request(self, msg: LockRequestMsg, req: Request) -> None:
+        self.stats.requests += 1
+        res = self._res(msg.resource_id)
+        res.queue.append(_Pending(msg, req, self.sim.now))
+        self._process(res)
+
+    def _on_revoke_ack(self, msg: RevokeAckMsg) -> None:
+        sent_at = self._revoke_sent_at.pop(msg.lock_id, None)
+        if sent_at is not None:
+            self.stats.revoke_wait_time += self.sim.now - sent_at
+        res = self._res(msg.resource_id)
+        lock = res.granted.get(msg.lock_id)
+        if lock is None:
+            return  # raced with release
+        lock.state = LockState.CANCELING
+        self._process(res)
+
+    def _on_downgrade(self, msg: DowngradeMsg) -> None:
+        res = self._res(msg.resource_id)
+        lock = res.granted.get(msg.lock_id)
+        if lock is None:
+            return
+        lock.mode = msg.new_mode
+        self.stats.downgrades += 1
+        self._process(res)
+
+    def _on_release(self, msg: ReleaseMsg) -> None:
+        self._revoke_sent_at.pop(msg.lock_id, None)
+        res = self._res(msg.resource_id)
+        if res.granted.pop(msg.lock_id, None) is not None:
+            self.stats.releases += 1
+        self._process(res)
+
+    def _on_msn_query(self, msg: MsnQueryMsg, req: Request) -> None:
+        """Minimum SN of unreleased write locks overlapping the extents
+        (§IV-B cleaning).  With no such lock, every SN below the
+        resource's next SN is fully flushed."""
+        self.stats.msn_queries += 1
+        res = self._res(msg.resource_id)
+        sns = [g.sn for g in res.granted.values()
+               if is_write_mode(g.mode) and g.overlaps_extents(msg.extents)]
+        msn = min(sns) - 1 if sns else res.next_sn - 1
+        req.respond(msn)
+
+    def _on_recover_lock(self, rec: LockStateRecord) -> None:
+        """Reinstall a client-reported lock during server recovery."""
+        res = self._res(rec.resource_id)
+        res.granted[rec.lock_id] = ServerLock(
+            lock_id=rec.lock_id, resource_id=rec.resource_id,
+            client_name=rec.client_name, mode=rec.mode, extents=rec.extents,
+            sn=rec.sn, state=rec.state,
+            revoke_sent=rec.state is LockState.CANCELING)
+        res.next_sn = max(res.next_sn, rec.sn + 1)
+        # Keep lock ids unique after recovery.
+        self._lock_ids = itertools.count(
+            max(rec.lock_id + 1, next(self._lock_ids)))
+
+    # ------------------------------------------------------------ the queue
+    def _conflicts(self, res: _Resource, msg: LockRequestMsg) -> List[ServerLock]:
+        lcm = self.config.lcm
+        return [g for g in res.granted.values()
+                if g.overlaps_extents(msg.extents)
+                and not lcm(msg.mode, g.mode, g.state)]
+
+    @staticmethod
+    def _absorbable(g: ServerLock, client_name: str) -> bool:
+        return (g.client_name == client_name
+                and g.state is LockState.GRANTED and not g.revoke_sent)
+
+    def _upgrade_set(self, res: _Resource, msg: LockRequestMsg,
+                     conflicts: List[ServerLock]
+                     ) -> Tuple[Optional[List[ServerLock]], List[ServerLock]]:
+        """Fixed-point absorb set for a lock upgrade (§III-D1).
+
+        The merged lock covers the union of the request and every
+        absorbed extent at the severity-lub mode; that union may overlap
+        *further* locks, which must also be absorbed (same-client,
+        GRANTED) or treated as blockers.  Returns ``(absorb, blockers)``
+        — ``absorb`` is None when blockers prevent the upgrade for now.
+        """
+        absorb = list(conflicts)
+        mode = msg.mode
+        for c in absorb:
+            mode = severity_lub(mode, c.mode)
+        lcm = self.config.lcm
+        while True:
+            lo = min([s for s, _e in msg.extents]
+                     + [s for c in absorb for s, _e in c.extents])
+            hi = max([e for _s, e in msg.extents]
+                     + [e for c in absorb for _s, e in c.extents])
+            blockers = []
+            grew = False
+            for g in res.granted.values():
+                if g in absorb:
+                    continue
+                if not g.overlaps_extents(((lo, hi),)):
+                    continue
+                if lcm(mode, g.mode, g.state):
+                    continue  # compatible with the upgraded mode
+                if self._absorbable(g, msg.client_name):
+                    absorb.append(g)
+                    mode = severity_lub(mode, g.mode)
+                    grew = True
+                    break  # recompute the union
+                blockers.append(g)
+            if grew:
+                continue
+            if blockers:
+                return None, blockers
+            return absorb, []
+
+    def _process(self, res: _Resource) -> None:
+        while res.queue:
+            pend = res.queue[0]
+            msg = pend.msg
+            conflicts = self._conflicts(res, msg)
+            if not conflicts:
+                res.queue.popleft()
+                self._grant(res, pend)
+                continue
+            blockers = conflicts
+            if (self.config.lock_upgrading
+                    and all(self._absorbable(c, msg.client_name)
+                            for c in conflicts)):
+                absorb, blockers = self._upgrade_set(res, msg, conflicts)
+                if absorb is not None:
+                    res.queue.popleft()
+                    self._grant(res, pend, absorb=absorb)
+                    continue
+            # Blocked: revoke the offending GRANTED locks (normal path).
+            for g in blockers:
+                if (self.config.lock_upgrading
+                        and self._absorbable(g, msg.client_name)):
+                    # §III-D1: reclaim only the *other* clients' locks;
+                    # the requester's own lock will be absorbed by the
+                    # upgrade once the foreign conflicts clear.
+                    continue
+                if g.state is LockState.GRANTED and not g.revoke_sent:
+                    g.revoke_sent = True
+                    self.stats.revocations_sent += 1
+                    self._revoke_sent_at[g.lock_id] = self.sim.now
+                    client = self.node.fabric.nodes[g.client_name]
+                    one_way(self.node, client, "dlm_cb",
+                            RevokeMsg(g.lock_id, res.resource_id),
+                            nbytes=CTRL_MSG_BYTES)
+            break
+
+    # ------------------------------------------------------------- granting
+    def _expand(self, res: _Resource, msg: LockRequestMsg,
+                mode: LockMode,
+                extents: Tuple[Tuple[int, int], ...],
+                skip_ids: Tuple[int, ...]) -> Tuple[Tuple[Tuple[int, int], ...], bool]:
+        """Apply the range-expansion policy to ``extents`` (the request's
+        extents, possibly already unioned by an upgrade) for a lock about
+        to be granted at ``mode`` (possibly upgraded vs the request);
+        returns ``(extents, expanded)``."""
+        policy = self.config.expansion
+        if policy is ExpansionPolicy.NONE or len(extents) != 1:
+            return extents, False
+        start, end = extents[0]
+        if end >= EOF:
+            return extents, False
+        lcm = self.config.lcm
+        bound = EOF
+        # Granted locks that would conflict with the new mode cap the end;
+        # one overlapping the requested range itself makes expansion
+        # impossible (the request keeps its exact range).
+        for g in res.granted.values():
+            if g.lock_id in skip_ids:
+                continue
+            if lcm(mode, g.mode, g.state):
+                continue
+            for (gs, ge) in g.extents:
+                if gs >= end:
+                    bound = min(bound, gs)
+                elif ge > start:
+                    return extents, False
+        # Queued requests (other clients) also cap it — granting past them
+        # would immediately re-create the conflict they are waiting out.
+        # An overlapping queued conflict likewise forbids expansion, which
+        # is exactly the §III-A2 condition that arms early revocation.
+        for other in res.queue:
+            om = other.msg
+            if om is msg or om.client_name == msg.client_name:
+                continue
+            if lcm(mode, om.mode, LockState.GRANTED) and \
+                    lcm(om.mode, mode, LockState.GRANTED):
+                continue
+            for (os_, oe) in om.extents:
+                if os_ >= end:
+                    bound = min(bound, os_)
+                elif oe > start:
+                    return extents, False
+        if policy is ExpansionPolicy.LUSTRE and \
+                len(res.granted) > LUSTRE_LOCK_COUNT_TRIGGER:
+            bound = min(bound, end + LUSTRE_EXPANSION_CAP)
+        if bound <= end:
+            return extents, False
+        return ((start, bound),), True
+
+    def _has_queued_conflict(self, res: _Resource, msg: LockRequestMsg,
+                             mode: LockMode, extents) -> bool:
+        lcm = self.config.lcm
+        for other in res.queue:
+            om = other.msg
+            if om.client_name == msg.client_name:
+                continue
+            if not any(overlaps(a, b) for a in extents for b in om.extents):
+                continue
+            if not lcm(om.mode, mode, LockState.GRANTED):
+                return True
+        return False
+
+    def _grant(self, res: _Resource, pend: _Pending,
+               absorb: Optional[List[ServerLock]] = None) -> None:
+        msg = pend.msg
+        mode = msg.mode
+        absorbed_ids: Tuple[int, ...] = ()
+        extents = msg.extents
+
+        if absorb:
+            # Lock upgrading (§III-D1): merge the same-client conflicts
+            # into one more-restrictive lock covering the union.
+            for c in absorb:
+                mode = severity_lub(mode, c.mode)
+            lo = min([s for s, _e in extents]
+                     + [s for c in absorb for s, _e in c.extents])
+            hi = max([e for _s, e in extents]
+                     + [e for c in absorb for _s, e in c.extents])
+            extents = ((lo, hi),)
+            absorbed_ids = tuple(c.lock_id for c in absorb)
+            for c in absorb:
+                del res.granted[c.lock_id]
+            self.stats.upgrades += 1
+
+        # Early-grant accounting: did Table II's N/Y cell enable this?
+        if any(g.overlaps_extents(extents) and g.state is LockState.CANCELING
+               and g.mode is LockMode.NBW and is_write_mode(mode)
+               for g in res.granted.values()):
+            self.stats.early_grants += 1
+
+        extents, expanded = self._expand(res, msg, mode, extents,
+                                         absorbed_ids)
+        if expanded:
+            self.stats.expansions += 1
+
+        state = LockState.GRANTED
+        if (self.config.early_revocation and is_write_mode(mode)
+                and not expanded
+                and self._has_queued_conflict(res, msg, mode, extents)):
+            # Early revocation (§III-A2): piggyback the revocation in the
+            # grant; no revoke round trip will be needed.
+            state = LockState.CANCELING
+            self.stats.early_revocations += 1
+
+        sn = res.next_sn
+        if is_write_mode(mode):
+            res.next_sn += 1
+
+        lock = ServerLock(
+            lock_id=next(self._lock_ids), resource_id=res.resource_id,
+            client_name=msg.client_name, mode=mode, extents=extents, sn=sn,
+            state=state, revoke_sent=state is LockState.CANCELING)
+        res.granted[lock.lock_id] = lock
+        self.stats.grants += 1
+        pend.req.respond(LockGrantMsg(
+            lock_id=lock.lock_id, resource_id=res.resource_id, mode=mode,
+            extents=extents, sn=sn, state=state,
+            absorbed_lock_ids=absorbed_ids), nbytes=CTRL_MSG_BYTES)

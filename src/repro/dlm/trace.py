@@ -1,0 +1,152 @@
+"""Structured tracing of lock-protocol events.
+
+A :class:`LockTracer` observes one lock server and records every grant,
+revocation, ack, downgrade, and release as a timestamped
+:class:`TraceEvent`.  The companion :func:`render_timeline` prints a
+per-client swimlane view — the fastest way to *see* early grant, early
+revocation, and lock conversion happen:
+
+    time (us)   client0              client1
+    ---------   -------              -------
+        12.0    GRANT 1 NBW GRANTED
+        34.5                         REVOKE 1
+        36.1    ACK 1
+        36.2                         GRANT 2 NBW CANCELING   <- early grant
+
+Tracing is observation-only (wraps the server's message dispatch) and
+composes with the invariant validator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+from repro.dlm.messages import (
+    DowngradeMsg,
+    LockGrantMsg,
+    LockRequestMsg,
+    ReleaseMsg,
+    RevokeAckMsg,
+)
+from repro.dlm.server import LockServer
+from repro.dlm.types import LockState
+
+__all__ = ["TraceEvent", "LockTracer", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str            # REQUEST | GRANT | REVOKE | ACK | DOWNGRADE | RELEASE
+    resource_id: Hashable
+    client: str
+    lock_id: Optional[int] = None
+    detail: str = ""
+
+
+class LockTracer:
+    """Records the protocol events of one lock server."""
+
+    def __init__(self, server: LockServer):
+        self.server = server
+        self.events: List[TraceEvent] = []
+        # The RPC service captured the handler at construction; wrap
+        # the service's reference, not the (already-bound) method.
+        self._orig_handle = server.service.handler
+        self._orig_grant = server._grant
+        server.service.handler = self._handle
+        server._grant = self._grant
+        # Revocations are sent inside _process; observe via the stats
+        # counter delta around each handled message.
+        self._orig_process = server._process
+        server._process = self._process
+
+    def detach(self) -> None:
+        self.server.service.handler = self._orig_handle
+        self.server._grant = self._orig_grant
+        self.server._process = self._orig_process
+
+    # ------------------------------------------------------------- wrappers
+    def _handle(self, req) -> None:
+        payload = req.payload
+        now = self.server.sim.now
+        if isinstance(payload, LockRequestMsg):
+            self.events.append(TraceEvent(
+                now, "REQUEST", payload.resource_id, payload.client_name,
+                detail=f"{payload.mode.value} {list(payload.extents)}"))
+        elif isinstance(payload, RevokeAckMsg):
+            self.events.append(TraceEvent(
+                now, "ACK", payload.resource_id, req.src.name,
+                lock_id=payload.lock_id))
+        elif isinstance(payload, DowngradeMsg):
+            self.events.append(TraceEvent(
+                now, "DOWNGRADE", payload.resource_id, req.src.name,
+                lock_id=payload.lock_id,
+                detail=f"-> {payload.new_mode.value}"))
+        elif isinstance(payload, ReleaseMsg):
+            self.events.append(TraceEvent(
+                now, "RELEASE", payload.resource_id, req.src.name,
+                lock_id=payload.lock_id))
+        self._orig_handle(req)
+
+    def _grant(self, res, pend, absorb=None) -> None:
+        before = len(res.granted)
+        self._orig_grant(res, pend, absorb=absorb)
+        now = self.server.sim.now
+        newest = max(res.granted.values(), key=lambda g: g.lock_id,
+                     default=None)
+        if newest is not None and len(res.granted) >= before - \
+                (len(absorb) if absorb else 0):
+            tags = []
+            if newest.state is LockState.CANCELING:
+                tags.append("CANCELING(early-revocation)")
+            if absorb:
+                tags.append(f"absorbed={[c.lock_id for c in absorb]}")
+            self.events.append(TraceEvent(
+                now, "GRANT", res.resource_id, newest.client_name,
+                lock_id=newest.lock_id,
+                detail=f"{newest.mode.value} sn={newest.sn} "
+                       + " ".join(tags)))
+
+    def _process(self, res) -> None:
+        before = self.server.stats.revocations_sent
+        pending_before = set(self.server._revoke_sent_at)
+        self._orig_process(res)
+        if self.server.stats.revocations_sent > before:
+            now = self.server.sim.now
+            for lock_id in set(self.server._revoke_sent_at) - pending_before:
+                lock = res.granted.get(lock_id)
+                client = lock.client_name if lock else "?"
+                self.events.append(TraceEvent(
+                    now, "REVOKE", res.resource_id, client,
+                    lock_id=lock_id))
+
+    # --------------------------------------------------------------- queries
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_resource(self, resource_id: Hashable) -> List[TraceEvent]:
+        return [e for e in self.events if e.resource_id == resource_id]
+
+
+def render_timeline(events: List[TraceEvent], width: int = 24) -> str:
+    """Render events as per-client swimlanes ordered by time."""
+    if not events:
+        return "(no events)"
+    clients = []
+    for e in events:
+        if e.client not in clients:
+            clients.append(e.client)
+    header = f"{'time (us)':>12}   " + "".join(
+        f"{c:<{width}}" for c in clients)
+    lines = [header, f"{'-' * 12:>12}   " + "".join(
+        f"{'-' * len(c):<{width}}" for c in clients)]
+    for e in sorted(events, key=lambda e: e.time):
+        label = e.kind + (f" {e.lock_id}" if e.lock_id is not None else "")
+        if e.detail:
+            label += f" {e.detail}"
+        idx = clients.index(e.client) if e.client in clients else 0
+        pad = " " * (width * idx)
+        lines.append(f"{e.time * 1e6:>12.1f}   {pad}{label}")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Online invariant checking for the lock protocol.
+
+A :class:`LockValidator` hooks a :class:`~repro.dlm.server.LockServer`
+and re-checks the protocol's safety invariants after every state change:
+
+I1. **Pairwise compatibility** — any two granted, unreleased locks on a
+    resource that overlap must be compatible under the DLM's LCM given
+    their current states.  (Early grant makes this state-dependent: two
+    overlapping NBW locks are legal only if all but the newest are
+    CANCELING.)
+I2. **SN uniqueness & monotonicity** — write-mode grants of a resource
+    carry strictly increasing, unique SNs; no grant ever carries an SN
+    at or above the resource's next SN.
+I3. **Single writer in GRANTED state** — at most one overlapping
+    write-mode lock per resource may be in the GRANTED state (the
+    current head of the sequencer chain).
+I4. **Queue sanity** — a queued request must actually conflict with at
+    least one granted lock or be at a position behind such a request
+    (otherwise the server forgot to grant it).
+
+The validator is pure observation — it never mutates server state — and
+is cheap enough to leave on in every integration test.  Violations raise
+:class:`LockInvariantViolation` immediately, pinpointing the first bad
+transition instead of a downstream data corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.dlm.lcm import CompatibilityFn
+from repro.dlm.server import LockServer, _Resource
+from repro.dlm.types import LockState, is_write_mode
+from repro.dlm.extent import overlaps
+
+__all__ = ["LockInvariantViolation", "LockValidator", "attach_validator"]
+
+
+class LockInvariantViolation(AssertionError):
+    """A lock-protocol safety invariant was broken."""
+
+
+class LockValidator:
+    """Wraps a lock server's ``_process`` to validate after every step."""
+
+    def __init__(self, server: LockServer):
+        self.server = server
+        self.lcm: CompatibilityFn = server.config.lcm
+        self.checks = 0
+        self.max_write_sn_seen: Dict[Hashable, int] = {}
+        self._seen_sns: Dict[Hashable, Set[int]] = {}
+        self._seen_lock_ids: Dict[Hashable, Set[int]] = {}
+        self._orig_process = server._process
+        server._process = self._checked_process
+
+    # ------------------------------------------------------------ plumbing
+    def detach(self) -> None:
+        self.server._process = self._orig_process
+
+    def _checked_process(self, res: _Resource) -> None:
+        before_ids = set(res.granted.keys())
+        self._orig_process(res)
+        self.checks += 1
+        self._track_new_grants(res, before_ids)
+        self.validate_resource(res)
+
+    def _track_new_grants(self, res: _Resource, before_ids: Set[int]) -> None:
+        rid = res.resource_id
+        seen = self._seen_sns.setdefault(rid, set())
+        for lock_id, lock in res.granted.items():
+            if lock_id in before_ids:
+                continue
+            if not is_write_mode(lock.mode):
+                continue
+            # I2: unique, monotonically increasing write SNs.
+            if lock.sn in seen:
+                raise LockInvariantViolation(
+                    f"[I2] duplicate write SN {lock.sn} on {rid!r}")
+            prev = self.max_write_sn_seen.get(rid, 0)
+            if lock.sn <= prev and lock_id not in \
+                    self._seen_lock_ids.get(rid, set()):
+                raise LockInvariantViolation(
+                    f"[I2] non-monotonic write SN {lock.sn} <= {prev} "
+                    f"on {rid!r}")
+            seen.add(lock.sn)
+            self.max_write_sn_seen[rid] = max(prev, lock.sn)
+            self._seen_lock_ids.setdefault(rid, set()).add(lock_id)
+
+    # ----------------------------------------------------------- validation
+    def validate_resource(self, res: _Resource) -> None:
+        locks = list(res.granted.values())
+        rid = res.resource_id
+
+        # I1: pairwise compatibility (order-sensitive: check both ways —
+        # a pair is legal if EITHER direction is compatible, since grant
+        # order determines which one was the "request").
+        for i, a in enumerate(locks):
+            for b in locks[i + 1:]:
+                if not a.overlaps_extents(b.extents):
+                    continue
+                ab = self.lcm(a.mode, b.mode, b.state)
+                ba = self.lcm(b.mode, a.mode, a.state)
+                if not (ab or ba):
+                    raise LockInvariantViolation(
+                        f"[I1] incompatible granted pair on {rid!r}: "
+                        f"{a.lock_id}({a.mode.value},{a.state.value}) vs "
+                        f"{b.lock_id}({b.mode.value},{b.state.value})")
+
+        # I3: at most one overlapping GRANTED write lock.
+        writers = [l for l in locks if is_write_mode(l.mode)
+                   and l.state is LockState.GRANTED]
+        for i, a in enumerate(writers):
+            for b in writers[i + 1:]:
+                if a.overlaps_extents(b.extents):
+                    raise LockInvariantViolation(
+                        f"[I3] two GRANTED write locks overlap on {rid!r}:"
+                        f" {a.lock_id} and {b.lock_id}")
+
+        # I2 (static part): no granted SN at/above next_sn.
+        for l in locks:
+            if is_write_mode(l.mode) and l.sn >= res.next_sn:
+                raise LockInvariantViolation(
+                    f"[I2] granted write SN {l.sn} >= next_sn "
+                    f"{res.next_sn} on {rid!r}")
+
+        # I4: the queue head must be genuinely blocked.
+        if res.queue:
+            head = res.queue[0].msg
+            blocked = any(
+                g.overlaps_extents(head.extents)
+                and not self.lcm(head.mode, g.mode, g.state)
+                for g in locks)
+            if not blocked:
+                raise LockInvariantViolation(
+                    f"[I4] queue head on {rid!r} is grantable but parked: "
+                    f"{head.mode.value} {head.extents} from "
+                    f"{head.client_name}")
+
+    def validate_all(self) -> int:
+        """Validate every resource now; returns how many were checked."""
+        n = 0
+        for res in self.server._resources.values():
+            self.validate_resource(res)
+            n += 1
+        return n
+
+
+def attach_validator(cluster) -> List[LockValidator]:
+    """Attach a validator to every lock server of a cluster."""
+    return [LockValidator(ls) for ls in cluster.lock_servers]

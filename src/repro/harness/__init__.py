@@ -1,0 +1,15 @@
+"""Experiment harness: one entry per table/figure of the paper.
+
+Each experiment function builds the right clusters, runs the workload,
+and returns an :class:`~repro.harness.report.ExperimentResult` whose
+``render()`` prints the same rows/series the paper reports.  The registry
+in :data:`EXPERIMENTS` maps experiment ids (``fig4`` ... ``fig24_25``,
+``table3``, ``model``) to their functions; the benchmark suite under
+``benchmarks/`` has one module per entry.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import ExperimentResult, format_table
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "format_table",
+           "run_experiment"]

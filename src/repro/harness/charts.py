@@ -1,0 +1,89 @@
+"""ASCII bar charts for experiment results.
+
+The paper's artefacts are figures; the harness reports tables.  This
+module closes the gap for terminals: grouped horizontal bar charts that
+render an :class:`~repro.harness.report.ExperimentResult` series the way
+the corresponding figure groups its bars.
+
+Example::
+
+    res = run_experiment("fig20")
+    print(bar_chart(res, value="_bw", label=("config",), group="xfer",
+                    fmt=lambda v: f"{v/1e9:.1f} GB/s"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.harness.report import ExperimentResult
+
+__all__ = ["bar_chart", "render_bars"]
+
+#: Glyphs for sub-character resolution on the last cell.
+_FULL = "█"
+_PARTIALS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    frac = cells - full
+    partial = _PARTIALS[int(frac * 8)]
+    return _FULL * full + partial
+
+
+def render_bars(items: Sequence[Tuple[str, float]], width: int = 40,
+                fmt: Optional[Callable[[float], str]] = None) -> str:
+    """Render ``(label, value)`` pairs as horizontal bars."""
+    if not items:
+        return "(no data)"
+    fmt = fmt or (lambda v: f"{v:g}")
+    vmax = max(v for _l, v in items)
+    lwidth = max(len(l) for l, _v in items)
+    out = []
+    for label, value in items:
+        out.append(f"{label:<{lwidth}} |{_bar(value, vmax, width):<{width}}"
+                   f"| {fmt(value)}")
+    return "\n".join(out)
+
+
+def bar_chart(result: ExperimentResult, value: str,
+              label: Iterable[str], group: Optional[str] = None,
+              width: int = 40,
+              fmt: Optional[Callable[[float], str]] = None) -> str:
+    """Chart one numeric column of an experiment result.
+
+    ``value`` is the (typically underscore-prefixed raw) column to plot,
+    ``label`` the columns joined into each bar's name, and ``group`` an
+    optional column to section the chart by (one block per distinct
+    value, in first-appearance order) — mirroring how the paper's grouped
+    bar figures are organised.
+    """
+    label = tuple(label)
+    rows = [r for r in result.rows if value in r]
+    if not rows:
+        return "(no data)"
+    blocks = []
+    if group is None:
+        groups = [(None, rows)]
+    else:
+        order = []
+        byg = {}
+        for r in rows:
+            g = r.get(group)
+            if g not in byg:
+                byg[g] = []
+                order.append(g)
+            byg[g].append(r)
+        groups = [(g, byg[g]) for g in order]
+    for gname, grows in groups:
+        items = [(" / ".join(str(r.get(c, "")) for c in label),
+                  float(r[value])) for r in grows]
+        head = f"-- {group} = {gname} --" if gname is not None else ""
+        body = render_bars(items, width=width, fmt=fmt)
+        blocks.append(f"{head}\n{body}" if head else body)
+    title = f"[{result.exp_id}] {result.title}"
+    return title + "\n" + "\n\n".join(blocks)

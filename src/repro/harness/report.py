@@ -1,0 +1,81 @@
+"""Result containers and ASCII rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "fmt_bytes", "fmt_bw",
+           "fmt_time"]
+
+
+def fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024 or unit == "TB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}TB"  # pragma: no cover
+
+
+def fmt_bw(bps: float) -> str:
+    """Bytes/second, rendered like the paper (GB/s)."""
+    return f"{bps / 1e9:.2f} GB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Dict[str, Any]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) if cells
+              else len(c) for i, c in enumerate(columns)]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("|" + "|".join(f" {c:<{w}} " for c, w in zip(columns, widths))
+               + "|")
+    out.append(sep)
+    for row in cells:
+        out.append("|" + "|".join(f" {v:<{w}} "
+                                  for v, w in zip(row, widths)) + "|")
+    out.append(sep)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+    #: Free-form derived headline numbers (speedups etc.) for EXPERIMENTS.md.
+    headline: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        body = format_table(self.columns, self.rows,
+                            title=f"[{self.exp_id}] {self.title}")
+        if self.headline:
+            hl = "  ".join(f"{k}={v}" for k, v in self.headline.items())
+            body += f"\nheadline: {hl}"
+        if self.notes:
+            body += f"\nnote: {self.notes}"
+        return body
+
+    def row_lookup(self, **match) -> Dict[str, Any]:
+        """First row whose fields equal ``match`` (assertion helper)."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match}")

@@ -1,0 +1,39 @@
+"""Cluster network substrate.
+
+Models the paper's 100 Gbps HDR InfiniBand fabric at the fidelity the
+analytical model in §II-C requires: per-message propagation latency
+(RTT/2 each way), per-NIC bandwidth serialization on both the egress and
+ingress side (so flush traffic into one data server contends exactly like
+the paper's ``B_net`` term), and an OPS-limited RPC service queue per
+server (the CaRT ~213 kOPS figure).
+
+Layers:
+
+* :mod:`repro.net.fabric` — nodes, links, raw message delivery.
+* :mod:`repro.net.rpc` — request/reply RPC with deferred responses (a lock
+  server may queue a request and reply much later) and one-way messages
+  (revocation callbacks).
+"""
+
+from repro.net.fabric import Fabric, Message, NetworkConfig, Node
+from repro.net.rpc import (
+    CTRL_MSG_BYTES,
+    Request,
+    RpcError,
+    RpcService,
+    one_way,
+    rpc_call,
+)
+
+__all__ = [
+    "CTRL_MSG_BYTES",
+    "Fabric",
+    "Message",
+    "NetworkConfig",
+    "Node",
+    "Request",
+    "RpcError",
+    "RpcService",
+    "one_way",
+    "rpc_call",
+]

@@ -1,0 +1,159 @@
+"""Request/reply RPC on top of the fabric.
+
+Mirrors the shape of the paper's CaRT stack:
+
+* every server-side service drains its inbox through a single dispatcher
+  that charges ``1/ops`` per request — this is the 213 kOPS serialization
+  point measured in §V-A, and the ``1/(OPS*D)`` term of Equation (1);
+* handlers run as their own simulation processes after dispatch, so a lock
+  server can keep a request queued for an arbitrary time (normal grant
+  waiting on a conflicting lock) without blocking unrelated requests;
+* responses are explicit (:meth:`Request.respond`), supporting both the
+  immediate-reply style (data-server IO) and the deferred-grant style
+  (lock servers).
+
+One-way messages (server -> client revocation callbacks) use the same
+machinery with ``expects_reply=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.net.fabric import Fabric, Message, Node
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["RpcError", "Request", "RpcService", "rpc_call", "one_way",
+           "CTRL_MSG_BYTES"]
+
+#: Size charged for small control messages (lock requests, grants,
+#: revocations, releases).  Matches the order of magnitude of a CaRT header
+#: plus a lock descriptor.
+CTRL_MSG_BYTES = 256
+
+
+class RpcError(RuntimeError):
+    """Protocol-level RPC failure (double respond, missing service...)."""
+
+
+class Request:
+    """A server-side view of one inbound RPC."""
+
+    __slots__ = ("service", "msg", "_responded")
+
+    def __init__(self, service: "RpcService", msg: Message):
+        self.service = service
+        self.msg = msg
+        self._responded = False
+
+    @property
+    def payload(self) -> Any:
+        return self.msg.payload
+
+    @property
+    def src(self) -> Node:
+        return self.msg.src
+
+    @property
+    def sim(self) -> Simulator:
+        return self.service.sim
+
+    @property
+    def responded(self) -> bool:
+        return self._responded
+
+    def respond(self, payload: Any = None,
+                nbytes: int = CTRL_MSG_BYTES) -> None:
+        """Send the reply back to the caller."""
+        if self._responded:
+            raise RpcError("request already responded to")
+        self._responded = True
+        if self.msg.req_id < 0:
+            return  # one-way message: nothing to send back
+        fabric = self.service.node.fabric
+        reply = Message(src=self.service.node, dst=self.msg.src,
+                        service=self.msg.service, payload=payload,
+                        nbytes=nbytes, is_reply=True,
+                        req_id=self.msg.req_id)
+        fabric.send(reply)
+
+
+#: A handler either returns nothing / a generator; generators may return a
+#: ``(payload, nbytes)`` tuple as an implicit respond.
+Handler = Callable[[Request], Union[None, Generator]]
+
+
+class RpcService:
+    """An OPS-limited service attached to a node."""
+
+    def __init__(self, node: Node, name: str, handler: Handler,
+                 ops: float = float("inf"), cost_fn=None):
+        if ops <= 0:
+            raise RpcError(f"ops must be > 0, got {ops}")
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.name = name
+        self.handler = handler
+        self.service_time = 0.0 if ops == float("inf") else 1.0 / ops
+        #: Optional per-message dispatch-cost weight (1.0 = one full RPC).
+        #: The measured OPS of an RPC stack is for request-reply round
+        #: trips; one-way notifications are cheaper to dispatch.
+        self.cost_fn = cost_fn
+        self.inbox: Store = Store(self.sim)
+        self.requests_handled = 0
+        node.register_service(name, self.inbox.put)
+        self._dispatcher = self.sim.spawn(self._dispatch(),
+                                          name=f"{node.name}/{name}")
+
+    def _dispatch(self) -> Generator:
+        sim = self.sim
+        while True:
+            msg = yield self.inbox.get()
+            if self.service_time:
+                weight = self.cost_fn(msg) if self.cost_fn else 1.0
+                if weight > 0:
+                    yield sim.timeout(self.service_time * weight)
+            self.requests_handled += 1
+            req = Request(self, msg)
+            result = self.handler(req)
+            if result is not None:
+                sim.spawn(self._run_handler(req, result),
+                          name=f"{self.name}-handler")
+
+    def _run_handler(self, req: Request, gen: Generator) -> Generator:
+        ret = yield self.sim.spawn(gen)
+        if ret is not None and not req.responded:
+            payload, nbytes = ret
+            req.respond(payload, nbytes)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.inbox)
+
+
+def rpc_call(src: Node, dst: Node, service: str, payload: Any,
+             nbytes: int = CTRL_MSG_BYTES) -> Event:
+    """Issue an RPC; returns an event that triggers with the reply payload.
+
+    If ``dst`` has failed the request is silently dropped and the event
+    never triggers — callers that must survive failures race the future
+    against a timeout (see the recovery machinery in
+    :mod:`repro.pfs.filesystem`).
+    """
+    fabric: Fabric = src.fabric
+    req_id = fabric.next_req_id()
+    future = src.sim.event()
+    src.pending_replies[req_id] = future
+    msg = Message(src=src, dst=dst, service=service, payload=payload,
+                  nbytes=nbytes, req_id=req_id)
+    fabric.send(msg)
+    return future
+
+
+def one_way(src: Node, dst: Node, service: str, payload: Any,
+            nbytes: int = CTRL_MSG_BYTES) -> None:
+    """Fire-and-forget message (e.g. a revocation callback)."""
+    msg = Message(src=src, dst=dst, service=service, payload=payload,
+                  nbytes=nbytes, req_id=-1)
+    src.fabric.send(msg)

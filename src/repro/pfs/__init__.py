@@ -1,0 +1,29 @@
+"""ccPFS — the client-cache-coherent burst-buffer PFS of §IV.
+
+Assembly (Fig. 13): an external metadata service provides the namespace;
+files are split into stripes; each data server runs an IO service for its
+stripes and a DLM service for the co-located lock resources (stripe and
+lock resource share the same identifier); clients cache data in a page
+cache whose coherence is guaranteed by the configured DLM.
+
+Public entry point: build a :class:`~repro.pfs.filesystem.Cluster` from a
+:class:`~repro.pfs.filesystem.ClusterConfig`, then drive it through the
+POSIX-like :mod:`repro.pfs.api` (``libccPFS``) or the lower-level
+:class:`~repro.pfs.client.CcpfsClient` coroutines.
+"""
+
+from repro.pfs.api import CcpfsFile, libccpfs_open
+from repro.pfs.client import CcpfsClient, FileHandle
+from repro.pfs.filesystem import Cluster, ClusterConfig
+from repro.pfs.layout import Fragment, StripeLayout
+
+__all__ = [
+    "CcpfsClient",
+    "CcpfsFile",
+    "Cluster",
+    "ClusterConfig",
+    "FileHandle",
+    "Fragment",
+    "StripeLayout",
+    "libccpfs_open",
+]

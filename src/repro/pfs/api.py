@@ -1,0 +1,118 @@
+"""libccPFS: the POSIX-like façade of §IV.
+
+The paper ships ``libccPFS`` with POSIX-style calls that applications
+link directly or reach through an IO-forwarding daemon.  This module is
+the equivalent: a :class:`CcpfsFile` wraps a (client, handle) pair with
+``pwrite``/``pread``/``append``/``truncate``/``fsync``/``size``/``close``
+coroutines, maintaining a seek cursor for the sequential ``write``/
+``read`` variants.
+
+Everything here is sugar over :class:`~repro.pfs.client.CcpfsClient`;
+all calls are simulation coroutines, to be driven with ``yield from``
+inside a process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.dlm.types import LockMode
+from repro.pfs.client import CcpfsClient, FileHandle
+
+__all__ = ["CcpfsFile", "libccpfs_open"]
+
+
+class CcpfsFile:
+    """An open ccPFS file with POSIX-like coroutine methods."""
+
+    def __init__(self, client: CcpfsClient, handle: FileHandle):
+        self.client = client
+        self.handle = handle
+        self.pos = 0
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O operation on closed file")
+
+    @property
+    def fid(self) -> int:
+        return self.handle.fid
+
+    # ----------------------------------------------------------- positioned
+    def pwrite(self, data: Optional[bytes] = None, offset: int = 0,
+               nbytes: Optional[int] = None,
+               forced_mode: Optional[LockMode] = None) -> Generator:
+        self._check_open()
+        n = yield from self.client.write(self.handle, offset, data=data,
+                                         nbytes=nbytes,
+                                         forced_mode=forced_mode)
+        return n
+
+    def pread(self, offset: int, nbytes: int,
+              forced_mode: Optional[LockMode] = None) -> Generator:
+        self._check_open()
+        data = yield from self.client.read(self.handle, offset, nbytes,
+                                           forced_mode=forced_mode)
+        return data
+
+    # ------------------------------------------------------------ sequential
+    def write(self, data: Optional[bytes] = None,
+              nbytes: Optional[int] = None) -> Generator:
+        self._check_open()
+        n = nbytes if nbytes is not None else (len(data) if data else 0)
+        written = yield from self.client.write(self.handle, self.pos,
+                                               data=data, nbytes=n)
+        self.pos += written
+        return written
+
+    def read(self, nbytes: int) -> Generator:
+        self._check_open()
+        data = yield from self.client.read(self.handle, self.pos, nbytes)
+        self.pos += nbytes
+        return data
+
+    def seek(self, offset: int) -> int:
+        self._check_open()
+        if offset < 0:
+            raise ValueError(f"negative seek {offset}")
+        self.pos = offset
+        return self.pos
+
+    # ------------------------------------------------------------- the rest
+    def append(self, data: Optional[bytes] = None,
+               nbytes: Optional[int] = None) -> Generator:
+        self._check_open()
+        offset = yield from self.client.append(self.handle, data=data,
+                                               nbytes=nbytes)
+        return offset
+
+    def truncate(self, size: int) -> Generator:
+        self._check_open()
+        yield from self.client.truncate(self.handle, size)
+
+    def fsync(self) -> Generator:
+        self._check_open()
+        yield from self.client.fsync(self.handle)
+
+    def size(self) -> Generator:
+        self._check_open()
+        n = yield from self.client.file_size(self.handle)
+        return n
+
+    def close(self) -> Generator:
+        if self._closed:
+            return
+        self._closed = True
+        yield from self.client.close(self.handle)
+
+
+def libccpfs_open(client: CcpfsClient, path: str, create: bool = False,
+                  stripe_count: Optional[int] = None,
+                  stripe_size: Optional[int] = None) -> Generator:
+    """Open (optionally create) a file; returns a :class:`CcpfsFile`."""
+    handle = yield from client.open(path, create=create,
+                                    stripe_count=stripe_count,
+                                    stripe_size=stripe_size)
+    return CcpfsFile(client, handle)

@@ -1,0 +1,128 @@
+"""The data server's extent cache and its cleaning task (§IV-B).
+
+The cache tracks, per stripe, the maximum SN of every byte range already
+written to the device; incoming flush blocks are merged against it and
+only the winning parts (the *update set*) reach the device.
+
+Size control follows the paper's two methods:
+
+1. an asynchronous low-priority cleaning task: once the total entry count
+   exceeds a threshold, it picks at most ``clean_batch`` entries per pass,
+   queries the lock server for the minimum SN (mSN) of unreleased write
+   locks overlapping them, and drops entries whose SN is settled
+   (``sn <= mSN``);
+2. if cleaning cannot shrink the cache (many early-granted locks still
+   flushing), the server forces a global sync by acquiring a whole-range
+   read lock on each stripe, which drains all client caches; the logs can
+   then be truncated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Hashable, List, Optional, Tuple
+
+from repro.dlm.extent import ExtentMap
+from repro.sim.core import Simulator
+
+__all__ = ["ServerExtentCache"]
+
+#: Query/force hooks are installed by the data server (they need RPC
+#: plumbing this module should not know about).
+MsnQueryFn = Callable[[Hashable, Tuple[Tuple[int, int], ...]], Generator]
+ForceSyncFn = Callable[[Hashable], Generator]
+
+
+class ServerExtentCache:
+    """All stripes' extent caches on one data server."""
+
+    def __init__(self, sim: Simulator, entry_threshold: int = 256 * 1024,
+                 clean_batch: int = 1024, clean_interval: float = 0.01):
+        if entry_threshold < 1 or clean_batch < 1:
+            raise ValueError("threshold and batch must be >= 1")
+        self.sim = sim
+        self.entry_threshold = entry_threshold
+        self.clean_batch = clean_batch
+        self.clean_interval = clean_interval
+        self._maps: Dict[Hashable, ExtentMap] = {}
+        self.msn_query_fn: Optional[MsnQueryFn] = None
+        self.force_sync_fn: Optional[ForceSyncFn] = None
+        # Counters.
+        self.entries_cleaned = 0
+        self.clean_passes = 0
+        self.forced_syncs = 0
+        self._cleaner = None
+
+    # ------------------------------------------------------------- the map
+    def map_for(self, stripe_key: Hashable) -> ExtentMap:
+        m = self._maps.get(stripe_key)
+        if m is None:
+            m = self._maps[stripe_key] = ExtentMap()
+        return m
+
+    def merge(self, stripe_key: Hashable, start: int, end: int,
+              sn: int) -> List[Tuple[int, int]]:
+        """Fig. 15 steps ①/②: merge one incoming block, return its
+        update set."""
+        return self.map_for(stripe_key).merge(start, end, sn)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(len(m) for m in self._maps.values())
+
+    def stripe_keys(self) -> List[Hashable]:
+        return list(self._maps.keys())
+
+    def install(self, stripe_key: Hashable, emap: ExtentMap) -> None:
+        """Replace a stripe's map (log replay during recovery)."""
+        self._maps[stripe_key] = emap
+
+    def clear(self) -> None:
+        self._maps.clear()
+
+    # ------------------------------------------------------------- cleaning
+    def start_cleaner(self) -> None:
+        """Spawn the periodic low-priority cleaning process."""
+        if self._cleaner is None:
+            self._cleaner = self.sim.spawn(self._clean_loop(),
+                                           name="extent-cache-cleaner")
+
+    def _clean_loop(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.clean_interval)
+            if self.total_entries <= self.entry_threshold:
+                continue
+            cleaned = yield self.sim.spawn(self.clean_pass())
+            if self.total_entries > self.entry_threshold and cleaned == 0 \
+                    and self.force_sync_fn is not None:
+                # Method (2): cleaning is stuck behind unflushed
+                # early-granted locks — force a global sync.
+                self.forced_syncs += 1
+                for key in self.stripe_keys():
+                    yield self.sim.spawn(self.force_sync_fn(key))
+
+    def clean_pass(self) -> Generator:
+        """One bounded cleaning pass (at most ``clean_batch`` entries);
+        returns how many entries were dropped."""
+        self.clean_passes += 1
+        if self.msn_query_fn is None:
+            return 0
+        budget = self.clean_batch
+        cleaned = 0
+        for key in self.stripe_keys():
+            if budget <= 0:
+                break
+            emap = self._maps[key]
+            picked = emap.entries()[:budget]
+            if not picked:
+                continue
+            budget -= len(picked)
+            extents = tuple((s, e) for s, e, _sn in picked)
+            msn = yield self.sim.spawn(self.msn_query_fn(key, extents))
+            if msn is None:
+                continue
+            dropped = emap.drop_where(
+                lambda s, e, sn, lim=msn, ext=set(picked):
+                (s, e, sn) in ext and sn <= lim)
+            cleaned += dropped
+        self.entries_cleaned += cleaned
+        return cleaned

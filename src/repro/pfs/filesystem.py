@@ -1,0 +1,275 @@
+"""Cluster assembly: configuration, wiring, and failure handling.
+
+A :class:`Cluster` owns the simulator and builds the whole system of
+Fig. 13: one metadata node, ``num_data_servers`` nodes each running an IO
+service + a DLM service + a storage device, and ``num_clients`` nodes
+each running a lock client, a page cache and a ccPFS client.
+
+Stripes (and their identically-named lock resources) are distributed to
+data servers by hashing the ``(fid, stripe)`` id — the paper's FID-hash
+placement (§IV, artifact appendix).
+
+Recovery (§IV-C2) is orchestrated here: on server recovery the lock
+states are gathered from all clients, the extent log is replayed into the
+extent cache, and clients redo unacknowledged flush RPCs (their flush
+path retries on timeout when ``flush_timeout`` is configured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Hashable, List, Optional, Union
+
+from repro.dlm.client import LockClient
+from repro.dlm.config import DLMConfig, make_dlm_config
+from repro.net.fabric import Fabric, NetworkConfig, Node
+from repro.pfs.client import CcpfsClient
+from repro.pfs.data_server import DataServer
+from repro.pfs.extent_cache import ServerExtentCache
+from repro.pfs.extent_log import ExtentLog
+from repro.pfs.metadata import FileMeta, MetadataServer
+from repro.pfs.page_cache import ClientCache
+from repro.sim.core import Simulator
+from repro.sim.rng import DeterministicRNG
+from repro.storage.device import StorageDevice, WriteCostModel
+
+__all__ = ["ClusterConfig", "Cluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a simulated ccPFS deployment.
+
+    Defaults model the paper's testbed (§V-A): 100 Gbps HDR IB, ~213 kOPS
+    CaRT lock service, NVMe SSDs around 3 GB/s, 1 MB stripes, 4 KB pages.
+    Cache thresholds default to scaled-down values suitable for the
+    scaled experiments; set them to the paper's 256 MB / 4 GB for
+    full-size runs.
+    """
+
+    num_data_servers: int = 1
+    num_clients: int = 16
+    dlm: Union[str, DLMConfig] = "seqdlm"
+    dlm_overrides: dict = field(default_factory=dict)
+
+    # Network (Table I / §V-A).
+    net_latency: float = 1.0e-6
+    net_bandwidth: float = 12.5e9
+    #: Per-message software overhead: the CaRT/Mercury RPC stack costs a
+    #: few microseconds per message on top of wire time (a CaRT round
+    #: trip is ~10 us) — this is what early revocation saves (§III-A2).
+    net_message_overhead: float = 4.0e-6
+    dlm_ops: float = 213_000.0
+    io_ops: float = 1_000_000.0
+    meta_ops: float = 100_000.0
+
+    # Storage.
+    device_bandwidth: float = 3.0e9
+    device_latency: float = 5.0e-5
+    write_cost: WriteCostModel = WriteCostModel.FULL
+
+    # Layout / caching.
+    stripe_size: int = 1024 * 1024
+    page_size: int = 4096
+    #: Effective per-client cache write speed.  Calibrated so 16
+    #: clients' aggregate cache bandwidth (~40 GB/s) matches the
+    #: cache-bound plateau of the paper's Fig. 4 / Table III.
+    mem_bandwidth: float = 2.5e9
+    track_content: bool = True
+    min_dirty: int = 8 * 1024 * 1024
+    max_dirty: int = 128 * 1024 * 1024
+    flush_daemon: bool = True
+    flush_timeout: Optional[float] = None
+    #: Fig. 5 ablation: cap flush-RPC wire bytes (None = full payload).
+    flush_wire_cap: Optional[int] = None
+    #: §III-B2 conventional partial-page read-modify-write (ccPFS's
+    #: sub-page extents make this False by default).
+    partial_page_rmw: bool = False
+
+    # Server extent cache / log.
+    extent_cache_threshold: int = 256 * 1024
+    extent_cache_clean_batch: int = 1024
+    extent_cache_clean_interval: float = 0.01
+    start_cleaner: bool = True
+    extent_log: bool = False
+
+    seed: int = 0
+
+    def dlm_config(self) -> DLMConfig:
+        if isinstance(self.dlm, DLMConfig):
+            return self.dlm
+        return make_dlm_config(self.dlm, **self.dlm_overrides)
+
+
+def _stable_hash(key: Hashable) -> int:
+    """Deterministic placement hash (Python's str hash is randomized)."""
+    h = 0x811C9DC5
+    for part in (key if isinstance(key, tuple) else (key,)):
+        for b in str(part).encode():
+            h = ((h ^ b) * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+class Cluster:
+    """A fully wired simulated ccPFS deployment."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = DeterministicRNG(config.seed, "cluster")
+        self.fabric = Fabric(self.sim, NetworkConfig(
+            latency=config.net_latency, bandwidth=config.net_bandwidth,
+            per_message_overhead=config.net_message_overhead))
+        self.dlm_config = config.dlm_config()
+
+        # Metadata node.
+        self.metadata_node = self.fabric.add_node("meta")
+        self.metadata = MetadataServer(
+            self.metadata_node, ops=config.meta_ops,
+            default_stripe_size=config.stripe_size)
+
+        # Data-server nodes: device + IO service + DLM service.
+        from repro.dlm.server import LockServer  # local import: layering
+        self.server_nodes: List[Node] = []
+        self.data_servers: List[DataServer] = []
+        self.lock_servers: List[LockServer] = []
+        for i in range(config.num_data_servers):
+            node = self.fabric.add_node(f"ds{i}")
+            device = StorageDevice(self.sim,
+                                   bandwidth=config.device_bandwidth,
+                                   latency=config.device_latency,
+                                   write_cost=config.write_cost)
+            ecache = ServerExtentCache(
+                self.sim, entry_threshold=config.extent_cache_threshold,
+                clean_batch=config.extent_cache_clean_batch,
+                clean_interval=config.extent_cache_clean_interval)
+            ds = DataServer(node, device, ecache, io_ops=config.io_ops,
+                            extent_log=ExtentLog() if config.extent_log
+                            else None,
+                            track_content=config.track_content)
+            ls = LockServer(node, self.dlm_config, ops=config.dlm_ops)
+            # The data server's forced-sync path needs a local lock client.
+            ds.local_lock_client = LockClient(
+                node, self.dlm_config, server_for=self.server_node_for)
+            if config.start_cleaner:
+                ecache.start_cleaner()
+            self.server_nodes.append(node)
+            self.data_servers.append(ds)
+            self.lock_servers.append(ls)
+
+        # Client nodes.
+        self.client_nodes: List[Node] = []
+        self.clients: List[CcpfsClient] = []
+        self.lock_clients: List[LockClient] = []
+        for i in range(config.num_clients):
+            node = self.fabric.add_node(f"client{i}")
+            lc = LockClient(node, self.dlm_config,
+                            server_for=self.server_node_for)
+            cache = ClientCache(self.sim,
+                                track_content=config.track_content,
+                                min_dirty=config.min_dirty,
+                                max_dirty=config.max_dirty)
+            client = CcpfsClient(
+                node, lc, cache,
+                data_server_for=self.server_node_for,
+                metadata_node=self.metadata_node,
+                page_size=config.page_size,
+                mem_bandwidth=config.mem_bandwidth,
+                flush_timeout=config.flush_timeout,
+                start_flush_daemon=config.flush_daemon,
+                flush_wire_cap=config.flush_wire_cap,
+                partial_page_rmw=config.partial_page_rmw)
+            self.client_nodes.append(node)
+            self.clients.append(client)
+            self.lock_clients.append(lc)
+
+    # ------------------------------------------------------------- placement
+    def server_index_for(self, stripe_key: Hashable) -> int:
+        return _stable_hash(stripe_key) % len(self.server_nodes)
+
+    def server_node_for(self, stripe_key: Hashable) -> Node:
+        return self.server_nodes[self.server_index_for(stripe_key)]
+
+    def data_server_for(self, stripe_key: Hashable) -> DataServer:
+        return self.data_servers[self.server_index_for(stripe_key)]
+
+    def lock_server_for(self, stripe_key: Hashable):
+        return self.lock_servers[self.server_index_for(stripe_key)]
+
+    # ------------------------------------------------------------ conveniences
+    def create_file(self, path: str, stripe_count: int = 1,
+                    stripe_size: Optional[int] = None) -> FileMeta:
+        """Pre-create a file without spending simulated time (test setup)."""
+        return self.metadata.create(path, stripe_count,
+                                    stripe_size or self.config.stripe_size)
+
+    def run_clients(self, coroutines, until: Optional[float] = None,
+                    max_events: Optional[int] = None):
+        """Spawn one process per client coroutine and run until all of
+        them complete (perpetual daemons keep running in the background
+        and do not block termination); returns their results in order."""
+        procs = [self.sim.spawn(gen) for gen in coroutines]
+        if until is not None:
+            self.sim.run(until=until)
+        else:
+            from repro.sim.core import AllOf
+            self.sim.run_until_event(AllOf(self.sim, procs),
+                                     max_events=max_events)
+        for p in procs:
+            if not p.triggered:
+                raise RuntimeError("client process did not finish")
+            if not p.ok:
+                raise p.value
+        return [p.value for p in procs]
+
+    def read_back(self, path: str) -> bytes:
+        """Direct (zero-time) read of a file's durable content from the
+        block stores — the test oracle for data-safety checks."""
+        meta = self.metadata.lookup(path)
+        if meta is None:
+            raise FileNotFoundError(path)
+        from repro.pfs.layout import StripeLayout
+        layout = StripeLayout(meta.stripe_count, meta.stripe_size)
+        sizes = {s: self.data_server_for((meta.fid, s)).store.size(
+            (meta.fid, s)) for s in range(meta.stripe_count)}
+        size = max(meta.size, layout.file_size_from_stripe_sizes(sizes))
+        out = bytearray(size)
+        for frag in layout.map_extent(0, size):
+            key = (meta.fid, frag.stripe)
+            ds = self.data_server_for(key)
+            out[frag.file_offset:frag.file_offset + frag.length] = \
+                ds.store.read(key, frag.local_offset, frag.length)
+        return bytes(out)
+
+    # --------------------------------------------------------------- failure
+    def crash_server(self, index: int) -> None:
+        """Fail a data-server node: volatile state (extent cache, lock
+        states) is lost; the block store and extent log survive."""
+        ds = self.data_servers[index]
+        ds.crash()
+        self.lock_servers[index].reset_state()
+
+    def recover_server(self, index: int) -> Generator:
+        """§IV-C2 recovery: replay the extent log, gather lock states from
+        all clients, then let clients redo pending flushes (their retry
+        timers handle that automatically)."""
+        ds = self.data_servers[index]
+        node = self.server_nodes[index]
+        ds.recover()
+        server = self.lock_servers[index]
+        for lc in self.lock_clients:
+            for rec in lc.gather_lock_states():
+                if self.server_node_for(rec.resource_id) is node:
+                    server._on_recover_lock(rec)
+        yield self.sim.timeout(0)
+
+    # ------------------------------------------------------------ aggregates
+    def total_lock_server_stats(self) -> dict:
+        agg: Dict[str, float] = {}
+        for ls in self.lock_servers:
+            for k, v in vars(ls.stats).items():
+                agg[k] = agg.get(k, 0) + v
+        return agg
+
+    def total_device_bytes_written(self) -> int:
+        return sum(ds.device.stats.bytes_written for ds in self.data_servers)

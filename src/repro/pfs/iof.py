@@ -1,0 +1,133 @@
+"""IO forwarding (IOF) — the Sunway TaihuLight deployment model (§V-E).
+
+On TaihuLight, applications do not link libccPFS directly: their POSIX
+calls are intercepted and shipped to a per-node *forwarding daemon*
+whose worker threads perform the IO on ccPFS.  The paper evaluates
+VPIC-IO through this stack (16 application ranks funnelled through an
+8-thread daemon) and notes the funnel "decreases the parallelism" for
+small writes on many stripes.
+
+:class:`ForwardingDaemon` models the daemon: a FIFO request queue
+drained by ``threads`` concurrent workers, each executing the forwarded
+operation on the node's :class:`~repro.pfs.client.CcpfsClient`.
+:class:`ForwardingRank` is the application side: a thin blocking façade
+whose calls enqueue a request and wait for its completion event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, Tuple
+
+from repro.pfs.client import CcpfsClient, FileHandle
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["ForwardingDaemon", "ForwardingRank", "IofStats"]
+
+
+@dataclass
+class IofStats:
+    requests: int = 0
+    completed: int = 0
+    #: Cumulative time requests spent queued before a worker picked them
+    #: up — the "decreased parallelism" the paper observes.
+    queue_wait: float = 0.0
+    busy_time: float = 0.0
+
+
+@dataclass
+class _Request:
+    op: str
+    args: Tuple
+    kwargs: dict
+    done: Event
+    enqueued_at: float
+
+
+class ForwardingDaemon:
+    """Per-node IO daemon with a fixed worker-thread pool."""
+
+    def __init__(self, client: CcpfsClient, threads: int = 8):
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.client = client
+        self.sim: Simulator = client.sim
+        self.threads = threads
+        self.stats = IofStats()
+        self._queue: Store = Store(self.sim)
+        self._workers = [self.sim.spawn(self._worker(i),
+                                        name=f"iofd-{i}")
+                         for i in range(threads)]
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, op: str, *args, **kwargs) -> Event:
+        """Enqueue a forwarded operation; returns its completion event
+        (value = the operation's return value)."""
+        req = _Request(op=op, args=args, kwargs=kwargs,
+                       done=self.sim.event(), enqueued_at=self.sim.now)
+        self.stats.requests += 1
+        self._queue.put(req)
+        return req.done
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ---------------------------------------------------------------- worker
+    def _worker(self, _idx: int) -> Generator:
+        while True:
+            req: _Request = yield self._queue.get()
+            self.stats.queue_wait += self.sim.now - req.enqueued_at
+            t0 = self.sim.now
+            method = getattr(self.client, req.op)
+            try:
+                result = yield self.sim.spawn(
+                    method(*req.args, **req.kwargs))
+            except Exception as exc:  # forward errors to the caller
+                self.stats.busy_time += self.sim.now - t0
+                self.stats.completed += 1
+                req.done.fail(exc)
+                continue
+            self.stats.busy_time += self.sim.now - t0
+            self.stats.completed += 1
+            req.done.succeed(result)
+
+
+class ForwardingRank:
+    """One application rank talking to the node's forwarding daemon.
+
+    Mirrors the :class:`~repro.pfs.client.CcpfsClient` coroutine API;
+    each call blocks until the daemon completes the forwarded request,
+    exactly like an intercepted POSIX call.
+    """
+
+    def __init__(self, daemon: ForwardingDaemon):
+        self.daemon = daemon
+
+    def open(self, path: str, **kw) -> Generator:
+        fh = yield self.daemon.submit("open", path, **kw)
+        return fh
+
+    def write(self, fh: FileHandle, offset: int, data=None,
+              nbytes: Optional[int] = None, **kw) -> Generator:
+        n = yield self.daemon.submit("write", fh, offset, data=data,
+                                     nbytes=nbytes, **kw)
+        return n
+
+    def read(self, fh: FileHandle, offset: int, nbytes: int,
+             **kw) -> Generator:
+        data = yield self.daemon.submit("read", fh, offset, nbytes, **kw)
+        return data
+
+    def append(self, fh: FileHandle, data=None,
+               nbytes: Optional[int] = None) -> Generator:
+        off = yield self.daemon.submit("append", fh, data=data,
+                                       nbytes=nbytes)
+        return off
+
+    def fsync(self, fh: FileHandle) -> Generator:
+        yield self.daemon.submit("fsync", fh)
+
+    def truncate(self, fh: FileHandle, size: int) -> Generator:
+        yield self.daemon.submit("truncate", fh, size)

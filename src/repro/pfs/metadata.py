@@ -1,0 +1,102 @@
+"""The external namespace service (the paper uses NFS or Lustre; the
+artifact uses an NFS shared directory whose inode numbers become FIDs).
+
+A single metadata node exposes create/open/stat/set-size/truncate over
+RPC.  ccPFS only consults it at open time, for append's implicit size
+read, and for lazy size updates piggybacked on flushes — the data path
+never touches it, matching the paper's architecture (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.fabric import Node
+from repro.net.rpc import Request, RpcService
+
+__all__ = ["FileMeta", "MetadataServer", "MetaOp"]
+
+
+@dataclass
+class FileMeta:
+    fid: int
+    path: str
+    size: int
+    stripe_count: int
+    stripe_size: int
+
+
+@dataclass
+class MetaOp:
+    """Wire record for metadata RPCs."""
+
+    op: str                      # create | open | stat | set_size | truncate
+    path: Optional[str] = None
+    fid: Optional[int] = None
+    size: Optional[int] = None
+    stripe_count: Optional[int] = None
+    stripe_size: Optional[int] = None
+
+
+class MetadataServer:
+    """NFS-like namespace service."""
+
+    def __init__(self, node: Node, ops: float = 100_000.0,
+                 default_stripe_count: int = 1,
+                 default_stripe_size: int = 1024 * 1024):
+        self.node = node
+        self.default_stripe_count = default_stripe_count
+        self.default_stripe_size = default_stripe_size
+        self._by_path: Dict[str, FileMeta] = {}
+        self._by_fid: Dict[int, FileMeta] = {}
+        self._fids = itertools.count(1)
+        self.service = RpcService(node, "meta", self._handle, ops=ops)
+
+    # ------------------------------------------------------------ direct API
+    # (used by cluster setup code so experiments can pre-create files
+    # without spending simulated time)
+    def create(self, path: str, stripe_count: Optional[int] = None,
+               stripe_size: Optional[int] = None) -> FileMeta:
+        if path in self._by_path:
+            raise FileExistsError(path)
+        meta = FileMeta(
+            fid=next(self._fids), path=path, size=0,
+            stripe_count=stripe_count or self.default_stripe_count,
+            stripe_size=stripe_size or self.default_stripe_size)
+        self._by_path[path] = meta
+        self._by_fid[meta.fid] = meta
+        return meta
+
+    def lookup(self, path: str) -> Optional[FileMeta]:
+        return self._by_path.get(path)
+
+    def by_fid(self, fid: int) -> Optional[FileMeta]:
+        return self._by_fid.get(fid)
+
+    # --------------------------------------------------------------- service
+    def _handle(self, req: Request) -> None:
+        msg: MetaOp = req.payload
+        if msg.op == "create":
+            if msg.path in self._by_path:
+                req.respond(FileNotFoundError(f"exists: {msg.path}"))
+                return
+            req.respond(self.create(msg.path, msg.stripe_count,
+                                    msg.stripe_size))
+        elif msg.op == "open":
+            req.respond(self._by_path.get(msg.path))
+        elif msg.op == "stat":
+            req.respond(self._by_fid.get(msg.fid))
+        elif msg.op == "set_size":
+            meta = self._by_fid.get(msg.fid)
+            if meta is not None and msg.size > meta.size:
+                meta.size = msg.size
+            req.respond(meta.size if meta else None)
+        elif msg.op == "truncate":
+            meta = self._by_fid.get(msg.fid)
+            if meta is not None:
+                meta.size = msg.size
+            req.respond(meta.size if meta else None)
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"unknown meta op {msg.op!r}")

@@ -1,0 +1,166 @@
+"""Burst-buffer tiering: draining ccPFS to a backing parallel file
+system (the paper's §VII future work).
+
+The paper positions ccPFS as an ephemeral burst buffer (like BurstFS /
+GekkoFS) and names, as future work, using it "as a general distributed
+coherent cache layer for traditional PFSes".  This module implements
+that tier:
+
+* :class:`BackingStore` — the external PFS (Lustre/NFS class): a slow
+  shared device plus a byte-accurate object store;
+* :class:`DrainManager` — per-data-server stage-out: copies stripe
+  objects to the backing store, tracking a per-stripe high-water mark so
+  incremental drains only move new bytes; optionally runs as a
+  background daemon between bursts;
+* :func:`attach_backing_store` — wires a cluster to one backing store
+  and returns the managers plus a cluster-wide ``drain_all`` coroutine.
+
+The coherence story is untouched: clients talk to ccPFS only; the drain
+reads data that is already durable *within* ccPFS (flushed, SN-ordered),
+so a stage-out after `fsync` is always a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Hashable, List, Optional, Tuple
+
+from repro.pfs.data_server import DataServer
+from repro.sim.core import Simulator
+from repro.storage.blockstore import BlockStore
+from repro.storage.device import StorageDevice
+
+__all__ = ["BackingStore", "DrainManager", "attach_backing_store"]
+
+
+class BackingStore:
+    """The external PFS: one shared slow device + object store."""
+
+    def __init__(self, sim: Simulator, bandwidth: float = 2.0e9,
+                 latency: float = 5.0e-4):
+        self.sim = sim
+        self.device = StorageDevice(sim, bandwidth=bandwidth,
+                                    latency=latency)
+        self.store = BlockStore()
+        self.bytes_staged_out = 0
+        self.bytes_staged_in = 0
+
+    def write(self, stripe_key: Hashable, offset: int,
+              data: Optional[bytes], nbytes: int) -> Generator:
+        yield self.device.write(nbytes)
+        if data is not None:
+            self.store.write(stripe_key, offset, data)
+        else:
+            obj = self.store.object(stripe_key)
+            obj.size = max(obj.size, offset + nbytes)
+        self.bytes_staged_out += nbytes
+
+    def read(self, stripe_key: Hashable, offset: int,
+             nbytes: int) -> Generator:
+        yield self.device.read(nbytes)
+        self.bytes_staged_in += nbytes
+        return self.store.read(stripe_key, offset, nbytes)
+
+
+@dataclass
+class DrainStats:
+    drains: int = 0
+    bytes_drained: int = 0
+    stage_ins: int = 0
+
+
+class DrainManager:
+    """Stage-out engine for one data server."""
+
+    def __init__(self, data_server: DataServer, backing: BackingStore,
+                 chunk: int = 4 * 1024 * 1024):
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.ds = data_server
+        self.sim = data_server.sim
+        self.backing = backing
+        self.chunk = chunk
+        self.stats = DrainStats()
+        #: Per-stripe byte offset already staged out.
+        self._watermark: Dict[Hashable, int] = {}
+        self._daemon = None
+
+    # ----------------------------------------------------------------- drain
+    def dirty_bytes(self) -> int:
+        """Bytes present in ccPFS but not yet staged out."""
+        total = 0
+        for key in self.ds.store.stripe_ids():
+            total += max(0, self.ds.store.size(key)
+                         - self._watermark.get(key, 0))
+        return total
+
+    def drain_stripe(self, stripe_key: Hashable) -> Generator:
+        """Incrementally copy one stripe's new bytes to the backing
+        store (chunked so giant stripes do not hog the device)."""
+        size = self.ds.store.size(stripe_key)
+        pos = self._watermark.get(stripe_key, 0)
+        while pos < size:
+            take = min(self.chunk, size - pos)
+            data = None
+            if self.ds.track_content:
+                data = self.ds.store.read(stripe_key, pos, take)
+            # Read from the burst buffer, write to the backing PFS.
+            yield self.ds.device.read(take)
+            yield from self.backing.write(stripe_key, pos, data, take)
+            pos += take
+            self.stats.bytes_drained += take
+        self._watermark[stripe_key] = size
+        self.stats.drains += 1
+
+    def drain_all(self) -> Generator:
+        for key in self.ds.store.stripe_ids():
+            yield from self.drain_stripe(key)
+
+    # -------------------------------------------------------------- stage-in
+    def stage_in(self, stripe_key: Hashable) -> Generator:
+        """Restore a stripe from the backing store into the burst buffer
+        (e.g. after an ephemeral ccPFS instance restarts empty)."""
+        size = self.backing.store.size(stripe_key)
+        pos = 0
+        while pos < size:
+            take = min(self.chunk, size - pos)
+            data = yield from self.backing.read(stripe_key, pos, take)
+            yield self.ds.device.write(take)
+            if self.ds.track_content and data is not None:
+                self.ds.store.write(stripe_key, pos, data)
+            else:
+                obj = self.ds.store.object(stripe_key)
+                obj.size = max(obj.size, pos + take)
+            pos += take
+        self._watermark[stripe_key] = size
+        self.stats.stage_ins += 1
+
+    # ---------------------------------------------------------------- daemon
+    def start_daemon(self, interval: float = 0.01,
+                     threshold: int = 0) -> None:
+        """Background drain: whenever undrained bytes exceed
+        ``threshold``, stage them out — the 'drain between bursts'
+        pattern of burst-buffer deployments."""
+        if self._daemon is None:
+            self._daemon = self.sim.spawn(
+                self._drain_loop(interval, threshold),
+                name="drain-daemon")
+
+    def _drain_loop(self, interval: float, threshold: int) -> Generator:
+        while True:
+            yield self.sim.timeout(interval)
+            if self.dirty_bytes() > threshold:
+                yield from self.drain_all()
+
+
+def attach_backing_store(cluster, bandwidth: float = 2.0e9,
+                         latency: float = 5.0e-4,
+                         chunk: int = 4 * 1024 * 1024
+                         ) -> Tuple[BackingStore, List[DrainManager]]:
+    """Create one backing store shared by all of a cluster's data
+    servers and a drain manager per server."""
+    backing = BackingStore(cluster.sim, bandwidth=bandwidth,
+                           latency=latency)
+    managers = [DrainManager(ds, backing, chunk=chunk)
+                for ds in cluster.data_servers]
+    return backing, managers

@@ -1,0 +1,426 @@
+"""Event loop, events, and processes for the simulation kernel.
+
+The design mirrors simpy's proven architecture:
+
+* An :class:`Event` carries a list of callbacks and, once *triggered*, a
+  value (or an exception).  Triggered events are placed on the simulator's
+  heap and *processed* (callbacks run) when the clock reaches their due time.
+* A :class:`Process` wraps a generator.  Each value the generator yields must
+  be an :class:`Event`; the process suspends until that event is processed,
+  at which point the event's value is sent back into the generator (or its
+  exception thrown into it).
+* The :class:`Simulator` owns the clock and the event heap.  Determinism is
+  guaranteed by breaking time ties with ``(priority, sequence)`` so two runs
+  with the same seed interleave identically.
+
+The kernel deliberately keeps the hot path small: scheduling is a
+``heapq.heappush`` of a 4-tuple and event processing is a loop over plain
+callbacks, which per the profiling guidance keeps the per-event constant
+factor low enough for the million-event experiments in the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+    "NORMAL",
+    "LOW",
+    "HIGH",
+]
+
+#: Scheduling priorities (lower value is processed first at equal time).
+HIGH = 0
+NORMAL = 1
+LOW = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, yield of a non-event...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload describing why the
+    interrupt happened (e.g. a lock revocation notice).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called, event is
+    on the heap) -> *processed* (callbacks have run).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    #: Sentinel for "not triggered yet".
+    PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event.PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event.PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0,
+             priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.  If nothing
+        ever waits on the event the simulator surfaces the exception at the
+        end of the run (unless :meth:`defused` was called), so failures
+        cannot be silently lost.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled out-of-band."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this makes late waiters (e.g. a process joining an already finished
+        process) safe.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("processed" if self._processed
+                 else "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay, priority)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        sim._schedule(self, 0.0, HIGH)
+
+
+class Process(Event):
+    """A generator-coroutine driven by the event loop.
+
+    The process itself is an event that triggers when the generator returns
+    (value = the ``return`` value) or raises (failure).  This lets processes
+    ``yield`` other processes to join them.
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process needs a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._target is None:
+            raise SimulationError(f"{self!r} is not waiting; cannot interrupt")
+        # Detach from the event currently waited on, then resume with the
+        # interrupt.  A dedicated broken event carries the Interrupt.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        hit = Event(self.sim)
+        hit.fail(Interrupt(cause), priority=HIGH)
+        hit.callbacks.append(self._resume)
+        self._target = None
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    result = self.gen.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    result = self.gen.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self.succeed(stop.value, priority=HIGH)
+                break
+            except BaseException as exc:
+                self._target = None
+                self.fail(exc, priority=HIGH)
+                break
+
+            if not isinstance(result, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {result!r}")
+                event = Event(sim)
+                event._ok = False
+                event._value = exc
+                continue  # throw into generator on next spin
+            if result.sim is not sim:
+                exc = SimulationError("event belongs to a different simulator")
+                event = Event(sim)
+                event._ok = False
+                event._value = exc
+                continue
+
+            self._target = result
+            result.add_callback(self._resume)
+            break
+        sim._active_process = None
+
+
+class Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(Condition):
+    """Triggers when the first of ``events`` is processed."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when every one of ``events`` has been processed."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: owns the clock, the heap, and process spawning."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self._event_count: int = 0
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (profiling aid)."""
+        return self._event_count
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None,
+                priority: int = NORMAL) -> Timeout:
+        return Timeout(self, delay, value, priority)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name)
+
+    # Alias matching simpy terminology.
+    process = spawn
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time ran backwards")
+        self._now = when
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for fn in callbacks:
+            fn(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run_until_event(self, event: Event,
+                        max_events: Optional[int] = None) -> None:
+        """Run until ``event`` has been processed.
+
+        Unlike :meth:`run`, this terminates even when perpetual background
+        processes (flush daemons, cache cleaners) keep the heap non-empty.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        n = 0
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError(
+                    "deadlock: event can never trigger (heap empty)")
+            self.step()
+            n += 1
+            if n > budget:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self._now}")
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or the event
+        budget ``max_events`` is exhausted.
+
+        ``max_events`` is a guard against accidental livelock in protocol
+        code; exceeding it raises :class:`SimulationError`.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        n = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+            n += 1
+            if n > budget:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self._now}")
+        if until is not None:
+            self._now = until

@@ -1,0 +1,23 @@
+"""Storage substrate: device timing model + byte-accurate object store.
+
+Two concerns are deliberately separated:
+
+* :class:`~repro.storage.device.StorageDevice` models *when* an IO
+  completes (the ``B_disk`` term of the paper's Equation (2)), including
+  the fault-injection modes used to reproduce Fig. 5 (``fakeWrite`` and
+  first-page-only transfers);
+* :class:`~repro.storage.blockstore.BlockStore` models *what* the stripe
+  objects contain, byte for byte, so the data-safety experiments of §V-B1
+  can checksum real content.
+"""
+
+from repro.storage.blockstore import BlockStore, StripeObject
+from repro.storage.device import DeviceStats, StorageDevice, WriteCostModel
+
+__all__ = [
+    "BlockStore",
+    "DeviceStats",
+    "StorageDevice",
+    "StripeObject",
+    "WriteCostModel",
+]

@@ -1,0 +1,107 @@
+"""Byte-accurate sparse stripe objects.
+
+Every stripe of every file is a :class:`StripeObject` — a sparse,
+auto-growing byte space.  Contents are stored for real (numpy ``uint8``
+buffers, doubling growth) so the paper's data-safety experiments (§V-B1)
+can read back and checksum what the protocol actually wrote, and so bugs
+in SN-filtered flushing corrupt *visible* bytes instead of hiding behind a
+pure timing model.
+
+These objects live "on" a data server; timing is charged separately via
+:class:`~repro.storage.device.StorageDevice`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["StripeObject", "BlockStore"]
+
+
+class StripeObject:
+    """A sparse byte extent with a logical size (max byte written + 1)."""
+
+    __slots__ = ("_buf", "size")
+
+    def __init__(self):
+        self._buf = np.zeros(0, dtype=np.uint8)
+        self.size = 0
+
+    def _ensure(self, end: int) -> None:
+        if end <= len(self._buf):
+            return
+        new_cap = max(end, 2 * len(self._buf), 4096)
+        buf = np.zeros(new_cap, dtype=np.uint8)
+        buf[: len(self._buf)] = self._buf
+        self._buf = buf
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset``; grows the object as needed."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        end = offset + len(data)
+        self._ensure(end)
+        self._buf[offset:end] = np.frombuffer(data, dtype=np.uint8)
+        self.size = max(self.size, end)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``offset``; bytes past ``size`` read as zero
+        (sparse-file semantics)."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset and nbytes must be >= 0")
+        end = offset + nbytes
+        out = np.zeros(nbytes, dtype=np.uint8)
+        avail_end = min(end, len(self._buf))
+        if avail_end > offset:
+            out[: avail_end - offset] = self._buf[offset:avail_end]
+        return out.tobytes()
+
+    def truncate(self, size: int) -> None:
+        """Shrink (zero-fill dropped range) or grow the logical size."""
+        if size < 0:
+            raise ValueError(f"negative size {size}")
+        if size < self.size:
+            self._ensure(self.size)
+            self._buf[size:self.size] = 0
+        self.size = size
+
+
+class BlockStore:
+    """All stripe objects of one data server, keyed by stripe id."""
+
+    def __init__(self):
+        self._objects: Dict[Hashable, StripeObject] = {}
+
+    def object(self, stripe_id: Hashable) -> StripeObject:
+        """Get-or-create the stripe object."""
+        obj = self._objects.get(stripe_id)
+        if obj is None:
+            obj = self._objects[stripe_id] = StripeObject()
+        return obj
+
+    def has(self, stripe_id: Hashable) -> bool:
+        return stripe_id in self._objects
+
+    def write(self, stripe_id: Hashable, offset: int, data: bytes) -> None:
+        self.object(stripe_id).write(offset, data)
+
+    def read(self, stripe_id: Hashable, offset: int, nbytes: int) -> bytes:
+        if stripe_id not in self._objects:
+            return bytes(nbytes)
+        return self._objects[stripe_id].read(offset, nbytes)
+
+    def size(self, stripe_id: Hashable) -> int:
+        obj = self._objects.get(stripe_id)
+        return 0 if obj is None else obj.size
+
+    def stripe_ids(self) -> Tuple[Hashable, ...]:
+        return tuple(self._objects.keys())
+
+    def drop(self, stripe_id: Hashable) -> None:
+        self._objects.pop(stripe_id, None)
+
+    def clear(self) -> None:
+        """Wipe all objects (crash simulation of a volatile store)."""
+        self._objects.clear()

@@ -1,0 +1,113 @@
+"""NVMe-class storage device timing model.
+
+A device is a single serial channel: an IO of ``n`` bytes completes
+``latency + n/bandwidth`` after the channel frees up.  That is the model
+behind the ``B_disk`` term of the paper's Equation (2) and it reproduces
+the flush-bandwidth bottleneck (§II-C term ③) exactly.
+
+For Fig. 5 the paper degrades the flush path in two steps — disabling
+disk writes (Lustre ``fakeWrite``) and transferring only the first 4 KB
+page of each flush RPC.  The device side of that ablation is expressed by
+:class:`WriteCostModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.core import Event, Simulator
+
+__all__ = ["WriteCostModel", "DeviceStats", "StorageDevice", "PAGE_SIZE"]
+
+#: The paper's (and most PFSes') minimal management unit.
+PAGE_SIZE = 4096
+
+
+class WriteCostModel(enum.Enum):
+    """How much of a write's bytes are charged against device time."""
+
+    #: Every byte hits the device (normal operation).
+    FULL = "full"
+    #: Only the first page of each request is charged (the paper's hacked
+    #: Lustre that transfers/writes just the first 4 KB per flush RPC).
+    FIRST_PAGE = "first_page"
+    #: fakeWrite: latency is still paid, no bytes move.
+    NOOP = "noop"
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative device counters."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = field(default=0.0)
+
+
+class StorageDevice:
+    """A bandwidth/latency model of one NVMe SSD.
+
+    Timing uses next-free-time bookkeeping (no queue process): ``submit``
+    computes the completion instant and returns an event scheduled there.
+    Reads and writes share the channel, which is the right model for the
+    paper's single-SSD-per-server setup.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float = 3.0e9,
+                 latency: float = 1.0e-5,
+                 write_cost: WriteCostModel = WriteCostModel.FULL):
+        if bandwidth <= 0 or latency < 0:
+            raise ValueError("bandwidth must be > 0 and latency >= 0")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.write_cost = write_cost
+        self.stats = DeviceStats()
+        self._free_at = 0.0
+
+    # -- helpers -------------------------------------------------------------
+    def _charged_bytes(self, nbytes: int, is_write: bool) -> int:
+        if not is_write:
+            return nbytes
+        if self.write_cost is WriteCostModel.FULL:
+            return nbytes
+        if self.write_cost is WriteCostModel.FIRST_PAGE:
+            return min(nbytes, PAGE_SIZE)
+        return 0  # NOOP
+
+    def _submit(self, nbytes: int, is_write: bool) -> Event:
+        charged = self._charged_bytes(nbytes, is_write)
+        service = self.latency + charged / self.bandwidth
+        now = self.sim.now
+        start = max(now, self._free_at)
+        done = start + service
+        self._free_at = done
+        self.stats.busy_time += service
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += charged
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += charged
+        return self.sim.timeout(done - now)
+
+    # -- public API -----------------------------------------------------------
+    def write(self, nbytes: int) -> Event:
+        """Event triggering when an ``nbytes`` write has hit the medium."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size {nbytes}")
+        return self._submit(nbytes, is_write=True)
+
+    def read(self, nbytes: int) -> Event:
+        """Event triggering when an ``nbytes`` read has completed."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        return self._submit(nbytes, is_write=False)
+
+    @property
+    def queue_delay(self) -> float:
+        """How far ahead of the clock the channel is booked (load signal)."""
+        return max(0.0, self._free_at - self.sim.now)

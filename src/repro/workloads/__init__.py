@@ -1,0 +1,35 @@
+"""Workload generators and drivers for the paper's evaluation.
+
+* :mod:`repro.workloads.patterns` — the Fig. 2 access-pattern generators
+  (N-N, N-1 segmented, N-1 strided) and the Fig. 16 micro-benchmark
+  choreographies.
+* :mod:`repro.workloads.ior` — an IOR-like driver (§V-C) with PIO / F
+  time accounting.
+* :mod:`repro.workloads.tile_io` — mpi-tile-IO (§V-D): overlapping tiles,
+  non-contiguous atomic writes.
+* :mod:`repro.workloads.vpic` — VPIC-IO via the h5bench phases (§V-E).
+"""
+
+from repro.workloads.patterns import (
+    n1_segmented_offsets,
+    n1_strided_offsets,
+    n_n_offsets,
+)
+from repro.workloads.ior import IorConfig, IorResult, run_ior
+from repro.workloads.tile_io import TileIoConfig, TileIoResult, run_tile_io
+from repro.workloads.vpic import VpicConfig, VpicResult, run_vpic
+
+__all__ = [
+    "IorConfig",
+    "IorResult",
+    "TileIoConfig",
+    "TileIoResult",
+    "VpicConfig",
+    "VpicResult",
+    "n1_segmented_offsets",
+    "n1_strided_offsets",
+    "n_n_offsets",
+    "run_ior",
+    "run_tile_io",
+    "run_vpic",
+]

@@ -1,0 +1,166 @@
+"""IOR-like benchmark driver (§V-C).
+
+Runs N clients over a shared (N-1) or per-process (N-N) file with a given
+transfer size and pattern, reporting exactly what the paper reports:
+
+* **PIO time** — the wall-clock (simulated) span of the parallel write
+  phase: writes return when the data is in the client cache, so this is
+  "the write performance that applications can see";
+* **F time** — the span of the final flush (the explicit fsync at the end
+  of each test);
+* **bandwidth** — total bytes divided by the PIO time.
+
+Content tracking defaults off: IOR runs are pure-performance, the
+data-safety tests cover correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pfs import Cluster, ClusterConfig
+from repro.sim.sync import Barrier
+from repro.workloads.patterns import (
+    n1_segmented_offsets,
+    n1_strided_offsets,
+    n_n_offsets,
+)
+
+__all__ = ["IorConfig", "IorResult", "run_ior"]
+
+
+@dataclass
+class IorConfig:
+    """One IOR test point."""
+
+    pattern: str = "n1-strided"     # n-n | n1-segmented | n1-strided
+    clients: int = 16
+    writes_per_client: int = 64
+    xfer: int = 64 * 1024
+    stripes: int = 1
+    fsync_at_end: bool = True
+    #: Run a read-back phase after the flush (the "read phase" of the
+    #: paper's two-phase scientific IO model, §I): every client re-reads
+    #: the blocks of the next rank (cross-client, cache-cold).
+    read_phase: bool = False
+    cluster: Optional[ClusterConfig] = None
+
+    def cluster_config(self) -> ClusterConfig:
+        cfg = self.cluster or ClusterConfig()
+        cfg.num_clients = self.clients
+        cfg.track_content = False
+        return cfg
+
+
+@dataclass
+class IorResult:
+    config: IorConfig
+    pio_time: float
+    f_time: float
+    bytes_written: int
+    lock_stats: Dict[str, float] = field(default_factory=dict)
+    client_lock_wait: float = 0.0
+    client_cancel_time: float = 0.0
+    client_read_rpcs: int = 0
+    read_time: float = 0.0
+    bytes_read: int = 0
+    extent_entries_cleaned: int = 0
+    extent_forced_syncs: int = 0
+    extent_cache_entries: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.pio_time + self.f_time
+
+    @property
+    def bandwidth(self) -> float:
+        """Application-visible bandwidth (bytes/sec over PIO time)."""
+        return self.bytes_written / self.pio_time if self.pio_time else 0.0
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.bytes_read / self.read_time if self.read_time else 0.0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """End-to-end (PIO + flush) bandwidth."""
+        t = self.total_time
+        return self.bytes_written / t if t else 0.0
+
+
+def run_ior(config: IorConfig) -> IorResult:
+    """Build a cluster and run one IOR test point."""
+    cluster = Cluster(config.cluster_config())
+    n = config.clients
+    if config.pattern == "n-n":
+        paths = [f"/ior-{r}" for r in range(n)]
+        for p in paths:
+            cluster.create_file(p, stripe_count=config.stripes)
+    else:
+        cluster.create_file("/ior", stripe_count=config.stripes)
+        paths = ["/ior"] * n
+
+    barrier = Barrier(cluster.sim, n)
+    pio_span = {"start": None, "end": 0.0}
+    f_span = {"start": None, "end": 0.0}
+    r_span = {"start": None, "end": 0.0}
+
+    def offsets(rank: int):
+        if config.pattern == "n-n":
+            return n_n_offsets(config.writes_per_client, config.xfer)
+        if config.pattern == "n1-segmented":
+            return n1_segmented_offsets(rank, n, config.writes_per_client,
+                                        config.xfer)
+        if config.pattern == "n1-strided":
+            return n1_strided_offsets(rank, n, config.writes_per_client,
+                                      config.xfer)
+        raise ValueError(f"unknown pattern {config.pattern!r}")
+
+    def worker(rank: int):
+        c = cluster.clients[rank]
+        fh = yield from c.open(paths[rank])
+        yield barrier.wait()
+        if pio_span["start"] is None:
+            pio_span["start"] = c.sim.now
+        for off, size in offsets(rank):
+            yield from c.write(fh, off, nbytes=size)
+        pio_span["end"] = max(pio_span["end"], c.sim.now)
+        yield barrier.wait()  # everyone finishes PIO before flushing
+        if config.fsync_at_end:
+            if f_span["start"] is None:
+                f_span["start"] = c.sim.now
+            yield from c.fsync(fh)
+            f_span["end"] = max(f_span["end"], c.sim.now)
+        if config.read_phase:
+            yield barrier.wait()
+            if r_span["start"] is None:
+                r_span["start"] = c.sim.now
+            victim = (rank + 1) % n
+            for off, size in offsets(victim):
+                yield from c.read(fh, off, size)
+            r_span["end"] = max(r_span["end"], c.sim.now)
+
+    cluster.run_clients([worker(r) for r in range(n)])
+
+    total = n * config.writes_per_client * config.xfer
+    pio = (pio_span["end"] - pio_span["start"]) if pio_span["start"] is not None else 0.0
+    ftime = (f_span["end"] - f_span["start"]) if f_span["start"] is not None else 0.0
+    rtime = (r_span["end"] - r_span["start"]) \
+        if r_span["start"] is not None else 0.0
+    return IorResult(
+        config=config, pio_time=pio, f_time=ftime, bytes_written=total,
+        read_time=rtime,
+        bytes_read=total if config.read_phase else 0,
+        lock_stats=cluster.total_lock_server_stats(),
+        client_lock_wait=sum(lc.stats.lock_wait_time
+                             for lc in cluster.lock_clients),
+        client_cancel_time=sum(lc.stats.cancel_time
+                               for lc in cluster.lock_clients),
+        client_read_rpcs=sum(c.stats.read_rpcs for c in cluster.clients),
+        extent_entries_cleaned=sum(ds.extent_cache.entries_cleaned
+                                   for ds in cluster.data_servers),
+        extent_forced_syncs=sum(ds.extent_cache.forced_syncs
+                                for ds in cluster.data_servers),
+        extent_cache_entries=sum(ds.extent_cache.total_entries
+                                 for ds in cluster.data_servers))

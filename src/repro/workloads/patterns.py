@@ -1,0 +1,55 @@
+"""Access-pattern generators (Fig. 2) and micro-benchmark choreography.
+
+All generators produce plain ``(offset, size)`` sequences; the drivers
+turn them into simulated IO.  Keeping them as pure functions makes the
+pattern shapes unit-testable without a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = ["n_n_offsets", "n1_segmented_offsets", "n1_strided_offsets",
+           "interleaved_rw_ops"]
+
+
+def n_n_offsets(writes: int, size: int) -> List[Tuple[int, int]]:
+    """File-per-process: each rank owns its file, sequential offsets."""
+    if writes < 0 or size <= 0:
+        raise ValueError("writes >= 0 and size > 0 required")
+    return [(i * size, size) for i in range(writes)]
+
+
+def n1_segmented_offsets(rank: int, nranks: int, writes: int,
+                         size: int) -> List[Tuple[int, int]]:
+    """Shared file, contiguous per-rank segment (Fig. 2b)."""
+    _check(rank, nranks, writes, size)
+    base = rank * writes * size
+    return [(base + i * size, size) for i in range(writes)]
+
+
+def n1_strided_offsets(rank: int, nranks: int, writes: int,
+                       size: int) -> List[Tuple[int, int]]:
+    """Shared file, round-robin interleaving (Fig. 2c) — the
+    high-contention pattern that defeats lock-range expansion."""
+    _check(rank, nranks, writes, size)
+    return [((i * nranks + rank) * size, size) for i in range(writes)]
+
+
+def interleaved_rw_ops(ops: int, size: int) -> List[Tuple[str, int, int]]:
+    """The Fig. 19a sequence: alternating write/read at the same offsets
+    from one client (lock-upgrading workload)."""
+    if ops < 0 or size <= 0:
+        raise ValueError("ops >= 0 and size > 0 required")
+    out = []
+    for i in range(ops):
+        kind = "w" if i % 2 == 0 else "r"
+        out.append((kind, (i // 2) * size, size))
+    return out
+
+
+def _check(rank: int, nranks: int, writes: int, size: int) -> None:
+    if not (0 <= rank < nranks):
+        raise ValueError(f"rank {rank} out of range for {nranks}")
+    if writes < 0 or size <= 0:
+        raise ValueError("writes >= 0 and size > 0 required")

@@ -1,0 +1,77 @@
+"""Unit tests for the §II-C analytical model."""
+
+import pytest
+
+from repro.analysis.model import (
+    TABLE1,
+    HardwareParams,
+    bandwidth_total,
+    bottleneck,
+    flush_bandwidth,
+    predicted_speedup,
+    terms,
+)
+
+
+def test_table1_values():
+    assert TABLE1.ops == 1e7
+    assert TABLE1.rtt == 1e-6
+    assert TABLE1.b_net == 12.5e9
+    assert TABLE1.b_disk == 3e9
+
+
+def test_flush_bandwidth_is_harmonic_combination():
+    # Equation (2): B_net*B_disk/(B_net+B_disk).
+    assert flush_bandwidth(TABLE1) == pytest.approx(
+        12.5e9 * 3e9 / (12.5e9 + 3e9))
+    # Always below the slower of the two.
+    assert flush_bandwidth(TABLE1) < 3e9
+
+
+def test_paper_term_values_for_1mb():
+    """§II-C: for D = 1e6 bytes, ① ~ 1.0e-13, ② ~ 1.0e-12, ③ ~ 4.1e-10."""
+    t1, t2, t3 = terms(10**6)
+    assert t1 == pytest.approx(1.0e-13, rel=0.05)
+    assert t2 == pytest.approx(1.0e-12, rel=0.05)
+    assert t3 == pytest.approx(4.13e-10, rel=0.05)
+
+
+def test_flushing_dominates_at_all_reasonable_sizes():
+    for d in (4096, 65_536, 10**6, 10**7):
+        assert "flushing" in bottleneck(d)
+
+
+def test_bandwidth_approx_vs_exact_converge():
+    approx = bandwidth_total(10**6, 10**6, approximate=True)
+    exact = bandwidth_total(10**6, 10**6, approximate=False)
+    assert approx == pytest.approx(exact, rel=0.01)
+
+
+def test_exact_bandwidth_single_write_has_no_conflict_terms():
+    # With N = 1 there is no conflict resolution at all.
+    b = bandwidth_total(1, 10**6, approximate=False)
+    assert b == pytest.approx(10**6 / (1 / TABLE1.ops), rel=1e-6)
+
+
+def test_bandwidth_monotone_in_write_size():
+    b = [bandwidth_total(1000, d) for d in (4096, 65_536, 10**6)]
+    assert b[0] < b[1] < b[2]
+    # ...but pinned below B_flush.
+    assert b[2] < flush_bandwidth(TABLE1)
+
+
+def test_predicted_speedups_grow_with_write_size():
+    s64 = predicted_speedup(64 * 1024)
+    s1m = predicted_speedup(1024 * 1024)
+    assert s1m["early_grant"] > s64["early_grant"]
+    assert s1m["early_grant_plus_early_revocation"] > \
+        s1m["early_grant"]
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        HardwareParams(ops=0)
+    with pytest.raises(ValueError):
+        terms(0)
+    with pytest.raises(ValueError):
+        bandwidth_total(0, 100)

@@ -1,0 +1,78 @@
+"""Semantics of the client-side timing statistics (Fig. 17/18 inputs)."""
+
+import pytest
+
+from repro.dlm import LockMode
+from tests.dlm.test_protocol import Rig, run
+
+NBW, PW = LockMode.NBW, LockMode.PW
+
+
+def test_lock_wait_time_measures_grant_latency():
+    rig = Rig(dlm="seqdlm", clients=1, latency=1e-3)  # 1 ms one-way
+    c = rig.clients[0]
+
+    def work():
+        lock = yield from c.lock("r", ((0, 10),), NBW, True)
+        c.unlock(lock)
+
+    run(rig, work())
+    # One round trip: at least 2 ms of grant latency recorded.
+    assert c.stats.lock_wait_time >= 2e-3
+    assert c.stats.requests == 1 and c.stats.grants == 1
+
+
+def test_cache_hit_adds_no_lock_wait():
+    rig = Rig(dlm="seqdlm", clients=1, latency=1e-3)
+    c = rig.clients[0]
+
+    def work():
+        l1 = yield from c.lock("r", ((0, 10),), NBW, True)
+        c.unlock(l1)
+        before = c.stats.lock_wait_time
+        l2 = yield from c.lock("r", ((5, 8),), NBW, True)
+        c.unlock(l2)
+        assert c.stats.lock_wait_time == before
+
+    run(rig, work())
+    assert c.stats.cache_hits == 1
+
+
+def test_cancel_time_includes_flush():
+    rig = Rig(dlm="seqdlm", clients=2, latency=1e-4)
+    rig.slow_flush(rig.clients[0], duration=0.5)
+
+    def holder():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        rig.clients[0].unlock(lock)
+
+    def contender():
+        yield rig.sim.timeout(1e-3)
+        lock = yield from rig.clients[1].lock("r", ((0, 10),), NBW, True)
+        rig.clients[1].unlock(lock)
+
+    run(rig, holder(), contender())
+    s = rig.clients[0].stats
+    assert s.cancels == 1
+    assert s.flush_time >= 0.5
+    assert s.cancel_time >= s.flush_time
+
+
+def test_revokes_and_downgrades_counted():
+    rig = Rig(dlm="seqdlm", clients=2, latency=1e-4)
+
+    def holder():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),),
+                                              LockMode.BW, True)
+        rig.clients[0].unlock(lock)
+
+    def contender():
+        yield rig.sim.timeout(1e-3)
+        lock = yield from rig.clients[1].lock("r", ((0, 10),),
+                                              LockMode.BW, True)
+        rig.clients[1].unlock(lock)
+
+    run(rig, holder(), contender())
+    s = rig.clients[0].stats
+    assert s.revokes_received == 1
+    assert s.downgrades == 1  # BW -> NBW at cancel (§III-D2)

@@ -1,0 +1,88 @@
+"""Unit tests for DLM configuration presets and mode-selection rules."""
+
+import pytest
+
+from repro.dlm.config import (
+    DLMConfig,
+    ExpansionPolicy,
+    make_dlm_config,
+    select_mode,
+)
+from repro.dlm.lcm import seqdlm_compatible, traditional_compatible
+from repro.dlm.types import LockMode
+
+
+def test_seqdlm_preset():
+    cfg = make_dlm_config("seqdlm")
+    assert cfg.lcm is seqdlm_compatible
+    assert cfg.expansion is ExpansionPolicy.GREEDY
+    assert cfg.early_revocation and cfg.lock_upgrading and cfg.lock_downgrading
+    assert cfg.rich_modes and not cfg.datatype_locks
+
+
+def test_dlm_basic_preset():
+    cfg = make_dlm_config("dlm-basic")
+    assert cfg.lcm is traditional_compatible
+    assert cfg.expansion is ExpansionPolicy.GREEDY
+    assert not (cfg.early_revocation or cfg.lock_upgrading
+                or cfg.lock_downgrading or cfg.rich_modes)
+
+
+def test_dlm_lustre_preset():
+    cfg = make_dlm_config("dlm-lustre")
+    assert cfg.expansion is ExpansionPolicy.LUSTRE
+
+
+def test_dlm_datatype_preset():
+    cfg = make_dlm_config("dlm-datatype")
+    assert cfg.expansion is ExpansionPolicy.NONE
+    assert cfg.datatype_locks
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown DLM"):
+        make_dlm_config("gpfs")
+
+
+def test_overrides_for_ablation():
+    cfg = make_dlm_config("seqdlm", early_revocation=False)
+    assert not cfg.early_revocation
+    cfg2 = cfg.with_overrides(lock_downgrading=False)
+    assert not cfg2.lock_downgrading
+    assert cfg2.early_revocation is False  # carried over
+
+
+def test_effective_mode_collapses_writes_for_traditional():
+    trad = make_dlm_config("dlm-basic")
+    assert trad.effective_mode(LockMode.NBW) is LockMode.PW
+    assert trad.effective_mode(LockMode.BW) is LockMode.PW
+    assert trad.effective_mode(LockMode.PW) is LockMode.PW
+    assert trad.effective_mode(LockMode.PR) is LockMode.PR
+    rich = make_dlm_config("seqdlm")
+    for m in LockMode:
+        assert rich.effective_mode(m) is m
+
+
+# -------------------------------------------------------- Fig. 10 rules
+def test_read_selects_pr():
+    assert select_mode(is_read=True) is LockMode.PR
+
+
+def test_implicit_read_write_selects_pw():
+    assert select_mode(is_read=False, implicit_read=True) is LockMode.PW
+    # Implicit read dominates multi-resource.
+    assert select_mode(is_read=False, implicit_read=True,
+                       multi_resource=True) is LockMode.PW
+
+
+def test_multi_resource_write_selects_bw():
+    assert select_mode(is_read=False, multi_resource=True) is LockMode.BW
+
+
+def test_plain_write_selects_nbw():
+    assert select_mode(is_read=False) is LockMode.NBW
+
+
+def test_forced_mode_bypasses_rules():
+    assert select_mode(is_read=False, forced=LockMode.PW) is LockMode.PW
+    assert select_mode(is_read=True, forced=LockMode.NBW) is LockMode.NBW

@@ -1,0 +1,70 @@
+"""Unit tests for the lock compatibility matrices (Table II)."""
+
+import pytest
+
+from repro.dlm.lcm import is_compatible, seqdlm_compatible, traditional_compatible
+from repro.dlm.types import LockMode, LockState
+
+PR, NBW, BW, PW = LockMode.PR, LockMode.NBW, LockMode.BW, LockMode.PW
+G, C = LockState.GRANTED, LockState.CANCELING
+
+MODES = [PR, NBW, BW, PW]
+
+
+def test_table2_granted_state():
+    """Column-by-column check of Table II for GRANTED locks."""
+    expected = {
+        # (request, granted): compatible?
+        (PR, PR): True, (PR, NBW): False, (PR, BW): False, (PR, PW): False,
+        (NBW, PR): False, (NBW, NBW): False, (NBW, BW): False, (NBW, PW): False,
+        (BW, PR): False, (BW, NBW): False, (BW, BW): False, (BW, PW): False,
+        (PW, PR): False, (PW, NBW): False, (PW, BW): False, (PW, PW): False,
+    }
+    for (req, granted), want in expected.items():
+        assert seqdlm_compatible(req, granted, G) is want, (req, granted)
+
+
+def test_table2_canceling_state_ny_cells():
+    """The two N/Y cells: NBW and BW requests become compatible with a
+    CANCELING NBW grant — this is early grant."""
+    assert seqdlm_compatible(NBW, NBW, C)
+    assert seqdlm_compatible(BW, NBW, C)
+    # Everything else stays incompatible even in CANCELING.
+    for req in MODES:
+        for granted in MODES:
+            if (req, granted) in ((NBW, NBW), (BW, NBW)):
+                continue
+            want = req is PR and granted is PR
+            assert seqdlm_compatible(req, granted, C) is want, (req, granted)
+
+
+def test_traditional_matrix_only_read_read():
+    for req in MODES:
+        for granted in MODES:
+            for state in (G, C):
+                want = req is PR and granted is PR
+                assert traditional_compatible(req, granted, state) is want
+
+
+def test_traditional_ignores_state():
+    """The traditional DLM never early-grants: CANCELING changes nothing."""
+    for req in MODES:
+        for granted in MODES:
+            assert (traditional_compatible(req, granted, G)
+                    == traditional_compatible(req, granted, C))
+
+
+def test_pw_blocks_everything_in_both_states():
+    """PW 'has the same semantics as the traditional write lock'."""
+    for req in MODES:
+        for state in (G, C):
+            assert not seqdlm_compatible(req, PW, state)
+            assert not seqdlm_compatible(PW, req, state)
+
+
+def test_is_compatible_validates_arguments():
+    with pytest.raises(TypeError):
+        is_compatible(seqdlm_compatible, "PR", PR, G)
+    with pytest.raises(TypeError):
+        is_compatible(seqdlm_compatible, PR, PR, "GRANTED")
+    assert is_compatible(seqdlm_compatible, PR, PR, G)

@@ -1,0 +1,170 @@
+"""Edge-case protocol tests: races, mixed modes, and ordering."""
+
+import pytest
+
+from repro.dlm import EOF, LockMode, LockState
+from tests.dlm.test_protocol import Rig, run
+
+PR, NBW, BW, PW = LockMode.PR, LockMode.NBW, LockMode.BW, LockMode.PW
+
+
+def test_revoke_racing_grant_reply_is_honoured():
+    """A revocation that beats its own grant reply to the client must
+    still cancel the lock (the pending-revoke stash)."""
+    rig = Rig(dlm="dlm-basic", clients=2, latency=1e-4)
+    out = {}
+
+    def first():
+        # This request will be granted and instantly revoked because the
+        # second request is already queued at the server.
+        lock = yield from rig.clients[0].lock("r", ((0, 100),), PW, True)
+        out["state_on_arrival"] = lock.state
+        rig.clients[0].unlock(lock)
+
+    def second():
+        lock = yield from rig.clients[1].lock("r", ((0, 100),), PW, True)
+        rig.clients[1].unlock(lock)
+        yield rig.sim.timeout(0.01)
+
+    run(rig, second(), first())
+    # No lock leaks: eventually at most one lock remains granted.
+    remaining = rig.server.granted_locks("r")
+    assert len(remaining) <= 1
+    assert rig.server.queue_depth("r") == 0
+
+
+def test_many_readers_share_one_expanded_grant_each():
+    rig = Rig(dlm="seqdlm", clients=3, latency=1e-4)
+    times = []
+
+    def reader(c):
+        lock = yield from c.lock("r", ((0, 1000),), PR, False)
+        times.append(rig.sim.now)
+        yield rig.sim.timeout(1.0)
+        c.unlock(lock)
+
+    run(rig, *[reader(c) for c in rig.clients])
+    # All three granted within RPC time of each other (no serialization).
+    assert max(times) - min(times) < 0.01
+    assert rig.server.stats.revocations_sent == 0
+
+
+def test_writer_revokes_all_readers():
+    rig = Rig(dlm="seqdlm", clients=3, latency=1e-4)
+    out = {}
+
+    def reader(c):
+        lock = yield from c.lock("r", ((0, 1000),), PR, False)
+        c.unlock(lock)  # cached
+
+    def writer(c):
+        yield rig.sim.timeout(0.01)
+        lock = yield from c.lock("r", ((0, 1000),), NBW, True)
+        out["t"] = rig.sim.now
+        c.unlock(lock)
+
+    run(rig, reader(rig.clients[0]), reader(rig.clients[1]),
+        writer(rig.clients[2]))
+    assert rig.server.stats.revocations_sent == 2
+    assert out["t"] > 0.01
+
+
+def test_pw_upgrade_with_foreign_pr_readers():
+    """§III-D1: upgrading to PW first reclaims other clients' PR locks."""
+    rig = Rig(dlm="seqdlm", clients=2, latency=1e-4)
+    out = {}
+
+    def other_reader(c):
+        lock = yield from c.lock("r", ((0, 100),), PR, False)
+        c.unlock(lock)  # cached PR on client1
+
+    def upgrader(c):
+        yield rig.sim.timeout(0.01)
+        r = yield from c.lock("r", ((0, 100),), PR, False)
+        c.unlock(r)
+        # Now request a write: conflicts with own PR (upgrade) AND the
+        # other client's PR (revoke).
+        w = yield from c.lock("r", ((0, 100),), NBW, True)
+        out["mode"] = w.mode
+        c.unlock(w)
+
+    run(rig, other_reader(rig.clients[1]), upgrader(rig.clients[0]))
+    assert out["mode"] is PW  # merged PR+NBW
+    assert rig.server.stats.revocations_sent >= 1  # the foreign PR
+    assert rig.server.stats.upgrades == 1
+
+
+def test_bw_multi_resource_ordered_acquisition_no_deadlock():
+    """Two clients acquiring BW locks on two resources in the canonical
+    order never deadlock, even with interleaved revocations."""
+    rig = Rig(dlm="seqdlm", clients=2, latency=1e-4)
+    done = []
+
+    def worker(c, delay):
+        yield rig.sim.timeout(delay)
+        for _ in range(5):
+            l0 = yield from c.lock(("s", 0), ((0, 100),), BW, True)
+            l1 = yield from c.lock(("s", 1), ((0, 100),), BW, True)
+            yield rig.sim.timeout(1e-4)
+            c.unlock(l1)
+            c.unlock(l0)
+        done.append(c.node.name)
+
+    run(rig, worker(rig.clients[0], 0.0), worker(rig.clients[1], 1e-5))
+    assert sorted(done) == ["client0", "client1"]
+
+
+def test_sn_total_order_across_interleaved_grants():
+    rig = Rig(dlm="seqdlm", clients=4, latency=1e-4)
+    sns = []
+
+    def writer(c, delay):
+        yield rig.sim.timeout(delay)
+        lock = yield from c.lock("r", ((0, 100),), NBW, True)
+        sns.append(lock.sn)
+        c.unlock(lock)
+
+    run(rig, *[writer(c, i * 1e-5) for i, c in enumerate(rig.clients)])
+    assert sorted(sns) == list(range(1, 5))
+    assert len(set(sns)) == 4  # unique
+
+
+def test_datatype_cached_lock_covers_sub_extents():
+    rig = Rig(dlm="dlm-datatype", clients=1, latency=1e-4)
+    c = rig.clients[0]
+
+    def work():
+        l1 = yield from c.lock("r", ((0, 10), (100, 110)), PW, True)
+        c.unlock(l1)
+        # A request inside one of the cached extents is a cache hit.
+        l2 = yield from c.lock("r", ((102, 108),), PW, True)
+        assert l2 is l1
+        c.unlock(l2)
+        # A request outside them needs a new lock.
+        l3 = yield from c.lock("r", ((50, 60),), PW, True)
+        assert l3 is not l1
+        c.unlock(l3)
+
+    run(rig, work())
+    assert c.stats.cache_hits == 1
+    assert c.stats.requests == 2
+
+
+def test_release_is_idempotent_at_server():
+    from repro.dlm.messages import ReleaseMsg
+    from repro.net.rpc import one_way
+
+    rig = Rig(dlm="seqdlm", clients=1)
+    c = rig.clients[0]
+
+    def work():
+        lock = yield from c.lock("r", ((0, 10),), NBW, True)
+        c.unlock(lock)
+        yield from c.cancel_all()
+        # A duplicate release for the same id must be harmless.
+        one_way(c.node, rig.server_node, "dlm",
+                ReleaseMsg(lock.lock_id, "r"))
+        yield rig.sim.timeout(0.01)
+
+    run(rig, work())
+    assert rig.server.granted_locks("r") == []

@@ -1,0 +1,88 @@
+"""Unit tests for lock modes, states and the Fig. 9 severity lattice."""
+
+import pytest
+
+from repro.dlm.types import (
+    LockMode,
+    allows_read,
+    allows_write,
+    can_satisfy,
+    is_write_mode,
+    parse_mode,
+    severity_lub,
+)
+
+PR, NBW, BW, PW = LockMode.PR, LockMode.NBW, LockMode.BW, LockMode.PW
+
+
+def test_write_mode_classification():
+    assert not is_write_mode(PR)
+    assert is_write_mode(NBW)
+    assert is_write_mode(BW)
+    assert is_write_mode(PW)
+
+
+def test_read_write_permissions_match_section_3c():
+    # PR: read only.
+    assert allows_read(PR) and not allows_write(PR)
+    # NBW: "can only write the shared resource but is not allowed to read".
+    assert not allows_read(NBW) and allows_write(NBW)
+    # BW: similar to NBW.
+    assert not allows_read(BW) and allows_write(BW)
+    # PW: read and write.
+    assert allows_read(PW) and allows_write(PW)
+
+
+def test_lub_is_idempotent_and_commutative():
+    for a in LockMode:
+        assert severity_lub(a, a) is a
+        for b in LockMode:
+            assert severity_lub(a, b) is severity_lub(b, a)
+
+
+def test_lub_follows_fig9_routes():
+    assert severity_lub(NBW, BW) is BW
+    assert severity_lub(NBW, PW) is PW
+    assert severity_lub(BW, PW) is PW
+    assert severity_lub(PR, PW) is PW
+    # PR and write-only modes only meet at PW.
+    assert severity_lub(PR, NBW) is PW
+    assert severity_lub(PR, BW) is PW
+
+
+def test_lub_result_satisfies_both_inputs():
+    for a in LockMode:
+        for b in LockMode:
+            lub = severity_lub(a, b)
+            assert can_satisfy(lub, a)
+            assert can_satisfy(lub, b)
+
+
+def test_can_satisfy_reflexive():
+    for m in LockMode:
+        assert can_satisfy(m, m)
+
+
+def test_can_satisfy_pw_satisfies_everything():
+    for m in LockMode:
+        assert can_satisfy(PW, m)
+
+
+def test_can_satisfy_cross_family_rejected():
+    # A write-only lock can never stand in for a read lock and vice versa.
+    assert not can_satisfy(NBW, PR)
+    assert not can_satisfy(BW, PR)
+    assert not can_satisfy(PR, NBW)
+    assert not can_satisfy(PR, BW)
+    # A less restrictive write cannot satisfy a more restrictive need.
+    assert not can_satisfy(NBW, BW)
+    assert not can_satisfy(NBW, PW)
+    assert not can_satisfy(BW, PW)
+    # BW satisfies NBW (more restrictive stands in for less).
+    assert can_satisfy(BW, NBW)
+
+
+def test_parse_mode():
+    assert parse_mode("pw") is PW
+    assert parse_mode("NBW") is NBW
+    assert parse_mode("nope") is None

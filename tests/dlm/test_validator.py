@@ -1,0 +1,132 @@
+"""Tests for the online lock-protocol invariant validator."""
+
+import pytest
+
+from repro.dlm import LockMode, LockState
+from repro.dlm.server import ServerLock
+from repro.dlm.validator import (
+    LockInvariantViolation,
+    LockValidator,
+    attach_validator,
+)
+from tests.dlm.test_protocol import Rig, run
+
+PR, NBW, BW, PW = LockMode.PR, LockMode.NBW, LockMode.BW, LockMode.PW
+G, C = LockState.GRANTED, LockState.CANCELING
+
+
+def test_validator_passes_clean_contention_run():
+    rig = Rig(dlm="seqdlm", clients=4, latency=1e-4)
+    validator = LockValidator(rig.server)
+
+    def writer(c, delay):
+        yield rig.sim.timeout(delay)
+        for _ in range(10):
+            lock = yield from c.lock("r", ((0, 100),), NBW, True)
+            c.unlock(lock)
+
+    run(rig, *[writer(c, i * 1e-5) for i, c in enumerate(rig.clients)])
+    assert validator.checks > 0
+    assert validator.validate_all() >= 1
+
+
+def test_validator_passes_traditional_run():
+    rig = Rig(dlm="dlm-basic", clients=3, latency=1e-4)
+    validator = LockValidator(rig.server)
+
+    def worker(c, delay):
+        yield rig.sim.timeout(delay)
+        for i in range(5):
+            mode = PW if i % 2 == 0 else PR
+            lock = yield from c.lock("r", ((0, 100),), mode, i % 2 == 0)
+            c.unlock(lock)
+
+    run(rig, *[worker(c, i * 1e-5) for i, c in enumerate(rig.clients)])
+    assert validator.checks > 0
+
+
+def _resource_of(rig, rid="r"):
+    return rig.server._res(rid)
+
+
+def test_i1_detects_incompatible_granted_pair():
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", PW, ((0, 100),), 1, G)
+    res.granted[2] = ServerLock(2, "r", "b", PW, ((50, 150),), 2, G)
+    with pytest.raises(LockInvariantViolation, match=r"\[I1\]"):
+        validator.validate_resource(res)
+
+
+def test_i1_allows_canceling_nbw_chain():
+    """Early grant's legal state: a chain of CANCELING NBW locks plus one
+    GRANTED head."""
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, C)
+    res.granted[2] = ServerLock(2, "r", "b", NBW, ((0, 100),), 2, C)
+    res.granted[3] = ServerLock(3, "r", "c", NBW, ((0, 100),), 3, G)
+    validator.validate_resource(res)  # no raise
+
+
+def test_i3_detects_two_granted_writers():
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, C)
+    res.granted[2] = ServerLock(2, "r", "b", NBW, ((0, 100),), 2, G)
+    res.granted[3] = ServerLock(3, "r", "c", NBW, ((0, 100),), 3, G)
+    # I1 (pairwise LCM) catches this first; I3 is the backstop.
+    with pytest.raises(LockInvariantViolation, match=r"\[I1\]|\[I3\]"):
+        validator.validate_resource(res)
+
+
+def test_i2_detects_sn_at_or_above_next_sn():
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 3
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 5, G)
+    with pytest.raises(LockInvariantViolation, match=r"\[I2\]"):
+        validator.validate_resource(res)
+
+
+def test_non_overlapping_writers_are_legal():
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G)
+    res.granted[2] = ServerLock(2, "r", "b", NBW, ((200, 300),), 2, G)
+    validator.validate_resource(res)  # disjoint: fine
+
+
+def test_detach_restores_original_process():
+    rig = Rig(dlm="seqdlm", clients=1)
+    orig = rig.server._process
+    validator = LockValidator(rig.server)
+    assert rig.server._process != orig
+    validator.detach()
+    assert rig.server._process == orig  # bound-method equality
+
+
+def test_attach_validator_covers_whole_cluster():
+    from tests.integration.conftest import small_cluster
+    cluster = small_cluster(dlm="seqdlm", clients=2, servers=2)
+    validators = attach_validator(cluster)
+    assert len(validators) == 2
+    cluster.create_file("/v", stripe_count=4)
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/v")
+        yield from c.write(fh, 0, b"x" * 4096)
+        yield from c.fsync(fh)
+
+    cluster.run_clients([worker(0), worker(1)])
+    assert sum(v.checks for v in validators) > 0

@@ -1,0 +1,70 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.charts import bar_chart, render_bars
+from repro.harness.report import ExperimentResult
+
+
+def test_render_bars_scales_to_max():
+    out = render_bars([("a", 100.0), ("b", 50.0)], width=10)
+    lines = out.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+
+
+def test_render_bars_partial_glyphs():
+    out = render_bars([("a", 100.0), ("b", 55.0)], width=10)
+    # 5.5 cells -> 5 full blocks plus a half glyph.
+    assert "█████▌" in out.splitlines()[1]
+
+
+def test_render_bars_labels_aligned():
+    out = render_bars([("short", 1.0), ("a-much-longer-label", 2.0)])
+    lines = out.splitlines()
+    assert lines[0].index("|") == lines[1].index("|")
+
+
+def test_render_bars_custom_format():
+    out = render_bars([("a", 2.5e9)], fmt=lambda v: f"{v/1e9:.1f} GB/s")
+    assert "2.5 GB/s" in out
+
+
+def test_render_bars_empty():
+    assert render_bars([]) == "(no data)"
+
+
+def _result():
+    return ExperimentResult(
+        exp_id="x", title="T", columns=["cfg", "size", "v"],
+        rows=[{"cfg": "a", "size": "64K", "_v": 10.0},
+              {"cfg": "b", "size": "64K", "_v": 5.0},
+              {"cfg": "a", "size": "1M", "_v": 20.0},
+              {"cfg": "b", "size": "1M", "_v": 2.0}])
+
+
+def test_bar_chart_grouping():
+    out = bar_chart(_result(), value="_v", label=("cfg",), group="size")
+    assert "-- size = 64K --" in out
+    assert "-- size = 1M --" in out
+    assert out.index("64K") < out.index("1M")  # first-appearance order
+
+
+def test_bar_chart_ungrouped():
+    out = bar_chart(_result(), value="_v", label=("cfg", "size"))
+    assert "a / 64K" in out and "b / 1M" in out
+    assert "--" not in out.splitlines()[1]
+
+
+def test_bar_chart_missing_value_column():
+    res = ExperimentResult(exp_id="x", title="T", columns=["c"],
+                           rows=[{"c": 1}])
+    assert bar_chart(res, value="_nope", label=("c",)) == "(no data)"
+
+
+def test_cli_chart_flag(capsys):
+    from repro.cli import main
+    assert main(["run", "table3", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "█" in out
+    assert "GB/s" in out

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness import EXPERIMENTS
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_run_model_prints_table(capsys):
+    assert main(["run", "model"]) == 0
+    out = capsys.readouterr().out
+    assert "analytical model" in out
+    assert "B_flush" in out
+
+
+def test_run_quiet_suppresses_table(capsys):
+    assert main(["run", "model", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "analytical model" not in out
+    assert "model: 4 rows" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_model_command(capsys):
+    assert main(["model", "--size", "1000000"]) == 0
+    out = capsys.readouterr().out
+    assert "data-flushing" in out
+    assert "B_total" in out
+
+
+def test_parser_rejects_bad_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "model", "--scale", "huge"])
+
+
+def test_run_table3_end_to_end(capsys):
+    assert main(["run", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "seqdlm" in out and "dlm-basic" in out

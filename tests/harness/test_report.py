@@ -1,0 +1,83 @@
+"""Unit tests for the harness result containers and rendering."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, run_experiment
+from repro.harness.report import (
+    ExperimentResult,
+    fmt_bw,
+    fmt_bytes,
+    fmt_time,
+    format_table,
+)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(2048) == "2.0KB"
+    assert fmt_bytes(3 * 1024 * 1024) == "3.0MB"
+    assert fmt_bytes(5 * 1024 ** 3) == "5.0GB"
+
+
+def test_fmt_bw():
+    assert fmt_bw(2.5e9) == "2.50 GB/s"
+
+
+def test_fmt_time_units():
+    assert fmt_time(2.0) == "2.00 s"
+    assert fmt_time(0.005) == "5.00 ms"
+    assert fmt_time(2e-6) == "2.0 us"
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [{"a": 1, "bb": "xyz"},
+                                     {"a": 22, "bb": "q"}], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[2].startswith("| a ")
+    # All rows have the same width.
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_format_table_empty_rows():
+    out = format_table(["col"], [])
+    assert "col" in out
+
+
+def test_result_render_includes_notes_and_headline():
+    res = ExperimentResult(exp_id="x", title="T", columns=["c"],
+                           rows=[{"c": 1}], notes="n",
+                           headline={"speedup": "3x"})
+    text = res.render()
+    assert "[x] T" in text
+    assert "headline: speedup=3x" in text
+    assert "note: n" in text
+
+
+def test_row_lookup():
+    res = ExperimentResult(exp_id="x", title="T", columns=["a", "b"],
+                           rows=[{"a": 1, "b": "p"}, {"a": 2, "b": "q"}])
+    assert res.row_lookup(a=2)["b"] == "q"
+    with pytest.raises(KeyError):
+        res.row_lookup(a=3)
+
+
+def test_registry_contains_every_paper_artifact():
+    expected = {"model", "fig4", "fig5", "fig17", "fig18", "fig19",
+                "table3", "fig20", "fig21_22", "fig23", "fig24_25",
+                "ablation_cache", "ablation_expansion", "ablation_rmw",
+                "ext_scaling", "ext_read_phase", "ext_lockahead"}
+    assert expected == set(EXPERIMENTS)
+
+
+def test_run_experiment_rejects_unknown_id():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_model_experiment_runs_instantly():
+    res = run_experiment("model")
+    assert res.exp_id == "model"
+    assert len(res.rows) == 4
+    assert "B_flush" in res.headline

@@ -1,0 +1,41 @@
+"""Smoke tests for the repository scripts."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_script(path, argv, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    try:
+        runpy.run_path(path, run_name="__main__")
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    return 0
+
+
+def test_make_report_subset(tmp_path, monkeypatch, capsys):
+    out = tmp_path / "r.txt"
+    code = run_script("scripts/make_report.py",
+                      ["--only", "model", "--out", str(out)], monkeypatch)
+    assert code == 0
+    text = out.read_text()
+    assert "analytical model" in text
+    assert "█" in text or "B_flush" in text
+
+
+def test_make_report_rejects_unknown(tmp_path, monkeypatch, capsys):
+    code = run_script("scripts/make_report.py",
+                      ["--only", "fig99", "--out",
+                       str(tmp_path / "r.txt")], monkeypatch)
+    assert code == 2
+
+
+def test_profile_hotpath_runs(monkeypatch, capsys):
+    code = run_script("scripts/profile_hotpath.py",
+                      ["--writes", "4", "--top", "3"], monkeypatch)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bandwidth" in out
+    assert "cumtime" in out

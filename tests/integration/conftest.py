@@ -1,0 +1,28 @@
+"""Shared helpers for full-cluster integration tests."""
+
+import pytest
+
+from repro.pfs import Cluster, ClusterConfig
+
+
+def small_cluster(dlm="seqdlm", clients=2, servers=1, stripe_size=1024,
+                  **kw) -> Cluster:
+    """A byte-accurate cluster small enough for content checks.
+
+    Tiny stripes (1 KB) and a 16-byte lock page keep multi-stripe
+    behaviour testable with small buffers.
+    """
+    kw.setdefault("page_size", 16)
+    kw.setdefault("min_dirty", 1 << 20)
+    kw.setdefault("max_dirty", 1 << 24)
+    kw.setdefault("start_cleaner", False)
+    cfg = ClusterConfig(num_data_servers=servers, num_clients=clients,
+                        dlm=dlm, stripe_size=stripe_size,
+                        track_content=True, **kw)
+    return Cluster(cfg)
+
+
+@pytest.fixture(params=["seqdlm", "dlm-basic", "dlm-lustre"])
+def any_dlm(request):
+    """Parametrize a test across the extent-lock DLM variants."""
+    return request.param

@@ -1,0 +1,49 @@
+"""Bit-for-bit determinism: the same configuration must produce the same
+simulated timeline, byte content, and statistics on every run — the
+property that makes every EXPERIMENTS.md number reproducible."""
+
+import pytest
+
+from repro.workloads import IorConfig, run_ior
+from repro.pfs import ClusterConfig
+from tests.integration.conftest import small_cluster
+
+
+def _run_workload():
+    cluster = small_cluster(dlm="seqdlm", clients=4, servers=2,
+                            stripe_size=512)
+    cluster.create_file("/det", stripe_count=4)
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/det")
+        for i in range(10):
+            off = (i * 4 + rank) * 300
+            yield from c.write(fh, off, bytes([rank + 1]) * 300)
+        yield from c.fsync(fh)
+
+    cluster.run_clients([worker(r) for r in range(4)])
+    return (cluster.sim.now, cluster.sim.events_processed,
+            cluster.read_back("/det"),
+            tuple(sorted(cluster.total_lock_server_stats().items())))
+
+
+def test_full_cluster_run_is_deterministic():
+    a = _run_workload()
+    b = _run_workload()
+    assert a[0] == b[0], "simulated end times differ"
+    assert a[1] == b[1], "event counts differ"
+    assert a[2] == b[2], "durable bytes differ"
+    assert a[3] == b[3], "lock statistics differ"
+
+
+def test_ior_driver_is_deterministic():
+    def once():
+        r = run_ior(IorConfig(
+            pattern="n1-strided", clients=8, writes_per_client=16,
+            xfer=16 * 1024, stripes=1,
+            cluster=ClusterConfig(dlm="seqdlm", track_content=False)))
+        return (r.pio_time, r.f_time,
+                tuple(sorted(r.lock_stats.items())))
+
+    assert once() == once()

@@ -1,0 +1,302 @@
+"""Full-cluster integration tests: write/read coherence, append, truncate,
+fsync durability, flush daemon, multi-stripe behaviour."""
+
+import pytest
+
+from repro.dlm.types import LockMode
+from tests.integration.conftest import small_cluster
+
+
+def run_ok(cluster, *gens):
+    return cluster.run_clients(list(gens))
+
+
+# ------------------------------------------------------------ single client
+def test_write_read_roundtrip_same_client(any_dlm):
+    cluster = small_cluster(dlm=any_dlm)
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"hello ccpfs")
+        out["data"] = yield from c.read(fh, 0, 11)
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert out["data"] == b"hello ccpfs"
+
+
+def test_write_is_cached_until_fsync(any_dlm):
+    cluster = small_cluster(dlm=any_dlm)
+    cluster.create_file("/f", stripe_count=1)
+
+    def work(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"dirty")
+        # Not yet durable.
+        assert cluster.read_back("/f")[:5] != b"dirty"
+        yield from c.fsync(fh)
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert cluster.read_back("/f") == b"dirty"
+
+
+def test_sparse_read_returns_zeroes():
+    cluster = small_cluster()
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 100, b"X")
+        out["data"] = yield from c.read(fh, 98, 5)
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert out["data"] == b"\x00\x00X\x00\x00"
+
+
+# --------------------------------------------------------- cross-client
+def test_cross_client_coherence(any_dlm):
+    """B must see A's cached write: the PR request revokes A's write lock,
+    forcing the flush before the read is served."""
+    cluster = small_cluster(dlm=any_dlm, clients=2)
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"from-A")
+
+    def reader(c):
+        yield c.sim.timeout(0.001)
+        fh = yield from c.open("/f")
+        out["data"] = yield from c.read(fh, 0, 6)
+
+    run_ok(cluster, writer(cluster.clients[0]), reader(cluster.clients[1]))
+    assert out["data"] == b"from-A"
+
+
+def test_write_write_read_sees_last_writer(any_dlm):
+    cluster = small_cluster(dlm=any_dlm, clients=3)
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def writer(c, data, delay):
+        yield c.sim.timeout(delay)
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, data)
+
+    def reader(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/f")
+        out["data"] = yield from c.read(fh, 0, 4)
+
+    run_ok(cluster,
+           writer(cluster.clients[0], b"AAAA", 0.0),
+           writer(cluster.clients[1], b"BBBB", 0.001),
+           reader(cluster.clients[2]))
+    assert out["data"] == b"BBBB"
+
+
+def test_multi_stripe_write_and_read(any_dlm):
+    cluster = small_cluster(dlm=any_dlm, clients=2, servers=2,
+                            stripe_size=1024)
+    cluster.create_file("/f", stripe_count=4)
+    payload = bytes(range(256)) * 20  # 5120 bytes over 4 stripes (1 KB each)
+    out = {}
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, payload)
+        yield from c.fsync(fh)
+
+    def reader(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/f")
+        out["data"] = yield from c.read(fh, 0, len(payload))
+
+    run_ok(cluster, writer(cluster.clients[0]), reader(cluster.clients[1]))
+    assert out["data"] == payload
+    assert cluster.read_back("/f") == payload
+
+
+def test_multi_stripe_write_atomicity():
+    """The Fig. 8 anomaly must NOT happen: two clients each write the full
+    2-stripe range; the final file must be entirely one writer's data."""
+    cluster = small_cluster(dlm="seqdlm", clients=2, servers=2,
+                            stripe_size=1024)
+    cluster.create_file("/f", stripe_count=2)
+    size = 2048
+
+    def writer(c, byte):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, bytes([byte]) * size)
+        yield from c.fsync(fh)
+
+    run_ok(cluster, writer(cluster.clients[0], 0xAA),
+           writer(cluster.clients[1], 0xBB))
+    data = cluster.read_back("/f")
+    assert len(data) == size
+    assert data in (b"\xaa" * size, b"\xbb" * size), \
+        "mixed content: single-write atomicity across stripes was broken"
+
+
+def test_append_serializes_across_clients(any_dlm):
+    cluster = small_cluster(dlm=any_dlm, clients=2)
+    cluster.create_file("/log", stripe_count=1)
+
+    def appender(c, tag, n):
+        fh = yield from c.open("/log")
+        for _ in range(n):
+            yield from c.append(fh, tag)
+        yield from c.fsync(fh)
+
+    run_ok(cluster, appender(cluster.clients[0], b"A" * 4, 3),
+           appender(cluster.clients[1], b"B" * 4, 3))
+    data = cluster.read_back("/log")
+    assert len(data) == 24
+    # Every 4-byte record is intact (no interleaving within a record).
+    records = [data[i:i + 4] for i in range(0, 24, 4)]
+    assert all(r in (b"AAAA", b"BBBB") for r in records)
+    assert sorted(records).count(b"AAAA") == 3
+
+
+def test_truncate_shrinks_and_zero_fills():
+    cluster = small_cluster(clients=1)
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"0123456789")
+        yield from c.fsync(fh)
+        yield from c.truncate(fh, 4)
+        out["size"] = yield from c.file_size(fh)
+        out["data"] = yield from c.read(fh, 0, 10)
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert out["size"] == 4
+    assert out["data"] == b"0123" + b"\x00" * 6
+
+
+def test_file_size_via_metadata():
+    cluster = small_cluster(clients=2)
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"x" * 500)
+        yield from c.fsync(fh)
+
+    def statter(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/f")
+        out["size"] = yield from c.file_size(fh)
+
+    run_ok(cluster, writer(cluster.clients[0]), statter(cluster.clients[1]))
+    assert out["size"] == 500
+
+
+def test_open_missing_file_raises():
+    cluster = small_cluster(clients=1)
+    caught = {}
+
+    def work(c):
+        try:
+            yield from c.open("/nope")
+        except FileNotFoundError:
+            caught["yes"] = True
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert caught.get("yes")
+
+
+def test_create_via_open():
+    cluster = small_cluster(clients=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/new", create=True, stripe_count=2)
+        out["stripes"] = fh.layout.stripe_count
+        yield from c.write(fh, 0, b"ab")
+        yield from c.fsync(fh)
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert out["stripes"] == 2
+    assert cluster.read_back("/new") == b"ab"
+
+
+# --------------------------------------------------------- flush daemon
+def test_flush_daemon_flushes_at_min_threshold():
+    cluster = small_cluster(clients=1, min_dirty=512, max_dirty=4096,
+                            flush_daemon=True)
+    cluster.create_file("/f", stripe_count=1)
+
+    def work(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"z" * 600)  # crosses min_dirty=512
+        yield c.sim.timeout(1.0)  # give the daemon time
+
+    run_ok(cluster, work(cluster.clients[0]))
+    client = cluster.clients[0]
+    assert client.cache.dirty_bytes == 0
+    assert cluster.read_back("/f") == b"z" * 600
+
+
+def test_max_dirty_gate_blocks_writes_until_flush():
+    cluster = small_cluster(clients=1, min_dirty=256, max_dirty=512,
+                            flush_daemon=True)
+    cluster.create_file("/f", stripe_count=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/f")
+        for i in range(8):
+            yield from c.write(fh, i * 256, b"q" * 256)
+        out["done"] = c.sim.now
+        yield from c.fsync(fh)
+
+    run_ok(cluster, work(cluster.clients[0]))
+    # All 2 KB landed despite the 512-byte cap (gate + daemon cycled).
+    assert cluster.read_back("/f") == b"q" * 2048
+
+
+# ------------------------------------------------------------- libccPFS API
+def test_posix_api_roundtrip():
+    from repro.pfs.api import libccpfs_open
+    cluster = small_cluster(clients=1)
+    out = {}
+
+    def work(c):
+        f = yield from libccpfs_open(c, "/api", create=True)
+        yield from f.write(b"hello ")
+        yield from f.write(b"world")
+        f.seek(0)
+        out["data"] = yield from f.read(11)
+        yield from f.append(b"!!")
+        out["size"] = yield from f.size()
+        yield from f.fsync()
+        yield from f.close()
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert out["data"] == b"hello world"
+    assert out["size"] == 13
+    assert cluster.read_back("/api") == b"hello world!!"
+
+
+def test_closed_file_rejects_io():
+    from repro.pfs.api import libccpfs_open
+    cluster = small_cluster(clients=1)
+    caught = {}
+
+    def work(c):
+        f = yield from libccpfs_open(c, "/x", create=True)
+        yield from f.close()
+        try:
+            yield from f.write(b"nope")
+        except ValueError:
+            caught["yes"] = True
+
+    run_ok(cluster, work(cluster.clients[0]))
+    assert caught.get("yes")

@@ -1,0 +1,87 @@
+"""Integration tests for the read path: cache hits, partial misses,
+multi-stripe assembly, and the IOR read phase."""
+
+import pytest
+
+from repro.pfs import ClusterConfig
+from repro.workloads import IorConfig, run_ior
+from tests.integration.conftest import small_cluster
+
+
+def test_read_after_own_write_is_cache_hit():
+    cluster = small_cluster(clients=1)
+    cluster.create_file("/own", stripe_count=1)
+
+    def work(c):
+        fh = yield from c.open("/own")
+        yield from c.write(fh, 0, b"cached-bytes")
+        # The NBW lock forbids reading; the PR request upgrades to PW and
+        # the data is still in the local cache.
+        data = yield from c.read(fh, 0, 12)
+        assert data == b"cached-bytes"
+
+    cluster.run_clients([work(cluster.clients[0])])
+    c = cluster.clients[0]
+    assert c.stats.read_rpcs == 0
+    assert c.stats.cache_read_hits >= 1
+
+
+def test_partial_cache_hit_fetches_only_the_gap():
+    cluster = small_cluster(clients=2)
+    cluster.create_file("/gap", stripe_count=1)
+
+    def writer(c):
+        fh = yield from c.open("/gap")
+        yield from c.write(fh, 0, b"A" * 64)
+        yield from c.write(fh, 128, b"B" * 64)
+        yield from c.fsync(fh)
+
+    def reader(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/gap")
+        # Warm the cache with the first half only.
+        yield from c.read(fh, 0, 64)
+        rpcs_before = c.stats.read_rpcs
+        # This read covers cached [0,64) + uncached [64,192).
+        data = yield from c.read(fh, 0, 192)
+        assert data[:64] == b"A" * 64
+        assert data[128:192] == b"B" * 64
+        assert c.stats.read_rpcs > rpcs_before
+
+    cluster.run_clients([writer(cluster.clients[0]),
+                         reader(cluster.clients[1])])
+
+
+def test_multi_stripe_read_assembles_in_file_order():
+    cluster = small_cluster(clients=2, servers=2, stripe_size=64)
+    cluster.create_file("/multi", stripe_count=4)
+    payload = bytes(range(256))
+
+    def writer(c):
+        fh = yield from c.open("/multi")
+        yield from c.write(fh, 0, payload)
+        yield from c.fsync(fh)
+
+    def reader(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/multi")
+        data = yield from c.read(fh, 0, 256)
+        assert data == payload
+        # Unaligned cross-stripe read too.
+        data = yield from c.read(fh, 50, 150)
+        assert data == payload[50:200]
+
+    cluster.run_clients([writer(cluster.clients[0]),
+                         reader(cluster.clients[1])])
+
+
+def test_ior_read_phase_reports_bandwidth():
+    r = run_ior(IorConfig(
+        pattern="n1-segmented", clients=4, writes_per_client=8,
+        xfer=32 * 1024, stripes=1, read_phase=True,
+        cluster=ClusterConfig(num_clients=4, track_content=False)))
+    assert r.read_time > 0
+    assert r.bytes_read == r.bytes_written
+    assert r.read_bandwidth > 0
+    # Reads hit the device: well below the cached write bandwidth.
+    assert r.read_bandwidth < r.bandwidth

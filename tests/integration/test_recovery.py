@@ -1,0 +1,149 @@
+"""Server crash/recovery tests (§IV-C2).
+
+The recovery contract: lock states are regathered from clients, the
+extent log replays into the extent cache, and clients redo flush RPCs
+whose acks never arrived.  Durable state (block store + extent log)
+survives the crash; volatile state (extent cache, lock tables) does not.
+"""
+
+import pytest
+
+from tests.integration.conftest import small_cluster
+
+
+def test_extent_log_replay_restores_sn_filtering():
+    """After a crash+recovery, a stale (lower-SN) redo flush must still be
+    filtered by the rebuilt extent cache."""
+    cluster = small_cluster(clients=2, servers=1, extent_log=True,
+                            flush_timeout=0.5)
+    cluster.create_file("/f", stripe_count=1)
+
+    def old_writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"OLD-DATA")
+        yield c.sim.timeout(1.0)
+
+    def new_writer(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"NEW-DATA")
+        yield from c.fsync(fh)
+
+    cluster.run_clients([old_writer(cluster.clients[0]),
+                         new_writer(cluster.clients[1])])
+    # NEW-DATA (SN 2) is durable; OLD-DATA (SN 1) was flushed on the
+    # revocation triggered by the new writer's lock request.
+    assert cluster.read_back("/f") == b"NEW-DATA"
+
+    # Crash the server, recover it, then have the old writer redo a stale
+    # flush by hand (simulating an unacked flush from before the crash).
+    cluster.crash_server(0)
+    cluster.run_clients([cluster.recover_server(0)])
+    ds = cluster.data_servers[0]
+    meta = cluster.metadata.lookup("/f")
+    key = (meta.fid, 0)
+    # The rebuilt extent cache still knows SN 2 owns [0, 8).
+    assert ds.extent_cache.map_for(key).max_sn(0, 8) == 2
+
+    from repro.pfs.data_server import IoWriteMsg, WireBlock
+    from repro.net.rpc import rpc_call
+
+    def redo_stale(c):
+        reply = yield rpc_call(
+            c.node, cluster.server_nodes[0], "io",
+            IoWriteMsg(key, [WireBlock(0, 8, 1, b"OLD-DATA")]))
+        assert reply == "ack"
+
+    cluster.run_clients([redo_stale(cluster.clients[0])])
+    assert cluster.read_back("/f") == b"NEW-DATA", \
+        "stale redo flush clobbered newer data after recovery"
+
+
+def test_lock_state_gathering_restores_grants():
+    cluster = small_cluster(clients=2, servers=1, extent_log=True)
+    cluster.create_file("/f", stripe_count=1)
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"hello")
+
+    cluster.run_clients([writer(cluster.clients[0])])
+    meta = cluster.metadata.lookup("/f")
+    key = (meta.fid, 0)
+    before = cluster.lock_servers[0].granted_locks(key)
+    assert len(before) == 1
+
+    cluster.crash_server(0)
+    assert cluster.lock_servers[0].granted_locks(key) == []
+    cluster.run_clients([cluster.recover_server(0)])
+
+    after = cluster.lock_servers[0].granted_locks(key)
+    assert len(after) == 1
+    assert after[0].client_name == before[0].client_name
+    assert after[0].sn == before[0].sn
+    assert after[0].mode == before[0].mode
+
+
+def test_sn_counter_resumes_past_recovered_locks():
+    """New grants after recovery must continue the SN sequence, never
+    reissue an SN at or below a recovered lock's."""
+    cluster = small_cluster(clients=2, servers=1, extent_log=True)
+    cluster.create_file("/f", stripe_count=1)
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"hello")
+
+    cluster.run_clients([writer(cluster.clients[0])])
+    meta = cluster.metadata.lookup("/f")
+    key = (meta.fid, 0)
+    old_sn = cluster.lock_servers[0].granted_locks(key)[0].sn
+
+    cluster.crash_server(0)
+    cluster.run_clients([cluster.recover_server(0)])
+    out = {}
+
+    def second_writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 100, b"world")
+        out["sn"] = [l.sn for l in
+                     cluster.lock_clients[1].cached_locks(key)]
+
+    cluster.run_clients([second_writer(cluster.clients[1])])
+    assert all(sn > old_sn for sn in out["sn"])
+
+
+def test_flush_retry_survives_crash_window():
+    """A flush issued while the server is down is redone after recovery
+    (client-side retry timer)."""
+    cluster = small_cluster(clients=1, servers=1, extent_log=True,
+                            flush_timeout=0.2)
+    cluster.create_file("/f", stripe_count=1)
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"persist-me")
+        cluster.crash_server(0)
+        fsync_proc = c.sim.spawn(c.fsync(fh))
+        yield c.sim.timeout(0.5)       # flush times out at least once
+        yield from cluster.recover_server(0)
+        yield fsync_proc               # retry lands after recovery
+
+    cluster.run_clients([writer(cluster.clients[0])])
+    assert cluster.clients[0].stats.flush_retries >= 1
+    assert cluster.read_back("/f") == b"persist-me"
+
+
+def test_client_cache_crash_loses_unflushed_data():
+    """The documented durability convention (§IV-C1): dirty client-cache
+    contents are lost if the client dies before flushing."""
+    cluster = small_cluster(clients=1, servers=1)
+    cluster.create_file("/f", stripe_count=1)
+
+    def writer(c):
+        fh = yield from c.open("/f")
+        yield from c.write(fh, 0, b"volatile")
+
+    cluster.run_clients([writer(cluster.clients[0])])
+    cluster.clients[0].cache.drop_all()  # client crash
+    assert cluster.read_back("/f") != b"volatile"

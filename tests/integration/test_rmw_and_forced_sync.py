@@ -1,0 +1,117 @@
+"""Integration tests: partial-page RMW semantics (§III-B2) and the
+extent cache's forced global sync (§IV-B method 2)."""
+
+import pytest
+
+from repro.dlm.extent import EOF
+from repro.dlm.types import LockMode
+from tests.integration.conftest import small_cluster
+
+
+# --------------------------------------------------------- partial-page RMW
+def test_rmw_preserves_surrounding_page_content():
+    """With RMW enabled, an unaligned write must fetch its boundary page
+    and the final page content must be the merge of old and new bytes."""
+    cluster = small_cluster(clients=2, partial_page_rmw=True)
+    cluster.create_file("/rmw", stripe_count=1)
+
+    def first(c):
+        fh = yield from c.open("/rmw")
+        yield from c.write(fh, 0, b"0123456789ABCDEF")  # page-aligned (16B)
+        yield from c.fsync(fh)
+
+    def second(c):
+        yield c.sim.timeout(0.01)
+        fh = yield from c.open("/rmw")
+        yield from c.write(fh, 4, b"xxxx")  # unaligned: implicit read
+        yield from c.fsync(fh)
+
+    cluster.run_clients([first(cluster.clients[0]),
+                         second(cluster.clients[1])])
+    assert cluster.read_back("/rmw") == b"0123xxxx89ABCDEF"
+    # The second client issued at least one synchronous page read.
+    assert cluster.clients[1].stats.read_rpcs >= 1
+
+
+def test_rmw_selects_pw_for_unaligned_writes():
+    cluster = small_cluster(clients=1, partial_page_rmw=True)
+    cluster.create_file("/rmw", stripe_count=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/rmw")
+        yield from c.write(fh, 3, b"zz")  # unaligned
+        meta = cluster.metadata.lookup("/rmw")
+        out["modes"] = [l.mode for l in
+                        cluster.lock_clients[0].cached_locks((meta.fid, 0))]
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert out["modes"] == [LockMode.PW]
+
+
+def test_subpage_extents_avoid_rmw_by_default():
+    cluster = small_cluster(clients=1, partial_page_rmw=False)
+    cluster.create_file("/no-rmw", stripe_count=1)
+    out = {}
+
+    def work(c):
+        fh = yield from c.open("/no-rmw")
+        yield from c.write(fh, 3, b"zz")
+        meta = cluster.metadata.lookup("/no-rmw")
+        out["modes"] = [l.mode for l in
+                        cluster.lock_clients[0].cached_locks((meta.fid, 0))]
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert out["modes"] == [LockMode.NBW]
+    assert cluster.clients[0].stats.read_rpcs == 0
+
+
+def test_aligned_writes_never_rmw():
+    cluster = small_cluster(clients=1, partial_page_rmw=True)
+    cluster.create_file("/aligned", stripe_count=1)
+
+    def work(c):
+        fh = yield from c.open("/aligned")
+        yield from c.write(fh, 0, b"x" * 32)  # 16-byte pages: aligned
+        yield from c.fsync(fh)
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert cluster.clients[0].stats.read_rpcs == 0
+
+
+# ----------------------------------------------------------- forced sync
+def test_extent_cache_forced_sync_drains_client_caches():
+    """Drive the extent cache over a tiny threshold with entries pinned
+    by unreleased (cached) write locks; the cleaner's forced global sync
+    must revoke them and drain the dirty data."""
+    cluster = small_cluster(clients=2, servers=1,
+                            start_cleaner=True,
+                            extent_cache_threshold=4,
+                            extent_cache_clean_interval=0.002,
+                            extent_log=True)
+    cluster.create_file("/forced", stripe_count=1)
+
+    def writer(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/forced")
+        # Interleaved writes -> many distinct extent-cache entries after
+        # flushes; the writers keep their locks cached (unreleased).
+        for i in range(6):
+            off = (i * 2 + rank) * 100
+            yield from c.write(fh, off, bytes([65 + rank]) * 100)
+        yield from c.fsync(fh)
+        # Sit idle so the cleaner runs while locks stay cached.
+        yield c.sim.timeout(0.05)
+
+    cluster.run_clients([writer(0), writer(1)])
+    ds = cluster.data_servers[0]
+    assert ds.extent_cache.clean_passes >= 1
+    # Either mSN cleaning or the forced sync brought the cache down.
+    assert ds.extent_cache.total_entries <= 4 or \
+        ds.extent_cache.forced_syncs >= 1
+    # Data stayed correct through it all.
+    img = cluster.read_back("/forced")
+    for i in range(6):
+        for rank in (0, 1):
+            off = (i * 2 + rank) * 100
+            assert img[off:off + 100] == bytes([65 + rank]) * 100

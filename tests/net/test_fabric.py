@@ -1,0 +1,150 @@
+"""Unit tests for the network fabric timing model."""
+
+import pytest
+
+from repro.net import Fabric, Message, NetworkConfig
+from repro.sim import Simulator
+
+
+def make_fabric(**kw):
+    sim = Simulator()
+    fab = Fabric(sim, NetworkConfig(**kw))
+    return sim, fab
+
+
+def send_and_time(sim, fab, src, dst, nbytes, service="svc"):
+    got = []
+    dst.register_service(service, lambda m: got.append((sim.now, m.payload)))
+    msg = Message(src=src, dst=dst, service=service, payload="p",
+                  nbytes=nbytes)
+    fab.send(msg)
+    sim.run()
+    return got
+
+
+def test_single_message_latency_plus_wire_time():
+    sim, fab = make_fabric(latency=1e-6, bandwidth=1e9,
+                           per_message_overhead=0.0)
+    a, b = fab.add_node("a"), fab.add_node("b")
+    got = send_and_time(sim, fab, a, b, nbytes=1000)
+    # wire = 1000/1e9 = 1us; total = tx(1us) ... rx starts at latency(1us)
+    # (cut-through) and takes 1us -> delivery at 2us.
+    assert got == [(pytest.approx(2e-6), "p")]
+
+
+def test_zero_byte_message_costs_latency_only():
+    sim, fab = make_fabric(latency=5e-6, bandwidth=1e9,
+                           per_message_overhead=0.0)
+    a, b = fab.add_node("a"), fab.add_node("b")
+    got = send_and_time(sim, fab, a, b, nbytes=0)
+    assert got == [(pytest.approx(5e-6), "p")]
+
+
+def test_egress_serialization_two_messages_same_sender():
+    sim, fab = make_fabric(latency=0.0, bandwidth=1e6,
+                           per_message_overhead=0.0)
+    a, b = fab.add_node("a"), fab.add_node("b")
+    got = []
+    b.register_service("svc", lambda m: got.append((sim.now, m.payload)))
+    for name in ("m1", "m2"):
+        fab.send(Message(src=a, dst=b, service="svc", payload=name,
+                         nbytes=1_000_000))  # 1 second of wire each
+    sim.run()
+    assert got[0] == (pytest.approx(1.0), "m1")
+    assert got[1] == (pytest.approx(2.0), "m2")
+
+
+def test_ingress_serialization_many_senders_one_receiver():
+    """N clients flushing into one server share its ingress NIC (the B_net
+    term of Equation 2)."""
+    sim, fab = make_fabric(latency=0.0, bandwidth=1e6,
+                           per_message_overhead=0.0)
+    server = fab.add_node("server")
+    times = []
+    server.register_service("io", lambda m: times.append(sim.now))
+    for i in range(4):
+        client = fab.add_node(f"c{i}")
+        fab.send(Message(src=client, dst=server, service="io",
+                         payload=i, nbytes=1_000_000))
+    sim.run()
+    # 4 MB into a 1 MB/s ingress -> deliveries at 1,2,3,4 seconds.
+    assert times == [pytest.approx(t) for t in (1.0, 2.0, 3.0, 4.0)]
+
+
+def test_distinct_pairs_do_not_contend():
+    sim, fab = make_fabric(latency=0.0, bandwidth=1e6,
+                           per_message_overhead=0.0)
+    done = []
+    for i in range(3):
+        src = fab.add_node(f"s{i}")
+        dst = fab.add_node(f"d{i}")
+        dst.register_service("svc", lambda m: done.append(sim.now))
+        fab.send(Message(src=src, dst=dst, service="svc", payload=None,
+                         nbytes=1_000_000))
+    sim.run()
+    assert done == [pytest.approx(1.0)] * 3
+
+
+def test_local_send_skips_nic():
+    sim, fab = make_fabric(latency=1.0, bandwidth=1.0,
+                           per_message_overhead=1e-9)
+    a = fab.add_node("a")
+    got = []
+    a.register_service("svc", lambda m: got.append(sim.now))
+    fab.send(Message(src=a, dst=a, service="svc", payload=None,
+                     nbytes=10**9))
+    sim.run()
+    assert got == [pytest.approx(1e-9)]
+
+
+def test_failed_node_drops_messages():
+    sim, fab = make_fabric()
+    a, b = fab.add_node("a"), fab.add_node("b")
+    got = []
+    b.register_service("svc", lambda m: got.append(m))
+    b.failed = True
+    fab.send(Message(src=a, dst=b, service="svc", payload=None, nbytes=10))
+    sim.run()
+    assert got == []
+    assert b.messages_received == 0
+
+
+def test_unknown_service_raises():
+    sim, fab = make_fabric()
+    a, b = fab.add_node("a"), fab.add_node("b")
+    fab.send(Message(src=a, dst=b, service="nope", payload=None, nbytes=10))
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_duplicate_node_name_rejected():
+    _sim, fab = make_fabric()
+    fab.add_node("x")
+    with pytest.raises(ValueError):
+        fab.add_node("x")
+
+
+def test_duplicate_service_rejected():
+    _sim, fab = make_fabric()
+    n = fab.add_node("x")
+    n.register_service("svc", lambda m: None)
+    with pytest.raises(ValueError):
+        n.register_service("svc", lambda m: None)
+
+
+def test_traffic_counters():
+    sim, fab = make_fabric()
+    a, b = fab.add_node("a"), fab.add_node("b")
+    b.register_service("svc", lambda m: None)
+    fab.send(Message(src=a, dst=b, service="svc", payload=None, nbytes=500))
+    sim.run()
+    assert a.bytes_sent == 500 and a.messages_sent == 1
+    assert b.bytes_received == 500 and b.messages_received == 1
+    assert fab.messages_delivered == 1
+
+
+def test_bad_config_rejected():
+    with pytest.raises(ValueError):
+        NetworkConfig(bandwidth=0)
+    with pytest.raises(ValueError):
+        NetworkConfig(latency=-1)

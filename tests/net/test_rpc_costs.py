@@ -1,0 +1,75 @@
+"""Tests for weighted RPC dispatch costs (the one-way discount)."""
+
+import pytest
+
+from repro.net import Fabric, NetworkConfig, RpcService, one_way, rpc_call
+from repro.sim import Simulator
+
+
+def make_rig(cost_fn, ops=100.0):
+    sim = Simulator()
+    fab = Fabric(sim, NetworkConfig(latency=0.0, per_message_overhead=0.0))
+    client, server = fab.add_node("c"), fab.add_node("s")
+    handled = []
+
+    def handler(req):
+        handled.append(sim.now)
+        req.respond(None)
+
+    svc = RpcService(server, "svc", handler, ops=ops, cost_fn=cost_fn)
+    return sim, client, server, handled
+
+
+def test_uniform_cost_without_cost_fn():
+    sim, client, server, handled = make_rig(cost_fn=None, ops=100.0)
+
+    def caller():
+        futures = [rpc_call(client, server, "svc", i) for i in range(3)]
+        yield sim.all_of(futures)
+
+    sim.spawn(caller())
+    sim.run()
+    gaps = [b - a for a, b in zip(handled, handled[1:])]
+    assert all(abs(g - 0.01) < 1e-9 for g in gaps)
+
+
+def test_cost_fn_discounts_messages():
+    def cost(msg):
+        return 0.25 if msg.payload == "cheap" else 1.0
+
+    sim, client, server, handled = make_rig(cost_fn=cost, ops=100.0)
+    for _ in range(4):
+        one_way(client, server, "svc", "cheap")
+    sim.run()
+    gaps = [b - a for a, b in zip(handled, handled[1:])]
+    assert all(abs(g - 0.0025) < 1e-9 for g in gaps)  # quarter cost
+
+
+def test_zero_cost_messages_skip_dispatch_delay():
+    sim, client, server, handled = make_rig(
+        cost_fn=lambda m: 0.0, ops=100.0)
+    for _ in range(5):
+        one_way(client, server, "svc", None)
+    sim.run()
+    assert len(handled) == 5
+    assert max(handled) - min(handled) < 1e-9
+
+
+def test_lock_server_discounts_one_way_control():
+    """The DLM service charges full dispatch for requests and a quarter
+    for releases (the §V-A OPS figure is for request-reply RPCs)."""
+    from repro.dlm import LockMode, LockServer, make_dlm_config
+    from repro.dlm.messages import ReleaseMsg, LockRequestMsg
+
+    sim = Simulator()
+    fab = Fabric(sim, NetworkConfig())
+    server = fab.add_node("srv")
+    ls = LockServer(server, make_dlm_config("seqdlm"), ops=1000.0)
+
+    class FakeMsg:
+        def __init__(self, payload):
+            self.payload = payload
+
+    assert ls._dispatch_cost(FakeMsg(LockRequestMsg(
+        "r", LockMode.NBW, ((0, 1),), "c"))) == 1.0
+    assert ls._dispatch_cost(FakeMsg(ReleaseMsg(1, "r"))) == 0.25

@@ -1,0 +1,167 @@
+"""Unit tests for the server extent cache, cleaning task, and extent log."""
+
+import pytest
+
+from repro.pfs.extent_cache import ServerExtentCache
+from repro.pfs.extent_log import ExtentLog, LOG_ENTRY_BYTES
+from repro.sim import Simulator
+
+KEY = ("f", 0)
+
+
+# ------------------------------------------------------------- extent cache
+def test_merge_update_set_matches_fig15():
+    sim = Simulator()
+    ec = ServerExtentCache(sim)
+    K = 1024
+    ec.merge(KEY, 0, 8 * K, 8)
+    assert ec.merge(KEY, 0, 2 * K, 7) == []          # stale, discarded
+    assert ec.merge(KEY, 2 * K, 4 * K, 9) == [(2 * K, 4 * K)]
+    assert ec.merge(KEY, 4 * K, 8 * K, 9) == [(4 * K, 8 * K)]
+
+
+def test_total_entries_across_stripes():
+    sim = Simulator()
+    ec = ServerExtentCache(sim)
+    ec.merge(("f", 0), 0, 10, 1)
+    ec.merge(("f", 1), 0, 10, 2)
+    ec.merge(("f", 1), 20, 30, 3)
+    assert ec.total_entries == 3
+    assert set(ec.stripe_keys()) == {("f", 0), ("f", 1)}
+
+
+def test_clean_pass_drops_settled_entries():
+    sim = Simulator()
+    ec = ServerExtentCache(sim, entry_threshold=1, clean_batch=100)
+    ec.merge(KEY, 0, 10, 3)
+    ec.merge(KEY, 20, 30, 8)
+
+    def msn_query(key, extents):
+        # All locks with SN <= 5 have been released and flushed.
+        return 5
+        yield  # pragma: no cover
+
+    ec.msn_query_fn = msn_query
+
+    def runner():
+        n = yield sim.spawn(ec.clean_pass())
+        return n
+
+    p = sim.spawn(runner())
+    sim.run()
+    assert p.value == 1
+    assert ec.map_for(KEY).entries() == [(20, 30, 8)]
+    assert ec.entries_cleaned == 1
+
+
+def test_clean_pass_respects_batch_budget():
+    sim = Simulator()
+    ec = ServerExtentCache(sim, entry_threshold=1, clean_batch=3)
+    for i in range(10):
+        ec.merge(KEY, i * 20, i * 20 + 10, 1)
+
+    def msn_query(key, extents):
+        return 100
+        yield  # pragma: no cover
+
+    ec.msn_query_fn = msn_query
+    p = sim.spawn(ec.clean_pass())
+    sim.run()
+    assert p.value == 3  # only the batch budget was cleaned
+    assert ec.total_entries == 7
+
+
+def test_cleaner_loop_cleans_above_threshold():
+    sim = Simulator()
+    ec = ServerExtentCache(sim, entry_threshold=4, clean_batch=100,
+                           clean_interval=0.001)
+    for i in range(10):
+        ec.merge(KEY, i * 20, i * 20 + 10, i)
+
+    def msn_query(key, extents):
+        return 1000
+        yield  # pragma: no cover
+
+    ec.msn_query_fn = msn_query
+    ec.start_cleaner()
+    sim.run(until=0.01)
+    assert ec.total_entries == 0
+    assert ec.clean_passes >= 1
+
+
+def test_cleaner_forces_sync_when_stuck():
+    sim = Simulator()
+    ec = ServerExtentCache(sim, entry_threshold=2, clean_batch=100,
+                           clean_interval=0.001)
+    for i in range(5):
+        ec.merge(KEY, i * 20, i * 20 + 10, i + 10)
+    synced = []
+
+    def msn_query(key, extents):
+        # Nothing is settled: unreleased locks pin every SN.
+        return 0
+        yield  # pragma: no cover
+
+    def force_sync(key):
+        synced.append(key)
+        ec.map_for(key).clear()  # the drain empties the cache
+        return
+        yield  # pragma: no cover
+
+    ec.msn_query_fn = msn_query
+    ec.force_sync_fn = force_sync
+    ec.start_cleaner()
+    sim.run(until=0.01)
+    assert synced == [KEY]
+    assert ec.forced_syncs == 1
+
+
+def test_install_replaces_map():
+    sim = Simulator()
+    ec = ServerExtentCache(sim)
+    ec.merge(KEY, 0, 10, 1)
+    from repro.dlm.extent import ExtentMap
+    fresh = ExtentMap()
+    fresh.merge(100, 200, 9)
+    ec.install(KEY, fresh)
+    assert ec.map_for(KEY).entries() == [(100, 200, 9)]
+
+
+def test_bad_config():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ServerExtentCache(sim, entry_threshold=0)
+
+
+# -------------------------------------------------------------- extent log
+def test_log_append_charges_bytes():
+    log = ExtentLog()
+    n = log.append(KEY, [(0, 10), (20, 30)], sn=4)
+    assert n == 2 * LOG_ENTRY_BYTES
+    assert log.entry_count(KEY) == 2
+
+
+def test_log_replay_rebuilds_extent_map():
+    log = ExtentLog()
+    log.append(KEY, [(0, 100)], sn=1)
+    log.append(KEY, [(50, 80)], sn=3)
+    log.append(KEY, [(0, 10)], sn=2)
+    emap = log.replay(KEY)
+    assert emap.max_sn(50, 80) == 3
+    assert emap.max_sn(0, 10) == 2
+    assert emap.max_sn(10, 50) == 1
+
+
+def test_log_truncate():
+    log = ExtentLog()
+    log.append(KEY, [(0, 10)], sn=1)
+    log.truncate(KEY)
+    assert log.entry_count(KEY) == 0
+    assert len(log.replay(KEY)) == 0
+
+
+def test_log_stripe_keys():
+    log = ExtentLog()
+    log.append(("a", 0), [(0, 1)], 1)
+    log.append(("b", 1), [(0, 1)], 1)
+    assert set(log.stripe_keys()) == {("a", 0), ("b", 1)}

@@ -1,0 +1,100 @@
+"""Unit/integration tests for the IO-forwarding layer (§V-E)."""
+
+import pytest
+
+from repro.pfs.iof import ForwardingDaemon, ForwardingRank
+from tests.integration.conftest import small_cluster
+
+
+def test_forwarded_write_read_roundtrip():
+    cluster = small_cluster(clients=1)
+    cluster.create_file("/iof", stripe_count=1)
+    daemon = ForwardingDaemon(cluster.clients[0], threads=2)
+    rank = ForwardingRank(daemon)
+    out = {}
+
+    def app():
+        fh = yield from rank.open("/iof")
+        yield from rank.write(fh, 0, b"forwarded!")
+        out["data"] = yield from rank.read(fh, 0, 10)
+        yield from rank.fsync(fh)
+
+    cluster.run_clients([app()])
+    assert out["data"] == b"forwarded!"
+    assert cluster.read_back("/iof") == b"forwarded!"
+    assert daemon.stats.requests == 4
+    assert daemon.stats.completed == 4
+
+
+def test_thread_pool_caps_concurrency():
+    """With 2 threads and 4 concurrent ranks, requests queue — the
+    'decreased parallelism' the paper observes at small write sizes."""
+    cluster = small_cluster(clients=1, mem_bandwidth=1e6)  # slow copies
+    cluster.create_file("/iof", stripe_count=1)
+    daemon = ForwardingDaemon(cluster.clients[0], threads=2)
+
+    def app(rank_id):
+        rank = ForwardingRank(daemon)
+        fh = yield from rank.open("/iof")
+        yield from rank.write(fh, rank_id * 1000, nbytes=1000)
+
+    cluster.run_clients([app(i) for i in range(4)])
+    assert daemon.stats.queue_wait > 0.0  # someone had to wait
+
+
+def test_more_threads_less_queueing():
+    waits = {}
+    for threads in (1, 4):
+        cluster = small_cluster(clients=1, mem_bandwidth=1e6)
+        cluster.create_file("/iof", stripe_count=1)
+        daemon = ForwardingDaemon(cluster.clients[0], threads=threads)
+
+        def app(rank_id):
+            rank = ForwardingRank(daemon)
+            fh = yield from rank.open("/iof")
+            yield from rank.write(fh, rank_id * 1000, nbytes=1000)
+
+        cluster.run_clients([app(i) for i in range(4)])
+        waits[threads] = daemon.stats.queue_wait
+    assert waits[4] < waits[1]
+
+
+def test_forwarded_append_and_truncate():
+    cluster = small_cluster(clients=1)
+    cluster.create_file("/iof", stripe_count=1)
+    daemon = ForwardingDaemon(cluster.clients[0], threads=2)
+    rank = ForwardingRank(daemon)
+    out = {}
+
+    def app():
+        fh = yield from rank.open("/iof")
+        off = yield from rank.append(fh, b"abcdef")
+        out["off"] = off
+        yield from rank.truncate(fh, 3)
+        yield from rank.fsync(fh)
+
+    cluster.run_clients([app()])
+    assert out["off"] == 0
+    assert cluster.read_back("/iof") == b"abc"
+
+
+def test_forwarded_error_propagates():
+    cluster = small_cluster(clients=1)
+    daemon = ForwardingDaemon(cluster.clients[0], threads=1)
+    rank = ForwardingRank(daemon)
+    caught = {}
+
+    def app():
+        try:
+            yield from rank.open("/missing")
+        except FileNotFoundError:
+            caught["yes"] = True
+
+    cluster.run_clients([app()])
+    assert caught.get("yes")
+
+
+def test_bad_thread_count():
+    cluster = small_cluster(clients=1)
+    with pytest.raises(ValueError):
+        ForwardingDaemon(cluster.clients[0], threads=0)

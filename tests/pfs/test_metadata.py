@@ -1,0 +1,87 @@
+"""Unit tests for the namespace (metadata) service."""
+
+import pytest
+
+from repro.net import Fabric, NetworkConfig, rpc_call
+from repro.pfs.metadata import MetadataServer, MetaOp
+from repro.sim import Simulator
+
+
+class Rig:
+    def __init__(self, **kw):
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, NetworkConfig())
+        self.node = self.fabric.add_node("meta")
+        self.client = self.fabric.add_node("client")
+        self.server = MetadataServer(self.node, **kw)
+
+    def call(self, op: MetaOp):
+        out = {}
+
+        def proc():
+            out["r"] = yield rpc_call(self.client, self.node, "meta", op)
+
+        self.sim.spawn(proc())
+        self.sim.run()
+        return out["r"]
+
+
+def test_create_and_open_over_rpc():
+    rig = Rig(default_stripe_count=2, default_stripe_size=4096)
+    meta = rig.call(MetaOp(op="create", path="/a"))
+    assert meta.fid == 1 and meta.size == 0
+    assert meta.stripe_count == 2 and meta.stripe_size == 4096
+    again = rig.call(MetaOp(op="open", path="/a"))
+    assert again.fid == meta.fid
+
+
+def test_create_with_explicit_striping():
+    rig = Rig()
+    meta = rig.call(MetaOp(op="create", path="/b", stripe_count=8,
+                           stripe_size=1024))
+    assert meta.stripe_count == 8 and meta.stripe_size == 1024
+
+
+def test_open_missing_returns_none():
+    rig = Rig()
+    assert rig.call(MetaOp(op="open", path="/nope")) is None
+
+
+def test_duplicate_create_returns_error_payload():
+    rig = Rig()
+    rig.call(MetaOp(op="create", path="/dup"))
+    err = rig.call(MetaOp(op="create", path="/dup"))
+    assert isinstance(err, Exception)
+
+
+def test_set_size_is_monotonic_max():
+    rig = Rig()
+    meta = rig.call(MetaOp(op="create", path="/c"))
+    assert rig.call(MetaOp(op="set_size", fid=meta.fid, size=100)) == 100
+    assert rig.call(MetaOp(op="set_size", fid=meta.fid, size=50)) == 100
+    assert rig.call(MetaOp(op="stat", fid=meta.fid)).size == 100
+
+
+def test_truncate_is_exact():
+    rig = Rig()
+    meta = rig.call(MetaOp(op="create", path="/d"))
+    rig.call(MetaOp(op="set_size", fid=meta.fid, size=100))
+    assert rig.call(MetaOp(op="truncate", fid=meta.fid, size=10)) == 10
+    assert rig.call(MetaOp(op="stat", fid=meta.fid)).size == 10
+
+
+def test_fids_are_unique_and_sequential():
+    rig = Rig()
+    fids = [rig.call(MetaOp(op="create", path=f"/f{i}")).fid
+            for i in range(5)]
+    assert fids == [1, 2, 3, 4, 5]
+
+
+def test_direct_api_matches_rpc_view():
+    rig = Rig()
+    meta = rig.server.create("/direct", stripe_count=3)
+    assert rig.call(MetaOp(op="open", path="/direct")).fid == meta.fid
+    assert rig.server.lookup("/direct") is meta
+    assert rig.server.by_fid(meta.fid) is meta
+    with pytest.raises(FileExistsError):
+        rig.server.create("/direct")

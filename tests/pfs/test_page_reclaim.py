@@ -1,0 +1,68 @@
+"""Tests for §IV memory-pool clean-page reclamation."""
+
+import pytest
+
+from repro.pfs.page_cache import ClientCache
+from repro.sim import Simulator
+
+
+def make_cache(max_cached, **kw):
+    sim = Simulator()
+    kw.setdefault("min_dirty", 10_000)
+    kw.setdefault("max_dirty", 20_000)
+    return ClientCache(sim, max_cached=max_cached, **kw)
+
+
+def test_clean_data_evicted_above_threshold():
+    cache = make_cache(max_cached=20_000)
+    # 30 KB of clean data across three stripes.
+    for i in range(3):
+        cache.insert_clean(("f", i), 0, 10_000, sn=1, data=None)
+    assert cache.cached_bytes <= 20_000
+    assert cache.bytes_evicted >= 10_000
+
+
+def test_lru_order_evicts_oldest_stripe_first():
+    cache = make_cache(max_cached=20_000)
+    cache.insert_clean(("f", 0), 0, 10_000, sn=1)
+    cache.insert_clean(("f", 1), 0, 10_000, sn=1)
+    # Touch stripe 0 (a read-path insert counts as recent use).
+    cache.insert_clean(("f", 0), 0, 1, sn=1)
+    cache.insert_clean(("f", 2), 0, 10_000, sn=1)  # forces eviction
+    # Stripe 1 (least recently used) lost its data; stripe 0 kept it.
+    assert not cache.covers(("f", 1), 0, 10_000)
+    assert cache.covers(("f", 0), 0, 10_000)
+
+
+def test_dirty_data_never_evicted():
+    cache = make_cache(max_cached=20_000)
+    cache.write(("f", 0), 0, 15_000, sn=1, data=None)   # dirty
+    cache.insert_clean(("f", 1), 0, 15_000, sn=1)       # clean overflow
+    # The dirty stripe survives untouched.
+    assert cache.has_dirty(("f", 0), ((0, 15_000),))
+    assert cache.dirty_bytes == 15_000
+    assert cache.cached_bytes <= 20_000 or \
+        cache.dirty_bytes > cache.max_cached  # only clean was evictable
+
+
+def test_no_threshold_means_no_eviction():
+    cache = make_cache(max_cached=None)
+    for i in range(10):
+        cache.insert_clean(("f", i), 0, 10_000, sn=1)
+    assert cache.cached_bytes == 100_000
+    assert cache.bytes_evicted == 0
+
+
+def test_evicted_data_is_refetchable_miss():
+    cache = make_cache(max_cached=10_000, min_dirty=5_000,
+                       max_dirty=10_000)
+    cache.insert_clean(("f", 0), 0, 10_000, sn=1)
+    cache.insert_clean(("f", 1), 0, 10_000, sn=1)
+    _data, missing = cache.read(("f", 0), 0, 10_000)
+    assert missing == [(0, 10_000)]  # clean miss, safe to refetch
+
+
+def test_max_cached_must_cover_max_dirty():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ClientCache(sim, min_dirty=100, max_dirty=1000, max_cached=500)

@@ -1,0 +1,128 @@
+"""Tests for burst-buffer tiering (the §VII future-work extension)."""
+
+import pytest
+
+from repro.pfs.tiering import BackingStore, DrainManager, attach_backing_store
+from tests.integration.conftest import small_cluster
+
+
+def read_backing(cluster, backing, path):
+    """Assemble a file's bytes from the backing store (oracle)."""
+    meta = cluster.metadata.lookup(path)
+    from repro.pfs.layout import StripeLayout
+    lay = StripeLayout(meta.stripe_count, meta.stripe_size)
+    sizes = {s: backing.store.size((meta.fid, s))
+             for s in range(meta.stripe_count)}
+    size = lay.file_size_from_stripe_sizes(sizes)
+    out = bytearray(size)
+    for frag in lay.map_extent(0, size):
+        key = (meta.fid, frag.stripe)
+        out[frag.file_offset:frag.file_offset + frag.length] = \
+            backing.store.read(key, frag.local_offset, frag.length)
+    return bytes(out)
+
+
+def test_drain_all_copies_durable_bytes():
+    cluster = small_cluster(clients=1, servers=2, stripe_size=512)
+    backing, managers = attach_backing_store(cluster, chunk=256)
+    cluster.create_file("/bb", stripe_count=4)
+    payload = bytes(range(256)) * 8  # 2 KB across 4 stripes
+
+    def work(c):
+        fh = yield from c.open("/bb")
+        yield from c.write(fh, 0, payload)
+        yield from c.fsync(fh)
+        for m in managers:
+            yield from m.drain_all()
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert read_backing(cluster, backing, "/bb") == payload
+    assert backing.bytes_staged_out == len(payload)
+
+
+def test_incremental_drain_moves_only_new_bytes():
+    cluster = small_cluster(clients=1, servers=1)
+    backing, (mgr,) = attach_backing_store(cluster, chunk=64)
+    cluster.create_file("/inc", stripe_count=1)
+
+    def work(c):
+        fh = yield from c.open("/inc")
+        yield from c.write(fh, 0, b"a" * 100)
+        yield from c.fsync(fh)
+        yield from mgr.drain_all()
+        first = backing.bytes_staged_out
+        yield from c.write(fh, 100, b"b" * 50)
+        yield from c.fsync(fh)
+        yield from mgr.drain_all()
+        assert backing.bytes_staged_out - first == 50  # only the delta
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert read_backing(cluster, backing, "/inc") == b"a" * 100 + b"b" * 50
+
+
+def test_drain_takes_simulated_time_at_backing_speed():
+    cluster = small_cluster(clients=1, servers=1)
+    backing, (mgr,) = attach_backing_store(cluster, bandwidth=1e6,
+                                           latency=0.0, chunk=1 << 20)
+    cluster.create_file("/slow", stripe_count=1)
+    span = {}
+
+    def work(c):
+        fh = yield from c.open("/slow")
+        yield from c.write(fh, 0, nbytes=1_000_000)
+        yield from c.fsync(fh)
+        t0 = c.sim.now
+        yield from mgr.drain_all()
+        span["drain"] = c.sim.now - t0
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert span["drain"] >= 1.0  # 1 MB at 1 MB/s
+
+
+def test_stage_in_restores_after_ephemeral_loss():
+    cluster = small_cluster(clients=2, servers=1)
+    backing, (mgr,) = attach_backing_store(cluster, chunk=64)
+    cluster.create_file("/restore", stripe_count=1)
+
+    def producer(c):
+        fh = yield from c.open("/restore")
+        yield from c.write(fh, 0, b"precious-data")
+        yield from c.fsync(fh)
+        yield from mgr.drain_all()
+
+    cluster.run_clients([producer(cluster.clients[0])])
+    # The ephemeral instance loses everything (job teardown).
+    cluster.data_servers[0].store.clear()
+    cluster.data_servers[0].extent_cache.clear()
+    meta = cluster.metadata.lookup("/restore")
+
+    def restorer():
+        yield from mgr.stage_in((meta.fid, 0))
+
+    cluster.run_clients([restorer()])
+    assert cluster.read_back("/restore") == b"precious-data"
+    assert mgr.stats.stage_ins == 1
+
+
+def test_drain_daemon_drains_in_background():
+    cluster = small_cluster(clients=1, servers=1)
+    backing, (mgr,) = attach_backing_store(cluster)
+    mgr.start_daemon(interval=0.001, threshold=0)
+    cluster.create_file("/bg", stripe_count=1)
+
+    def work(c):
+        fh = yield from c.open("/bg")
+        yield from c.write(fh, 0, b"x" * 500)
+        yield from c.fsync(fh)
+        yield c.sim.timeout(0.05)  # let the daemon run
+
+    cluster.run_clients([work(cluster.clients[0])])
+    assert backing.bytes_staged_out == 500
+    assert mgr.dirty_bytes() == 0
+
+
+def test_bad_chunk_rejected():
+    cluster = small_cluster(clients=1, servers=1)
+    backing = BackingStore(cluster.sim)
+    with pytest.raises(ValueError):
+        DrainManager(cluster.data_servers[0], backing, chunk=0)

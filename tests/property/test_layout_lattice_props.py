@@ -1,0 +1,93 @@
+"""Property-based tests for striping layout and the lock-mode lattice."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dlm.types import LockMode, can_satisfy, severity_lub
+from repro.pfs.layout import StripeLayout
+
+layouts = st.builds(StripeLayout,
+                    st.integers(1, 8),
+                    st.sampled_from([64, 100, 1024, 4096]))
+modes = st.sampled_from(list(LockMode))
+
+
+@given(layouts, st.integers(0, 1 << 20))
+@settings(max_examples=200, deadline=None)
+def test_locate_roundtrip(lay, off):
+    stripe, local = lay.locate(off)
+    assert lay.local_to_file(stripe, local) == off
+
+
+@given(layouts, st.integers(0, 1 << 16), st.integers(0, 1 << 12))
+@settings(max_examples=200, deadline=None)
+def test_map_extent_partitions_the_range(lay, off, length):
+    frags = lay.map_extent(off, length)
+    # Fragments tile [off, off+length) exactly, in file order.
+    pos = off
+    for f in frags:
+        assert f.file_offset == pos
+        assert f.length > 0
+        stripe, local = lay.locate(f.file_offset)
+        assert (stripe, local) == (f.stripe, f.local_offset)
+        pos += f.length
+    assert pos == off + length or (length == 0 and not frags)
+
+
+@given(layouts, st.integers(0, 1 << 16), st.integers(1, 1 << 12))
+@settings(max_examples=200, deadline=None)
+def test_per_stripe_extents_are_contiguous(lay, off, length):
+    """The lock path relies on this: one extent per stripe suffices for
+    any contiguous file extent."""
+    frags = lay.map_extent(off, length)
+    per_stripe_bytes = {}
+    for f in frags:
+        per_stripe_bytes[f.stripe] = \
+            per_stripe_bytes.get(f.stripe, 0) + f.length
+    for stripe, (s, e) in lay.stripe_extents(off, length).items():
+        assert e - s == per_stripe_bytes[stripe], \
+            "stripe-local extent has holes"
+
+
+@given(layouts, st.integers(0, 1 << 16))
+@settings(max_examples=200, deadline=None)
+def test_stripe_local_sizes_partition_file_size(lay, size):
+    assert sum(lay.stripe_local_size(s, size)
+               for s in range(lay.stripe_count)) == size
+
+
+@given(layouts, st.integers(0, 1 << 16))
+@settings(max_examples=100, deadline=None)
+def test_file_size_roundtrip_through_stripe_sizes(lay, size):
+    sizes = {s: lay.stripe_local_size(s, size)
+             for s in range(lay.stripe_count)}
+    assert lay.file_size_from_stripe_sizes(sizes) == size
+
+
+# ------------------------------------------------------------- the lattice
+@given(modes, modes, modes)
+@settings(max_examples=100, deadline=None)
+def test_lub_associative(a, b, c):
+    assert severity_lub(severity_lub(a, b), c) is \
+        severity_lub(a, severity_lub(b, c))
+
+
+@given(modes, modes)
+@settings(max_examples=64, deadline=None)
+def test_lub_is_least(a, b):
+    """No strictly less restrictive mode also satisfies both inputs."""
+    lub = severity_lub(a, b)
+    for m in LockMode:
+        if m is lub:
+            continue
+        if can_satisfy(lub, m) and m is not lub:
+            # m is below lub; it must fail to satisfy at least one input.
+            if can_satisfy(m, a) and can_satisfy(m, b):
+                raise AssertionError(
+                    f"lub({a},{b})={lub} but smaller {m} satisfies both")
+
+
+@given(modes, modes, modes)
+@settings(max_examples=100, deadline=None)
+def test_can_satisfy_transitive(a, b, c):
+    if can_satisfy(a, b) and can_satisfy(b, c):
+        assert can_satisfy(a, c)

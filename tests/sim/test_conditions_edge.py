@@ -1,0 +1,85 @@
+"""Edge cases for AnyOf/AllOf condition events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_any_of_with_already_triggered_event():
+    sim = Simulator()
+    done = sim.timeout(0)
+    got = []
+
+    def proc(sim):
+        yield sim.timeout(1)  # let `done` process first
+        res = yield sim.any_of([done, sim.timeout(100)])
+        got.append((sim.now, len(res)))
+
+    sim.spawn(proc(sim))
+    sim.run(until=5)
+    assert got == [(1.0, 1)]
+
+
+def test_all_of_with_mixture_of_done_and_pending():
+    sim = Simulator()
+    early = sim.timeout(1)
+    late = sim.timeout(4)
+    got = []
+
+    def proc(sim):
+        yield sim.timeout(2)
+        res = yield sim.all_of([early, late])
+        got.append((sim.now, sorted(res.values(), key=str)))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got[0][0] == 4.0
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    bad = sim.event()
+    caught = []
+
+    def proc(sim):
+        try:
+            yield sim.any_of([bad, sim.timeout(100)])
+        except ValueError:
+            caught.append(sim.now)
+
+    sim.spawn(proc(sim))
+    bad.fail(ValueError("x"))
+    sim.run(until=1)
+    assert caught == [0.0]
+
+
+def test_all_of_failure_propagates():
+    sim = Simulator()
+    bad = sim.event()
+    good = sim.timeout(1)
+    caught = []
+
+    def proc(sim):
+        try:
+            yield sim.all_of([good, bad])
+        except KeyError:
+            caught.append(sim.now)
+
+    sim.spawn(proc(sim))
+    bad.fail(KeyError("y"))
+    sim.run()
+    assert caught == [0.0]
+
+
+def test_nested_conditions():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        inner = sim.all_of([sim.timeout(1), sim.timeout(2)])
+        res = yield sim.any_of([inner, sim.timeout(10)])
+        got.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [2.0]

@@ -1,0 +1,82 @@
+"""Tests for run_until_event (termination with perpetual daemons)."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_run_until_event_ignores_perpetual_daemons():
+    sim = Simulator()
+    ticks = []
+
+    def daemon(sim):
+        while True:
+            yield sim.timeout(1.0)
+            ticks.append(sim.now)
+
+    def job(sim):
+        yield sim.timeout(3.5)
+        return "done"
+
+    sim.spawn(daemon(sim))
+    p = sim.spawn(job(sim))
+    sim.run_until_event(p)
+    assert p.value == "done"
+    assert sim.now == 3.5
+    assert len(ticks) == 3  # the daemon ran but did not block termination
+
+
+def test_run_until_event_detects_deadlock():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+
+    def waiter(sim):
+        yield ev
+
+    p = sim.spawn(waiter(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_event(p)
+
+
+def test_run_until_event_budget():
+    sim = Simulator()
+
+    def spin(sim):
+        while True:
+            yield sim.timeout(0.001)
+
+    def job(sim):
+        yield sim.timeout(1e9)
+
+    sim.spawn(spin(sim))
+    p = sim.spawn(job(sim))
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run_until_event(p, max_events=1000)
+
+
+def test_run_until_event_already_processed():
+    sim = Simulator()
+
+    def job(sim):
+        yield sim.timeout(1)
+
+    p = sim.spawn(job(sim))
+    sim.run()
+    sim.run_until_event(p)  # no-op, returns immediately
+    assert sim.now == 1.0
+
+
+def test_failed_process_surfaces_through_run_until():
+    sim = Simulator()
+    from repro.sim.core import AllOf
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("crash")
+
+    def good(sim):
+        yield sim.timeout(5)
+
+    procs = [sim.spawn(bad(sim)), sim.spawn(good(sim))]
+    with pytest.raises(ValueError, match="crash"):
+        sim.run_until_event(AllOf(sim, procs))

@@ -1,0 +1,103 @@
+"""Unit tests for the byte-accurate block store."""
+
+import pytest
+
+from repro.storage import BlockStore, StripeObject
+
+
+# ---------------------------------------------------------------- StripeObject
+def test_write_then_read_roundtrip():
+    obj = StripeObject()
+    obj.write(0, b"hello world")
+    assert obj.read(0, 11) == b"hello world"
+    assert obj.size == 11
+
+
+def test_sparse_read_returns_zeroes():
+    obj = StripeObject()
+    obj.write(100, b"x")
+    assert obj.read(0, 4) == b"\x00" * 4
+    assert obj.read(98, 4) == b"\x00\x00x\x00"
+    assert obj.size == 101
+
+
+def test_read_past_end_is_zero_filled():
+    obj = StripeObject()
+    obj.write(0, b"ab")
+    assert obj.read(0, 5) == b"ab\x00\x00\x00"
+
+
+def test_overwrite_replaces_bytes():
+    obj = StripeObject()
+    obj.write(0, b"aaaa")
+    obj.write(1, b"bb")
+    assert obj.read(0, 4) == b"abba"
+
+
+def test_growth_preserves_content():
+    obj = StripeObject()
+    obj.write(0, b"start")
+    obj.write(1_000_000, b"end")
+    assert obj.read(0, 5) == b"start"
+    assert obj.read(1_000_000, 3) == b"end"
+    assert obj.size == 1_000_003
+
+
+def test_truncate_shrink_zeroes_tail():
+    obj = StripeObject()
+    obj.write(0, b"abcdef")
+    obj.truncate(3)
+    assert obj.size == 3
+    # Bytes past the new size read as zero even though the buffer is larger.
+    assert obj.read(0, 6) == b"abc\x00\x00\x00"
+
+
+def test_truncate_grow_extends_size():
+    obj = StripeObject()
+    obj.write(0, b"ab")
+    obj.truncate(10)
+    assert obj.size == 10
+    assert obj.read(0, 10) == b"ab" + b"\x00" * 8
+
+
+def test_invalid_args_rejected():
+    obj = StripeObject()
+    with pytest.raises(ValueError):
+        obj.write(-1, b"x")
+    with pytest.raises(ValueError):
+        obj.read(-1, 1)
+    with pytest.raises(ValueError):
+        obj.truncate(-1)
+
+
+# ---------------------------------------------------------------- BlockStore
+def test_store_isolates_stripes():
+    bs = BlockStore()
+    bs.write(("f", 0), 0, b"stripe0")
+    bs.write(("f", 1), 0, b"stripe1")
+    assert bs.read(("f", 0), 0, 7) == b"stripe0"
+    assert bs.read(("f", 1), 0, 7) == b"stripe1"
+
+
+def test_store_read_missing_stripe_is_zeroes():
+    bs = BlockStore()
+    assert bs.read("nope", 0, 4) == b"\x00" * 4
+    assert bs.size("nope") == 0
+    assert not bs.has("nope")
+
+
+def test_store_size_and_ids():
+    bs = BlockStore()
+    bs.write("a", 10, b"zz")
+    assert bs.size("a") == 12
+    assert bs.stripe_ids() == ("a",)
+
+
+def test_store_drop_and_clear():
+    bs = BlockStore()
+    bs.write("a", 0, b"x")
+    bs.write("b", 0, b"y")
+    bs.drop("a")
+    assert not bs.has("a") and bs.has("b")
+    bs.clear()
+    assert bs.stripe_ids() == ()

@@ -1,0 +1,107 @@
+"""Unit tests for the storage device timing model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import StorageDevice, WriteCostModel
+from repro.storage.device import PAGE_SIZE
+
+
+def run_io(device, sim, ops):
+    """ops: list of ('r'|'w', nbytes); returns completion times."""
+    times = []
+
+    def proc(sim):
+        for kind, n in ops:
+            ev = device.write(n) if kind == "w" else device.read(n)
+            yield ev
+            times.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    return times
+
+
+def test_write_time_is_latency_plus_transfer():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1e6, latency=0.5)
+    times = run_io(dev, sim, [("w", 1_000_000)])
+    assert times == [pytest.approx(1.5)]
+
+
+def test_sequential_ios_serialize():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1e6, latency=0.0)
+    times = run_io(dev, sim, [("w", 500_000), ("r", 500_000)])
+    assert times == [pytest.approx(0.5), pytest.approx(1.0)]
+
+
+def test_concurrent_ios_share_channel():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1e6, latency=0.0)
+    times = []
+
+    def writer(sim, n):
+        yield dev.write(n)
+        times.append(sim.now)
+
+    for _ in range(3):
+        sim.spawn(writer(sim, 1_000_000))
+    sim.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_first_page_cost_model():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=PAGE_SIZE, latency=0.0,
+                        write_cost=WriteCostModel.FIRST_PAGE)
+    times = run_io(dev, sim, [("w", 10 * PAGE_SIZE)])
+    # Only one page charged -> exactly 1 second at PAGE_SIZE B/s.
+    assert times == [pytest.approx(1.0)]
+    assert dev.stats.bytes_written == PAGE_SIZE
+
+
+def test_noop_cost_model_charges_latency_only():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1.0, latency=0.25,
+                        write_cost=WriteCostModel.NOOP)
+    times = run_io(dev, sim, [("w", 10**9)])
+    assert times == [pytest.approx(0.25)]
+    assert dev.stats.bytes_written == 0
+
+
+def test_reads_never_discounted():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1e6, latency=0.0,
+                        write_cost=WriteCostModel.NOOP)
+    times = run_io(dev, sim, [("r", 1_000_000)])
+    assert times == [pytest.approx(1.0)]
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1e6, latency=0.0)
+    run_io(dev, sim, [("w", 100), ("w", 200), ("r", 300)])
+    assert dev.stats.writes == 2
+    assert dev.stats.reads == 1
+    assert dev.stats.bytes_written == 300
+    assert dev.stats.bytes_read == 300
+    assert dev.stats.busy_time == pytest.approx(600 / 1e6)
+
+
+def test_queue_delay_reflects_backlog():
+    sim = Simulator()
+    dev = StorageDevice(sim, bandwidth=1e6, latency=0.0)
+    dev.write(2_000_000)  # 2 seconds of work booked at t=0
+    assert dev.queue_delay == pytest.approx(2.0)
+
+
+def test_invalid_sizes_and_config():
+    sim = Simulator()
+    dev = StorageDevice(sim)
+    with pytest.raises(ValueError):
+        dev.write(-1)
+    with pytest.raises(ValueError):
+        dev.read(-1)
+    with pytest.raises(ValueError):
+        StorageDevice(sim, bandwidth=0)

@@ -1,0 +1,95 @@
+"""End-to-end tests of the workload drivers themselves."""
+
+import pytest
+
+from repro.pfs import Cluster, ClusterConfig
+from repro.sim.sync import Barrier
+from repro.workloads import (
+    IorConfig,
+    TileIoConfig,
+    VpicConfig,
+    run_ior,
+    run_tile_io,
+    run_vpic,
+)
+from repro.workloads.tile_io import tile_extents
+
+
+def test_ior_driver_accounts_all_bytes():
+    r = run_ior(IorConfig(pattern="n-n", clients=3, writes_per_client=4,
+                          xfer=8192, cluster=ClusterConfig(num_clients=3)))
+    assert r.bytes_written == 3 * 4 * 8192
+    assert r.pio_time > 0 and r.f_time > 0
+    assert r.bandwidth > 0
+
+
+def test_ior_driver_rejects_unknown_pattern():
+    with pytest.raises(ValueError, match="unknown pattern"):
+        run_ior(IorConfig(pattern="zigzag", clients=2,
+                          writes_per_client=1,
+                          cluster=ClusterConfig(num_clients=2)))
+
+
+def test_tile_io_driver_runs_and_counts_bytes():
+    cfg = TileIoConfig(tile_rows=1, tile_cols=2, tile_dim=16, overlap=4,
+                       stripes=1,
+                       cluster=ClusterConfig(num_clients=2,
+                                             stripe_size=4096))
+    r = run_tile_io(cfg)
+    assert r.bytes_written == 2 * 16 * 16 * 4  # 2 tiles of 16x16 pixels
+    assert r.pio_time > 0
+
+
+def test_tile_io_overlap_pixels_single_winner():
+    """Content-tracked Tile-IO: every pixel of the final image belongs
+    to exactly one of the tiles that covers it (atomic overlap)."""
+    cfg = TileIoConfig(tile_rows=1, tile_cols=2, tile_dim=8, overlap=2)
+    cluster = Cluster(ClusterConfig(
+        num_data_servers=1, num_clients=cfg.clients, dlm="seqdlm",
+        stripe_size=4096, page_size=16, track_content=True,
+        start_cleaner=False))
+    cluster.create_file("/tile", stripe_count=1)
+    barrier = Barrier(cluster.sim, cfg.clients)
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/tile")
+        yield barrier.wait()
+        fill = bytes([65 + rank])
+        ops = [(off, fill * size) for off, size in tile_extents(cfg, rank)]
+        yield from c.write_vector(fh, ops, atomic=True)
+        yield from c.fsync(fh)
+
+    cluster.run_clients([worker(r) for r in range(cfg.clients)])
+    img = cluster.read_back("/tile")
+    # Which ranks cover each byte?
+    coverage = {}
+    for rank in range(cfg.clients):
+        for off, size in tile_extents(cfg, rank):
+            for b in range(off, off + size):
+                coverage.setdefault(b, set()).add(bytes([65 + rank]))
+    for b, owners in coverage.items():
+        assert img[b:b + 1] in owners, f"pixel byte {b} from nobody"
+    # Overlap columns exist and were written by exactly one of the two.
+    overlap_bytes = [b for b, o in coverage.items() if len(o) == 2]
+    assert overlap_bytes, "test geometry must produce overlaps"
+
+
+def test_vpic_driver_with_and_without_iof():
+    base = dict(clients=2, ranks_per_client=2, particles_per_rank=512,
+                iterations=2, stripes=1)
+    direct = run_vpic(VpicConfig(
+        **base, cluster=ClusterConfig(num_clients=2)))
+    funneled = run_vpic(VpicConfig(
+        **base, iof_threads=1, cluster=ClusterConfig(num_clients=2)))
+    assert direct.bytes_written == funneled.bytes_written
+    assert direct.pio_time > 0 and funneled.pio_time > 0
+    # A 1-thread funnel cannot be faster than direct 2-rank IO.
+    assert funneled.pio_time >= direct.pio_time * 0.9
+
+
+def test_vpic_total_bytes_formula():
+    cfg = VpicConfig(clients=2, ranks_per_client=2, particles_per_rank=100,
+                     iterations=3)
+    # 4 ranks x 3 iters x 8 vars x 100 particles x 4 B
+    assert cfg.total_bytes == 4 * 3 * 8 * 100 * 4

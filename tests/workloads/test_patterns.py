@@ -1,0 +1,73 @@
+"""Unit tests for the access-pattern generators (Fig. 2 shapes)."""
+
+import pytest
+
+from repro.workloads.patterns import (
+    interleaved_rw_ops,
+    n1_segmented_offsets,
+    n1_strided_offsets,
+    n_n_offsets,
+)
+
+
+def test_n_n_sequential():
+    assert n_n_offsets(3, 100) == [(0, 100), (100, 100), (200, 100)]
+
+
+def test_segmented_ranks_are_disjoint_and_contiguous():
+    nranks, writes, size = 4, 8, 64
+    seen = set()
+    for rank in range(nranks):
+        offs = n1_segmented_offsets(rank, nranks, writes, size)
+        assert offs[0][0] == rank * writes * size
+        for (o1, s1), (o2, _s2) in zip(offs, offs[1:]):
+            assert o2 == o1 + s1  # contiguous within the segment
+        for o, s in offs:
+            span = (o, o + s)
+            assert span not in seen
+            seen.add(span)
+    # The union tiles [0, nranks*writes*size) exactly.
+    assert len(seen) == nranks * writes
+    total = sorted(seen)
+    assert total[0][0] == 0 and total[-1][1] == nranks * writes * size
+
+
+def test_strided_interleaves_ranks():
+    offs0 = n1_strided_offsets(0, 2, 3, 10)
+    offs1 = n1_strided_offsets(1, 2, 3, 10)
+    assert offs0 == [(0, 10), (20, 10), (40, 10)]
+    assert offs1 == [(10, 10), (30, 10), (50, 10)]
+
+
+def test_strided_adjacent_blocks_touch():
+    """Rank r's block i is byte-adjacent to rank r+1's block i — the
+    adjacency that makes 4 KB-aligned locks conflict (§V-C2)."""
+    a = n1_strided_offsets(0, 4, 2, 47_008)
+    b = n1_strided_offsets(1, 4, 2, 47_008)
+    assert a[0][0] + a[0][1] == b[0][0]
+
+
+def test_strided_covers_whole_file_once():
+    nranks, writes, size = 3, 4, 7
+    covered = sorted(o for r in range(nranks)
+                     for o, _s in n1_strided_offsets(r, nranks, writes, size))
+    assert covered == [i * size for i in range(nranks * writes)]
+
+
+def test_interleaved_rw_alternates():
+    ops = interleaved_rw_ops(6, 100)
+    assert [k for k, _o, _s in ops] == ["w", "r", "w", "r", "w", "r"]
+    # Read i targets the extent write i just produced.
+    assert ops[0][1:] == ops[1][1:]
+    assert ops[2][1:] == ops[3][1:] == (100, 100)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        n_n_offsets(1, 0)
+    with pytest.raises(ValueError):
+        n1_strided_offsets(5, 4, 1, 10)
+    with pytest.raises(ValueError):
+        n1_segmented_offsets(-1, 4, 1, 10)
+    with pytest.raises(ValueError):
+        interleaved_rw_ops(1, 0)

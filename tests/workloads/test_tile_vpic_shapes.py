@@ -1,0 +1,85 @@
+"""Unit tests for the Tile-IO and VPIC workload geometry (pure shapes,
+no cluster)."""
+
+import pytest
+
+from repro.dlm.extent import overlaps
+from repro.workloads.tile_io import PIXEL, TileIoConfig, tile_extents
+from repro.workloads.vpic import NUM_VARS, VpicConfig
+
+
+# ---------------------------------------------------------------- Tile-IO
+def test_tile_grid_dimensions():
+    cfg = TileIoConfig(tile_rows=2, tile_cols=3, tile_dim=100, overlap=10)
+    assert cfg.clients == 6
+    assert cfg.image_width == 3 * 100 - 2 * 10
+    assert cfg.image_height == 2 * 100 - 1 * 10
+
+
+def test_tile_extents_one_per_row():
+    cfg = TileIoConfig(tile_rows=1, tile_cols=2, tile_dim=8, overlap=2)
+    exts = tile_extents(cfg, 0)
+    assert len(exts) == cfg.tile_dim
+    for off, size in exts:
+        assert size == cfg.tile_dim * PIXEL
+    # Consecutive rows are one image-row apart.
+    assert exts[1][0] - exts[0][0] == cfg.image_width * PIXEL
+
+
+def test_horizontally_adjacent_tiles_overlap():
+    cfg = TileIoConfig(tile_rows=1, tile_cols=2, tile_dim=8, overlap=2)
+    left = tile_extents(cfg, 0)
+    right = tile_extents(cfg, 1)
+    row_l = (left[0][0], left[0][0] + left[0][1])
+    row_r = (right[0][0], right[0][0] + right[0][1])
+    assert overlaps(row_l, row_r)
+    assert row_l[1] - row_r[0] == cfg.overlap * PIXEL
+
+
+def test_vertically_adjacent_tiles_overlap():
+    cfg = TileIoConfig(tile_rows=2, tile_cols=1, tile_dim=8, overlap=2)
+    top = tile_extents(cfg, 0)
+    bottom = tile_extents(cfg, 1)
+    shared = set(e for e in top) & set(e for e in bottom)
+    assert len(shared) == cfg.overlap  # overlap rows are shared extents
+
+
+def test_disjoint_tiles_do_not_overlap():
+    cfg = TileIoConfig(tile_rows=1, tile_cols=3, tile_dim=8, overlap=2)
+    a = tile_extents(cfg, 0)
+    c = tile_extents(cfg, 2)
+    for off_a, sz_a in a:
+        for off_c, sz_c in c:
+            assert not overlaps((off_a, off_a + sz_a),
+                                (off_c, off_c + sz_c))
+
+
+# ------------------------------------------------------------------ VPIC
+def test_vpic_offsets_are_disjoint_within_iteration():
+    cfg = VpicConfig(clients=2, ranks_per_client=2, particles_per_rank=10,
+                     iterations=2)
+    spans = []
+    for v in range(NUM_VARS):
+        for r in range(cfg.total_ranks):
+            off = cfg.offset(0, v, r)
+            spans.append((off, off + cfg.write_size))
+    spans.sort()
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2, "variable segments overlap"
+    # An iteration's region tiles contiguously.
+    assert spans[0][0] == 0
+    assert spans[-1][1] == cfg.total_ranks * cfg.particles_per_rank * \
+        NUM_VARS * 4
+
+
+def test_vpic_iterations_stack():
+    cfg = VpicConfig(clients=1, ranks_per_client=2, particles_per_rank=8,
+                     iterations=3)
+    iter_bytes = cfg.total_ranks * cfg.particles_per_rank * NUM_VARS * 4
+    assert cfg.offset(1, 0, 0) - cfg.offset(0, 0, 0) == iter_bytes
+    assert cfg.total_bytes == 3 * iter_bytes
+
+
+def test_vpic_rank_data_contiguous_per_variable():
+    cfg = VpicConfig(clients=1, ranks_per_client=4, particles_per_rank=8)
+    assert cfg.offset(0, 0, 1) - cfg.offset(0, 0, 0) == cfg.write_size

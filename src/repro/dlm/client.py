@@ -37,8 +37,15 @@ from repro.dlm.messages import (
     RevokeMsg,
 )
 from repro.dlm.types import LockMode, LockState, can_satisfy
-from repro.net.fabric import Node
-from repro.net.rpc import CTRL_MSG_BYTES, one_way, rpc_call
+from repro.net.fabric import Node, UnknownServiceError
+from repro.net.rpc import (
+    CTRL_MSG_BYTES,
+    RetryPolicy,
+    RpcTimeoutError,
+    one_way,
+    rpc_call,
+    rpc_call_retry,
+)
 
 __all__ = ["ClientLock", "LockClient", "LockClientStats"]
 
@@ -74,6 +81,11 @@ class LockClientStats:
     revokes_received: int = 0
     cancels: int = 0
     downgrades: int = 0
+    #: Retries of the lock-request RPC itself (fault runs only).
+    request_retries: int = 0
+    #: Reliable notifications (acks/downgrades/releases) that exhausted
+    #: their retry budget — the server-side watchdogs must clean up.
+    notify_failures: int = 0
     #: Time from sending a lock request to receiving the grant.
     lock_wait_time: float = 0.0
     #: Time spent in cancel routines (downgrade + flush + release) — the
@@ -99,11 +111,18 @@ class LockClient:
     """Client half of the DLM on one node."""
 
     def __init__(self, node: Node, config: DLMConfig,
-                 server_for: Callable[[Hashable], Node]):
+                 server_for: Callable[[Hashable], Node],
+                 retry: Optional[RetryPolicy] = None, rng=None):
         self.node = node
         self.sim = node.sim
         self.config = config
         self.server_for = server_for
+        #: When set, lock requests retry with backoff and protocol
+        #: notifications (acks, downgrades, releases) become reliable
+        #: acked RPCs instead of fire-and-forget one-ways — required for
+        #: runs under injected message loss (see repro.faults).
+        self.retry = retry
+        self.rng = rng
         self.stats = LockClientStats()
         self.flush_fn: FlushFn = _noop_flush
         self.dirty_fn: DirtyFn = lambda lock: False
@@ -161,12 +180,18 @@ class LockClient:
         self.stats.requests += 1
         t0 = self.sim.now
         server = self.server_for(resource_id)
-        grant: LockGrantMsg = yield rpc_call(
-            self.node, server, "dlm",
-            LockRequestMsg(resource_id=resource_id, mode=mode,
-                           extents=tuple(extents),
-                           client_name=self.node.name),
-            nbytes=CTRL_MSG_BYTES + 32 * max(0, len(extents) - 1))
+        request = LockRequestMsg(resource_id=resource_id, mode=mode,
+                                 extents=tuple(extents),
+                                 client_name=self.node.name)
+        nbytes = CTRL_MSG_BYTES + 32 * max(0, len(extents) - 1)
+        if self.retry is None:
+            grant: LockGrantMsg = yield rpc_call(
+                self.node, server, "dlm", request, nbytes=nbytes)
+        else:
+            grant = yield from rpc_call_retry(
+                self.node, server, "dlm", request, nbytes=nbytes,
+                policy=self.retry, rng=self.rng,
+                on_retry=self._count_request_retry)
         self.stats.lock_wait_time += self.sim.now - t0
         self.stats.grants += 1
 
@@ -181,11 +206,39 @@ class LockClient:
             # A revocation raced ahead of this grant: honour it now.
             self._pending_revokes.discard(key)
             lock.state = LockState.CANCELING
-            one_way(self.node, server, "dlm",
-                    RevokeAckMsg(lock.lock_id, resource_id),
-                    nbytes=CTRL_MSG_BYTES)
+            self._notify(server, RevokeAckMsg(lock.lock_id, resource_id))
         self._mark_use(lock, for_write)
         return lock
+
+    def _count_request_retry(self, _attempt: int) -> None:
+        self.stats.request_retries += 1
+
+    # -------------------------------------------------------- notifications
+    def _notify(self, server: Node, payload) -> None:
+        """Send a protocol notification (ack / downgrade / release).
+
+        Fire-and-forget ``one_way`` normally; with a retry policy it
+        becomes a background acked RPC that retries until the server has
+        definitely seen it — under injected loss a silently dropped
+        release would wedge every waiter behind the dead lock.
+        """
+        if self.retry is None:
+            one_way(self.node, server, "dlm", payload,
+                    nbytes=CTRL_MSG_BYTES)
+        else:
+            self.sim.spawn(self._reliable_notify(server, payload),
+                           name=f"{self.node.name}-notify")
+
+    def _reliable_notify(self, server: Node, payload) -> Generator:
+        try:
+            yield from rpc_call_retry(self.node, server, "dlm", payload,
+                                      nbytes=CTRL_MSG_BYTES,
+                                      policy=self.retry, rng=self.rng)
+        except (RpcTimeoutError, UnknownServiceError):
+            # The server is gone for good (or restarted): its recovery
+            # path regathers lock state from clients, so this
+            # notification is obsolete rather than lost.
+            self.stats.notify_failures += 1
 
     def _cache_lookup(self, resource_id, extents, mode) -> Optional[ClientLock]:
         for cl in self._cache.get(resource_id, ()):
@@ -250,9 +303,10 @@ class LockClient:
                                        payload.lock_id))
             return
         # Ack immediately: the lock will not be reused (Fig. 1 step ②).
-        one_way(self.node, server, "dlm",
-                RevokeAckMsg(payload.lock_id, payload.resource_id),
-                nbytes=CTRL_MSG_BYTES)
+        # Duplicate revokes (retransmits) re-ack — the earlier ack may
+        # have been the casualty.
+        self._notify(server, RevokeAckMsg(payload.lock_id,
+                                          payload.resource_id))
         lock.state = LockState.CANCELING
         self._maybe_cancel(lock)
 
@@ -279,9 +333,8 @@ class LockClient:
                 yield self.sim.spawn(self.flush_fn(lock))
                 self.stats.flush_time += self.sim.now - tf
                 flushed = True
-            one_way(self.node, server, "dlm",
-                    DowngradeMsg(lock.lock_id, lock.resource_id, new_mode),
-                    nbytes=CTRL_MSG_BYTES)
+            self._notify(server, DowngradeMsg(lock.lock_id,
+                                              lock.resource_id, new_mode))
             lock.mode = new_mode
             self.stats.downgrades += 1
 
@@ -290,9 +343,7 @@ class LockClient:
             yield self.sim.spawn(self.flush_fn(lock))
             self.stats.flush_time += self.sim.now - tf
 
-        one_way(self.node, server, "dlm",
-                ReleaseMsg(lock.lock_id, lock.resource_id),
-                nbytes=CTRL_MSG_BYTES)
+        self._notify(server, ReleaseMsg(lock.lock_id, lock.resource_id))
         self._forget(lock)
         self.stats.cancel_time += self.sim.now - t0
 

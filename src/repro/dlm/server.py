@@ -48,7 +48,13 @@ from repro.dlm.messages import (
 )
 from repro.dlm.types import LockMode, LockState, is_write_mode, severity_lub
 from repro.net.fabric import Node
-from repro.net.rpc import CTRL_MSG_BYTES, Request, RpcService, one_way
+from repro.net.rpc import (
+    CTRL_MSG_BYTES,
+    Request,
+    RetryPolicy,
+    RpcService,
+    one_way,
+)
 
 __all__ = ["LockServer", "ServerLock", "LockServerStats"]
 
@@ -107,6 +113,8 @@ class LockServerStats:
     releases: int = 0
     expansions: int = 0
     msn_queries: int = 0
+    #: Revocation callbacks re-sent by the loss watchdog (fault runs).
+    revoke_retransmits: int = 0
     #: Cumulative time between sending a revocation callback and processing
     #: its ack — the paper's breakdown part ① "lock revocation" (Fig. 17).
     revoke_wait_time: float = 0.0
@@ -120,16 +128,27 @@ class LockServer:
     """
 
     def __init__(self, node: Node, config: DLMConfig,
-                 ops: float = 213_000.0):
+                 ops: float = 213_000.0,
+                 retry: Optional[RetryPolicy] = None, rng=None,
+                 dedup: bool = False):
         self.node = node
         self.sim = node.sim
         self.config = config
+        #: When set, unacked revocation callbacks are retransmitted with
+        #: backoff (one-way callbacks can be lost under injected faults;
+        #: a silently dropped revoke would wedge the wait queue forever).
+        self.retry = retry
+        self.rng = rng
         self.stats = LockServerStats()
         self._resources: Dict[Hashable, _Resource] = {}
         self._revoke_sent_at: Dict[int, float] = {}
         self._lock_ids = itertools.count(1)
+        #: Bumped on reset_state so in-flight watchdogs from before a
+        #: crash stop retransmitting stale revocations.
+        self._epoch = 0
         self.service = RpcService(node, "dlm", self._handle, ops=ops,
-                                  cost_fn=self._dispatch_cost)
+                                  cost_fn=self._dispatch_cost,
+                                  dedup=dedup)
 
     @staticmethod
     def _dispatch_cost(msg) -> float:
@@ -152,6 +171,8 @@ class LockServer:
         """Drop all volatile lock state (crash simulation, §IV-C2)."""
         self._resources.clear()
         self._revoke_sent_at.clear()
+        self._epoch += 1
+        self.service.reset_dedup()
 
     def resource_lock_count(self, resource_id: Hashable) -> int:
         return len(self._res(resource_id).granted)
@@ -169,16 +190,28 @@ class LockServer:
             self._on_lock_request(payload, req)
         elif isinstance(payload, RevokeAckMsg):
             self._on_revoke_ack(payload)
+            self._ack_notification(req)
         elif isinstance(payload, DowngradeMsg):
             self._on_downgrade(payload)
+            self._ack_notification(req)
         elif isinstance(payload, ReleaseMsg):
             self._on_release(payload)
+            self._ack_notification(req)
         elif isinstance(payload, MsnQueryMsg):
             self._on_msn_query(payload, req)
         elif isinstance(payload, LockStateRecord):
             self._on_recover_lock(payload)
+            self._ack_notification(req)
         else:  # pragma: no cover - protocol error
             raise TypeError(f"unexpected DLM payload {payload!r}")
+
+    @staticmethod
+    def _ack_notification(req: Request) -> None:
+        """Notifications are one-way normally (req_id < 0, respond is a
+        no-op); clients running a retry policy send them as acked RPCs so
+        loss is detectable — answer those."""
+        if not req.responded:
+            req.respond("ok")
 
     # ------------------------------------------------------------- requests
     def _on_lock_request(self, msg: LockRequestMsg, req: Request) -> None:
@@ -224,6 +257,13 @@ class LockServer:
                if is_write_mode(g.mode) and g.overlaps_extents(msg.extents)]
         msn = min(sns) - 1 if sns else res.next_sn - 1
         req.respond(msn)
+
+    def bump_next_sn(self, resource_id: Hashable, floor: int) -> None:
+        """Recovery aid (§IV-C2): the extent log proves SNs below
+        ``floor`` were issued before the crash — never reissue them, even
+        when no surviving client reports the lock that carried them."""
+        res = self._res(resource_id)
+        res.next_sn = max(res.next_sn, floor)
 
     def _on_recover_lock(self, rec: LockStateRecord) -> None:
         """Reinstall a client-reported lock during server recovery."""
@@ -326,7 +366,31 @@ class LockServer:
                     one_way(self.node, client, "dlm_cb",
                             RevokeMsg(g.lock_id, res.resource_id),
                             nbytes=CTRL_MSG_BYTES)
+                    if self.retry is not None:
+                        self.sim.spawn(
+                            self._revoke_watchdog(res, g),
+                            name=f"revoke-wd-{g.lock_id}")
             break
+
+    def _revoke_watchdog(self, res: _Resource, lock: ServerLock):
+        """Retransmit an unacked revocation callback with backoff.
+
+        Stops as soon as the client acks (state leaves GRANTED), the lock
+        is released, or the server's state is reset by a crash.  Clients
+        re-ack duplicate revokes, so retransmits are safe.
+        """
+        epoch = self._epoch
+        for attempt in range(self.retry.max_retries):
+            yield self.sim.timeout(self.retry.timeout_for(attempt, self.rng))
+            if (self._epoch != epoch
+                    or res.granted.get(lock.lock_id) is not lock
+                    or lock.state is not LockState.GRANTED):
+                return
+            self.stats.revoke_retransmits += 1
+            client = self.node.fabric.nodes[lock.client_name]
+            one_way(self.node, client, "dlm_cb",
+                    RevokeMsg(lock.lock_id, res.resource_id),
+                    nbytes=CTRL_MSG_BYTES)
 
     # ------------------------------------------------------------- granting
     def _expand(self, res: _Resource, msg: LockRequestMsg,

@@ -8,9 +8,13 @@ I1. **Pairwise compatibility** — any two granted, unreleased locks on a
     their current states.  (Early grant makes this state-dependent: two
     overlapping NBW locks are legal only if all but the newest are
     CANCELING.)
-I2. **SN uniqueness & monotonicity** — write-mode grants of a resource
-    carry strictly increasing, unique SNs; no grant ever carries an SN
-    at or above the resource's next SN.
+I2. **SN uniqueness & monotonicity per epoch** — write-mode grants of a
+    resource carry strictly increasing, unique SNs; no grant ever
+    carries an SN at or above the resource's next SN.  The history is
+    scoped to the server's crash epoch: recovery restarts the sequencer
+    above every SN that provably reached a client or the extent log
+    (§IV-C2), but an SN whose grant message was lost in flight may be
+    legitimately reissued — no data ever carried it.
 I3. **Single writer in GRANTED state** — at most one overlapping
     write-mode lock per resource may be in the GRANTED state (the
     current head of the sequencer chain).
@@ -50,6 +54,7 @@ class LockValidator:
         self.max_write_sn_seen: Dict[Hashable, int] = {}
         self._seen_sns: Dict[Hashable, Set[int]] = {}
         self._seen_lock_ids: Dict[Hashable, Set[int]] = {}
+        self._epoch_seen = server._epoch
         self._orig_process = server._process
         server._process = self._checked_process
 
@@ -58,6 +63,13 @@ class LockValidator:
         self.server._process = self._orig_process
 
     def _checked_process(self, res: _Resource) -> None:
+        if self.server._epoch != self._epoch_seen:
+            # Server crashed since the last check: the I2 history is
+            # per-epoch (see module docstring).
+            self._epoch_seen = self.server._epoch
+            self.max_write_sn_seen.clear()
+            self._seen_sns.clear()
+            self._seen_lock_ids.clear()
         before_ids = set(res.granted.keys())
         self._orig_process(res)
         self.checks += 1

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the fabric and RPC layers.
+
+See :mod:`repro.faults.plan` for the fault model and
+:mod:`repro.faults.injector` for the fabric hook.  ``docs/faults.md``
+documents the seeding/replay workflow and how the chaos suite maps to
+the paper's §V-B data-safety experiments.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultConfig,
+    FaultEvent,
+    FaultPlan,
+    Partition,
+    ServerOutage,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "Partition",
+    "ServerOutage",
+]

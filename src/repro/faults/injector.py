@@ -1,0 +1,83 @@
+"""The fault injector: decides the fate of every message on the fabric.
+
+The injector attaches to a :class:`~repro.net.fabric.Fabric`; the fabric
+consults it once per non-local message, *after* computing the fault-free
+delivery time, and schedules whatever delivery times the injector
+returns:
+
+* ``[]``            — the message is dropped (loss or partition);
+* ``[t]``           — normal delivery, possibly delayed (reorder/spike);
+* ``[t, t + lag]``  — the message is delivered twice.
+
+Injection happens below the RPC layer, so every protocol path — lock
+requests, grants, revocation callbacks, acks, releases, flush RPCs and
+their replies — is exposed to loss, duplication, and reordering, exactly
+the adversarial message schedules the DES substrate is for.
+
+All draws come from the plan's seeded RNG in simulator order, so the
+injected schedule is bit-for-bit reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.net.fabric import Fabric, Message
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Per-message fault decisions for one fabric, driven by a plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.messages_seen = 0
+
+    def attach(self, fabric: "Fabric") -> "FaultInjector":
+        fabric.fault_injector = self
+        return self
+
+    def deliveries(self, msg: "Message", deliver_at: float) -> List[float]:
+        """Return the delivery times for ``msg`` (empty list = dropped)."""
+        self.messages_seen += 1
+        plan = self.plan
+        cfg = plan.config
+        now = msg.send_time
+        src, dst = msg.src.name, msg.dst.name
+        service = f"{msg.service}{'(reply)' if msg.is_reply else ''}"
+
+        part = plan.partition_active(now, src, dst)
+        if part is not None:
+            plan.record(
+                now,
+                "partition-drop",
+                src,
+                dst,
+                service,
+                detail=f"window [{part.start:g}, {part.end:g})",
+            )
+            return []
+
+        rng = plan.rng
+        if cfg.drop_rate and rng.uniform() < cfg.drop_rate:
+            plan.record(now, "drop", src, dst, service, detail=f"req_id={msg.req_id}")
+            return []
+
+        if cfg.delay_rate and rng.uniform() < cfg.delay_rate:
+            spike = rng.exponential(cfg.delay_spike)
+            deliver_at += spike
+            plan.record(now, "delay", src, dst, service, detail=f"+{spike * 1e6:.1f}us")
+        elif cfg.reorder_rate and rng.uniform() < cfg.reorder_rate:
+            hold = rng.uniform(0.0, cfg.reorder_window)
+            deliver_at += hold
+            plan.record(now, "reorder", src, dst, service, detail=f"held {hold * 1e6:.1f}us")
+
+        times = [deliver_at]
+        if cfg.duplicate_rate and rng.uniform() < cfg.duplicate_rate:
+            times.append(deliver_at + cfg.duplicate_lag)
+            plan.record(now, "duplicate", src, dst, service, detail=f"req_id={msg.req_id}")
+        return times

@@ -1,0 +1,198 @@
+"""Fault plans: seeded, replayable schedules of injected failures.
+
+A :class:`FaultPlan` couples a :class:`FaultConfig` (the *rates* and
+*windows* of injected faults) with a named sub-stream of the experiment's
+deterministic RNG.  Because the simulation kernel is deterministic, the
+sequence of per-message draws — and therefore the full injected-event
+timeline — is a pure function of ``(workload, config, seed)``: re-running
+the same seed replays the identical adversarial schedule, which is what
+the chaos CI lane relies on to make failures reproducible.
+
+The plan records every injected event (drops, duplicates, reorders,
+delay spikes, partition drops, crashes, recoveries) into ``timeline``;
+:meth:`FaultPlan.signature` hashes that timeline so tests can assert
+replay determinism with a single comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultPlan",
+    "Partition",
+    "ServerOutage",
+]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A network partition window: messages crossing the cut are dropped.
+
+    ``group_a`` lists node names on one side; ``group_b`` names the other
+    side (empty means *everything else*).  Traffic within a side is
+    unaffected — this models a switch/link failure, not a node failure.
+    """
+
+    start: float
+    end: float
+    group_a: Tuple[str, ...]
+    group_b: Tuple[str, ...] = ()
+
+    def separates(self, src: str, dst: str) -> bool:
+        a, b = src in self.group_a, dst in self.group_a
+        if a == b:
+            return False  # same side of the cut
+        if not self.group_b:
+            return True  # group_a vs rest-of-world
+        return (src in self.group_b) or (dst in self.group_b)
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """A timed crash/recover of one data-server node (§IV-C2): volatile
+    state is lost at ``start``; recovery begins ``duration`` later."""
+
+    server_index: int
+    start: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and windows of injected faults.
+
+    All rates are per-message probabilities evaluated at ``Fabric.send``
+    for every non-local message.  Durations are simulated seconds.
+    """
+
+    #: Probability a message is silently dropped.
+    drop_rate: float = 0.0
+    #: Probability a message is delivered twice.
+    duplicate_rate: float = 0.0
+    #: Lag between the two copies of a duplicated message.
+    duplicate_lag: float = 5.0e-5
+    #: Probability a message is held back by a uniform [0, reorder_window)
+    #: extra delay, letting later sends overtake it (adversarial
+    #: reordering even on the control lane's FIFO pairs).
+    reorder_rate: float = 0.0
+    reorder_window: float = 2.0e-4
+    #: Probability a message takes an exponential delay spike (congestion
+    #: burst) of mean ``delay_spike`` on top of its modelled latency.
+    delay_rate: float = 0.0
+    delay_spike: float = 2.0e-3
+    #: Timed partition windows.
+    partitions: Tuple[Partition, ...] = ()
+    #: Timed server crash/recover events (executed by the cluster).
+    outages: Tuple[ServerOutage, ...] = ()
+
+    def __post_init__(self):
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+    @property
+    def message_faults_enabled(self) -> bool:
+        return bool(
+            self.drop_rate
+            or self.duplicate_rate
+            or self.reorder_rate
+            or self.delay_rate
+            or self.partitions
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable description (CI failure artifacts)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as it happened (simulated time)."""
+
+    time: float
+    kind: str  # drop|duplicate|reorder|delay|partition-drop|crash|recover
+    src: str
+    dst: str
+    service: str = ""
+    detail: str = ""
+
+
+class FaultPlan:
+    """A seeded fault schedule plus the record of what it injected."""
+
+    def __init__(self, config: FaultConfig, seed: int = 0):
+        self.config = config
+        self.seed = int(seed)
+        self.rng = DeterministicRNG(seed, "faults")
+        self.timeline: List[FaultEvent] = []
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- recording
+    def record(
+        self,
+        time: float,
+        kind: str,
+        src: str,
+        dst: str,
+        service: str = "",
+        detail: str = "",
+    ) -> None:
+        self.timeline.append(FaultEvent(time, kind, src, dst, service, detail))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    # --------------------------------------------------------------- queries
+    def partition_active(self, now: float, src: str, dst: str) -> Optional[Partition]:
+        for part in self.config.partitions:
+            if part.start <= now < part.end and part.separates(src, dst):
+                return part
+        return None
+
+    def signature(self) -> str:
+        """Stable hash of the injected-event timeline (determinism/replay
+        assertions compare two runs with one string equality)."""
+        h = hashlib.sha256()
+        for ev in self.timeline:
+            line = f"{ev.time:.12e}|{ev.kind}|{ev.src}|{ev.dst}|{ev.service}|{ev.detail}\n"
+            h.update(line.encode())
+        return h.hexdigest()
+
+    def describe(self) -> dict:
+        """Everything needed to replay this plan: seed + config + what the
+        run actually injected (written to the CI artifact on failure)."""
+        return {
+            "seed": self.seed,
+            "config": self.config.describe(),
+            "signature": self.signature(),
+            "counts": dict(self.counts),
+            "events": [asdict(ev) for ev in self.timeline],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.describe(), indent=indent)
+
+    def render_timeline(self, limit: Optional[int] = None) -> str:
+        """Human-readable injected-event table (the ``repro chaos``
+        output printed next to the lock-trace swimlane)."""
+        events = self.timeline if limit is None else self.timeline[:limit]
+        if not events:
+            return "(no faults injected)"
+        lines = [
+            "time (ms)   fault            src -> dst        detail",
+            "---------   -----            ----------        ------",
+        ]
+        for ev in events:
+            route = f"{ev.src} -> {ev.dst}"
+            what = f"{ev.service} {ev.detail}".strip()
+            lines.append(f"{ev.time * 1e3:9.3f}   {ev.kind:<16} {route:<17} {what}")
+        if limit is not None and len(self.timeline) > limit:
+            lines.append(f"... ({len(self.timeline) - limit} more)")
+        return "\n".join(lines)

@@ -9,20 +9,31 @@ server (the CaRT ~213 kOPS figure).
 
 Layers:
 
-* :mod:`repro.net.fabric` — nodes, links, raw message delivery.
+* :mod:`repro.net.fabric` — nodes, links, raw message delivery (plus the
+  optional fault-injection hook, see :mod:`repro.faults`).
 * :mod:`repro.net.rpc` — request/reply RPC with deferred responses (a lock
-  server may queue a request and reply much later) and one-way messages
-  (revocation callbacks).
+  server may queue a request and reply much later), one-way messages
+  (revocation callbacks), and retrying calls with exponential backoff
+  for runs under injected faults.
 """
 
-from repro.net.fabric import Fabric, Message, NetworkConfig, Node
+from repro.net.fabric import (
+    Fabric,
+    Message,
+    NetworkConfig,
+    Node,
+    UnknownServiceError,
+)
 from repro.net.rpc import (
     CTRL_MSG_BYTES,
     Request,
+    RetryPolicy,
     RpcError,
     RpcService,
+    RpcTimeoutError,
     one_way,
     rpc_call,
+    rpc_call_retry,
 )
 
 __all__ = [
@@ -32,8 +43,12 @@ __all__ = [
     "NetworkConfig",
     "Node",
     "Request",
+    "RetryPolicy",
     "RpcError",
     "RpcService",
+    "RpcTimeoutError",
+    "UnknownServiceError",
     "one_way",
     "rpc_call",
+    "rpc_call_retry",
 ]

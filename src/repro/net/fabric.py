@@ -24,7 +24,26 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.sim.core import Simulator
 
-__all__ = ["NetworkConfig", "Message", "Node", "Fabric"]
+__all__ = ["NetworkConfig", "Message", "Node", "Fabric",
+           "UnknownServiceError"]
+
+
+class UnknownServiceError(KeyError):
+    """The target node is alive but has no handler for the service.
+
+    Raised synchronously by :meth:`Fabric.send` so the failure surfaces
+    in the *sender* (like a connection refused) instead of exploding out
+    of the event loop at delivery time.  A *failed* node still swallows
+    messages silently — senders of those time out and retry (§IV-C2).
+    """
+
+    def __init__(self, node: str, service: str):
+        super().__init__(f"node {node!r} has no service {service!r}")
+        self.node = node
+        self.service = service
+
+    def __str__(self) -> str:
+        return self.args[0]
 
 
 @dataclass(frozen=True)
@@ -114,8 +133,7 @@ class Node:
             return
         handler = self._handlers.get(msg.service)
         if handler is None:
-            raise KeyError(
-                f"node {self.name!r} has no service {msg.service!r}")
+            raise UnknownServiceError(self.name, msg.service)
         handler(msg)
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -131,6 +149,9 @@ class Fabric:
         self.nodes: Dict[str, Node] = {}
         self._req_ids = itertools.count(1)
         self.messages_delivered = 0
+        #: Optional :class:`repro.faults.FaultInjector`; when set, every
+        #: non-local message's delivery schedule passes through it.
+        self.fault_injector = None
         # Per-(src, dst) last delivery instant on the control lane: small
         # messages between one pair of nodes are FIFO (QP ordering on
         # real IB); bulk transfers ride separate QPs and may interleave.
@@ -159,6 +180,10 @@ class Fabric:
         msg.send_time = now
         src, dst = msg.src, msg.dst
 
+        if (not msg.is_reply and not dst.failed
+                and msg.service not in dst._handlers):
+            raise UnknownServiceError(dst.name, msg.service)
+
         src.bytes_sent += msg.nbytes
         src.messages_sent += 1
 
@@ -185,8 +210,14 @@ class Fabric:
             deliver_at = rx_done + cfg.per_message_overhead
 
         msg.deliver_time = deliver_at
-        ev = sim.timeout(deliver_at - now)
-        ev.add_callback(lambda _ev, m=msg: self._deliver(m))
+        injector = self.fault_injector
+        if injector is not None and src is not dst:
+            times = injector.deliveries(msg, deliver_at)
+        else:
+            times = (deliver_at,)
+        for t in times:
+            ev = sim.timeout(t - now)
+            ev.add_callback(lambda _ev, m=msg: self._deliver(m))
         return deliver_at
 
     def _deliver(self, msg: Message) -> None:

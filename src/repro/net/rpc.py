@@ -18,13 +18,16 @@ machinery with ``expects_reply=False``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional, Union
 
-from repro.net.fabric import Fabric, Message, Node
+from repro.net.fabric import Fabric, Message, Node, UnknownServiceError
 from repro.sim.core import Event, Simulator
 from repro.sim.resources import Store
 
-__all__ = ["RpcError", "Request", "RpcService", "rpc_call", "one_way",
+__all__ = ["RpcError", "RpcTimeoutError", "RetryPolicy", "Request",
+           "RpcService", "rpc_call", "rpc_call_retry", "one_way",
            "CTRL_MSG_BYTES"]
 
 #: Size charged for small control messages (lock requests, grants,
@@ -35,6 +38,46 @@ CTRL_MSG_BYTES = 256
 
 class RpcError(RuntimeError):
     """Protocol-level RPC failure (double respond, missing service...)."""
+
+
+class RpcTimeoutError(RpcError):
+    """A retrying RPC exhausted its attempts without seeing a reply."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side timeout/retry behaviour for :func:`rpc_call_retry`.
+
+    Timeouts grow exponentially (``timeout * backoff**attempt``, capped
+    at ``max_timeout``) with optional ±``jitter`` randomization so
+    retrying clients do not stampede a recovering server in lockstep.
+    Retries resend the *same* ``req_id``, which is what lets servers
+    suppress duplicates and lets a late reply to any earlier attempt
+    complete the call.
+    """
+
+    #: First-attempt timeout in simulated seconds.
+    timeout: float = 2.0e-3
+    #: Multiplier applied per retry (1.0 = constant timeout).
+    backoff: float = 2.0
+    #: Upper bound on a single attempt's timeout.
+    max_timeout: float = 5.0e-2
+    #: Number of *re*-sends after the first attempt.
+    max_retries: int = 24
+    #: Fractional ± jitter on each timeout (0 disables; needs an rng).
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.timeout <= 0 or self.backoff < 1.0 or self.max_retries < 0:
+            raise ValueError("timeout > 0, backoff >= 1, max_retries >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def timeout_for(self, attempt: int, rng=None) -> float:
+        t = min(self.timeout * self.backoff ** attempt, self.max_timeout)
+        if self.jitter and rng is not None:
+            t *= 1.0 + self.jitter * (2.0 * rng.uniform() - 1.0)
+        return t
 
 
 class Request:
@@ -71,6 +114,7 @@ class Request:
         self._responded = True
         if self.msg.req_id < 0:
             return  # one-way message: nothing to send back
+        self.service._record_reply(self.msg, payload, nbytes)
         fabric = self.service.node.fabric
         reply = Message(src=self.service.node, dst=self.msg.src,
                         service=self.msg.service, payload=payload,
@@ -84,11 +128,26 @@ class Request:
 Handler = Callable[[Request], Union[None, Generator]]
 
 
+#: Dedup-cache sentinel: the request is dispatched but not yet responded.
+_IN_PROGRESS = object()
+
+
 class RpcService:
-    """An OPS-limited service attached to a node."""
+    """An OPS-limited service attached to a node.
+
+    With ``dedup`` enabled the service suppresses duplicate requests
+    (same source node + ``req_id``): retransmissions of an in-progress
+    request are dropped (the original will reply), and retransmissions
+    of an already-answered request get the cached reply resent without
+    re-running the handler.  This is what makes client-side retries safe
+    for non-idempotent handlers (a retried lock request must not be
+    granted twice).  Off by default: clean runs never produce duplicate
+    ``req_id``s, so the bookkeeping would be pure overhead.
+    """
 
     def __init__(self, node: Node, name: str, handler: Handler,
-                 ops: float = float("inf"), cost_fn=None):
+                 ops: float = float("inf"), cost_fn=None,
+                 dedup: bool = False, dedup_capacity: int = 8192):
         if ops <= 0:
             raise RpcError(f"ops must be > 0, got {ops}")
         self.node = node
@@ -102,9 +161,52 @@ class RpcService:
         self.cost_fn = cost_fn
         self.inbox: Store = Store(self.sim)
         self.requests_handled = 0
+        self.duplicates_suppressed = 0
+        self._dedup: Optional[OrderedDict] = None
+        self._dedup_capacity = dedup_capacity
+        if dedup:
+            self.enable_dedup(dedup_capacity)
         node.register_service(name, self.inbox.put)
         self._dispatcher = self.sim.spawn(self._dispatch(),
                                           name=f"{node.name}/{name}")
+
+    # ------------------------------------------------------- duplicate guard
+    def enable_dedup(self, capacity: int = 8192) -> None:
+        if self._dedup is None:
+            self._dedup = OrderedDict()
+        self._dedup_capacity = capacity
+
+    def reset_dedup(self) -> None:
+        """Drop the duplicate-suppression table (volatile state lost in a
+        crash, §IV-C2): post-recovery retransmissions re-execute against
+        the equally-reset server state."""
+        if self._dedup is not None:
+            self._dedup.clear()
+
+    def _dedup_check(self, msg: Message) -> bool:
+        """True if ``msg`` is a duplicate that was fully handled here."""
+        if self._dedup is None or msg.req_id < 0:
+            return False
+        key = (msg.src.name, msg.req_id)
+        hit = self._dedup.get(key)
+        if hit is None:
+            self._dedup[key] = _IN_PROGRESS
+            while len(self._dedup) > self._dedup_capacity:
+                self._dedup.popitem(last=False)
+            return False
+        self.duplicates_suppressed += 1
+        if hit is not _IN_PROGRESS:
+            # Answered before: the reply may have been lost — resend it.
+            payload, nbytes = hit
+            self.node.fabric.send(Message(
+                src=self.node, dst=msg.src, service=msg.service,
+                payload=payload, nbytes=nbytes, is_reply=True,
+                req_id=msg.req_id))
+        return True
+
+    def _record_reply(self, msg: Message, payload: Any, nbytes: int) -> None:
+        if self._dedup is not None and msg.req_id >= 0:
+            self._dedup[(msg.src.name, msg.req_id)] = (payload, nbytes)
 
     def _dispatch(self) -> Generator:
         sim = self.sim
@@ -114,6 +216,8 @@ class RpcService:
                 weight = self.cost_fn(msg) if self.cost_fn else 1.0
                 if weight > 0:
                     yield sim.timeout(self.service_time * weight)
+            if self._dedup_check(msg):
+                continue
             self.requests_handled += 1
             req = Request(self, msg)
             result = self.handler(req)
@@ -149,6 +253,59 @@ def rpc_call(src: Node, dst: Node, service: str, payload: Any,
                   nbytes=nbytes, req_id=req_id)
     fabric.send(msg)
     return future
+
+
+#: Sentinel carried by retry timers so replies can never be confused
+#: with a timeout (a reply payload could legitimately be any value).
+_RETRY_TIMEOUT = object()
+
+
+def rpc_call_retry(src: Node, dst: Node, service: str, payload: Any,
+                   nbytes: int = CTRL_MSG_BYTES,
+                   policy: Optional[RetryPolicy] = None,
+                   rng=None,
+                   on_retry: Optional[Callable[[int], None]] = None
+                   ) -> Generator:
+    """Issue an RPC with timeouts, exponential backoff and retries.
+
+    A generator (use ``yield from``); returns the reply payload.  Every
+    attempt resends the same ``req_id`` so server-side duplicate
+    suppression applies and a late reply to *any* attempt completes the
+    call; duplicate replies are already dropped by the reply router
+    (``pending_replies`` pops once).
+
+    Raises :class:`RpcTimeoutError` after ``policy.max_retries`` unheard
+    resends, and :class:`~repro.net.fabric.UnknownServiceError`
+    *immediately* (no backoff) when the target is alive but has
+    unregistered the service — retrying a request the node can never
+    dispatch would only mask a wiring bug.
+    """
+    policy = policy or RetryPolicy()
+    fabric: Fabric = src.fabric
+    sim = src.sim
+    req_id = fabric.next_req_id()
+    future = sim.event()
+    src.pending_replies[req_id] = future
+    attempts = policy.max_retries + 1
+    for attempt in range(attempts):
+        if attempt and on_retry is not None:
+            on_retry(attempt)
+        msg = Message(src=src, dst=dst, service=service, payload=payload,
+                      nbytes=nbytes, req_id=req_id)
+        try:
+            fabric.send(msg)
+        except UnknownServiceError:
+            src.pending_replies.pop(req_id, None)
+            raise
+        timer = sim.timeout(policy.timeout_for(attempt, rng),
+                            value=_RETRY_TIMEOUT)
+        result = yield sim.any_of([future, timer])
+        if future in result:
+            return result[future]
+    src.pending_replies.pop(req_id, None)
+    raise RpcTimeoutError(
+        f"rpc {service!r} to {dst.name!r} unanswered after "
+        f"{attempts} attempts")
 
 
 def one_way(src: Node, dst: Node, service: str, payload: Any,

@@ -23,7 +23,13 @@ from repro.dlm.config import select_mode
 from repro.dlm.extent import EOF, align_extent
 from repro.dlm.types import LockMode
 from repro.net.fabric import Node
-from repro.net.rpc import CTRL_MSG_BYTES, one_way, rpc_call
+from repro.net.rpc import (
+    CTRL_MSG_BYTES,
+    RetryPolicy,
+    one_way,
+    rpc_call,
+    rpc_call_retry,
+)
 from repro.pfs.data_server import (
     IoReadMsg,
     IoSizeMsg,
@@ -78,7 +84,9 @@ class CcpfsClient:
                  flush_timeout: Optional[float] = None,
                  start_flush_daemon: bool = True,
                  flush_wire_cap: Optional[int] = None,
-                 partial_page_rmw: bool = False):
+                 partial_page_rmw: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 rng=None):
         self.node = node
         self.sim = node.sim
         self.lock_client = lock_client
@@ -97,6 +105,11 @@ class CcpfsClient:
         #: the conventional behaviour — unaligned writes become implicit
         #: reads, select PW, and fetch their boundary pages.
         self.partial_page_rmw = partial_page_rmw
+        #: Optional timeout/backoff policy for all control RPCs; when set
+        #: every request resends under :func:`rpc_call_retry` (for faulted
+        #: runs — clean runs keep the zero-overhead plain calls).
+        self.retry = retry
+        self.rng = rng
         self.stats = CcpfsClientStats()
         self._open_handles: Dict[int, FileHandle] = {}
         #: In-flight voluntary-flush refcounts per stripe key; lock cancels
@@ -109,6 +122,19 @@ class CcpfsClient:
             self._daemon = self.sim.spawn(self._flush_daemon(),
                                           name=f"{node.name}-flushd")
 
+    # ------------------------------------------------------------------ rpc
+    def _call(self, dst: Node, service: str, payload,
+              nbytes: int = CTRL_MSG_BYTES) -> Generator:
+        """One control RPC, retried under ``self.retry`` when configured."""
+        if self.retry is None:
+            reply = yield rpc_call(self.node, dst, service, payload,
+                                   nbytes=nbytes)
+        else:
+            reply = yield from rpc_call_retry(
+                self.node, dst, service, payload, nbytes=nbytes,
+                policy=self.retry, rng=self.rng)
+        return reply
+
     # ----------------------------------------------------------------- open
     def open(self, path: str, create: bool = False,
              stripe_count: Optional[int] = None,
@@ -116,7 +142,7 @@ class CcpfsClient:
         """Open (optionally creating) a file; returns a FileHandle."""
         op = MetaOp(op="create" if create else "open", path=path,
                     stripe_count=stripe_count, stripe_size=stripe_size)
-        meta = yield rpc_call(self.node, self.metadata_node, "meta", op)
+        meta = yield from self._call(self.metadata_node, "meta", op)
         if meta is None or isinstance(meta, Exception):
             raise FileNotFoundError(path)
         fh = FileHandle(meta=meta, layout=StripeLayout(
@@ -178,9 +204,8 @@ class CcpfsClient:
                                                  frag.length)
                 server = self.data_server_for(key)
                 for ms, me in missing:
-                    reply = yield rpc_call(self.node, server, "io",
-                                           IoReadMsg(key, ms, me - ms),
-                                           nbytes=CTRL_MSG_BYTES)
+                    reply = yield from self._call(server, "io",
+                                                  IoReadMsg(key, ms, me - ms))
                     self.stats.read_rpcs += 1
                     self.cache.insert_clean(key, ms, me - ms,
                                             locks[frag.stripe].sn, reply)
@@ -310,9 +335,8 @@ class CcpfsClient:
             if missing:
                 server = self.data_server_for(key)
                 for ms, me in missing:
-                    reply = yield rpc_call(
-                        self.node, server, "io",
-                        IoReadMsg(key, ms, me - ms), nbytes=CTRL_MSG_BYTES)
+                    reply = yield from self._call(
+                        server, "io", IoReadMsg(key, ms, me - ms))
                     self.stats.read_rpcs += 1
                     self.cache.insert_clean(key, ms, me - ms,
                                             locks[frag.stripe].sn, reply)
@@ -341,24 +365,25 @@ class CcpfsClient:
         whole = {s: (0, EOF) for s in range(fh.layout.stripe_count)}
         locks = yield from self._acquire(fh, whole, LockMode.PW,
                                          for_write=True, aligned=False)
-        meta = yield rpc_call(self.node, self.metadata_node, "meta",
-                              MetaOp(op="stat", fid=fh.fid))
+        meta = yield from self._call(self.metadata_node, "meta",
+                                     MetaOp(op="stat", fid=fh.fid))
         # Glimpse: under the held PW locks every *other* client's cache has
         # been flushed, so the data servers plus our own local view give
         # the true size even when the MDS is lazily updated.
         stripe_sizes = {}
         for stripe in range(fh.layout.stripe_count):
             key = (fh.fid, stripe)
-            stripe_sizes[stripe] = yield rpc_call(
-                self.node, self.data_server_for(key), "io", IoSizeMsg(key))
+            stripe_sizes[stripe] = yield from self._call(
+                self.data_server_for(key), "io", IoSizeMsg(key))
         size = max(meta.size, fh.max_written,
                    fh.layout.file_size_from_stripe_sizes(stripe_sizes))
         # Deposit under the held PW locks — never re-acquire mid-operation,
         # a revocation in between would deadlock the op against itself.
         yield from self._charge_copy(nbytes)
         self._deposit(fh, size, data, nbytes, locks)
-        yield rpc_call(self.node, self.metadata_node, "meta",
-                       MetaOp(op="set_size", fid=fh.fid, size=size + nbytes))
+        yield from self._call(self.metadata_node, "meta",
+                              MetaOp(op="set_size", fid=fh.fid,
+                                     size=size + nbytes))
         self._release(locks)
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
@@ -378,11 +403,11 @@ class CcpfsClient:
             # is simply dropped from the cache.
             yield from self._flush_key(key, ((0, local),))
             self.cache.invalidate(key, ((local, EOF),))
-            acks.append(rpc_call(self.node, self.data_server_for(key), "io",
-                                 IoTruncateMsg(key, local)))
+            acks.append(self.sim.spawn(self._call(
+                self.data_server_for(key), "io", IoTruncateMsg(key, local))))
         yield self.sim.all_of(acks)
-        yield rpc_call(self.node, self.metadata_node, "meta",
-                       MetaOp(op="truncate", fid=fh.fid, size=size))
+        yield from self._call(self.metadata_node, "meta",
+                              MetaOp(op="truncate", fid=fh.fid, size=size))
         fh.meta.size = size
         fh.max_written = min(fh.max_written, size)
         self._release(locks)
@@ -398,9 +423,9 @@ class CcpfsClient:
                 self._flush_key(key, ((0, EOF),))))
         if procs:
             yield self.sim.all_of(procs)
-        yield rpc_call(self.node, self.metadata_node, "meta",
-                       MetaOp(op="set_size", fid=fh.fid,
-                              size=fh.max_written))
+        yield from self._call(self.metadata_node, "meta",
+                              MetaOp(op="set_size", fid=fh.fid,
+                                     size=fh.max_written))
 
     def flush_all(self) -> Generator:
         """Flush every dirty byte this client holds (any file)."""
@@ -410,8 +435,8 @@ class CcpfsClient:
             yield self.sim.all_of(procs)
 
     def file_size(self, fh: FileHandle) -> Generator:
-        meta = yield rpc_call(self.node, self.metadata_node, "meta",
-                              MetaOp(op="stat", fid=fh.fid))
+        meta = yield from self._call(self.metadata_node, "meta",
+                                     MetaOp(op="stat", fid=fh.fid))
         return meta.size if meta else 0
 
     def close(self, fh: FileHandle) -> Generator:
@@ -478,6 +503,16 @@ class CcpfsClient:
         wire = msg.nbytes
         if self.flush_wire_cap is not None:
             wire = min(wire, self.flush_wire_cap)
+        if self.retry is not None:
+            # Faulted runs: back off with the shared policy; the server
+            # dedups the req_id so a re-executed flush is harmless anyway
+            # (extent-cache merges are SN-idempotent).
+            self.stats.flush_rpcs += 1
+            yield from rpc_call_retry(
+                self.node, server, "io", msg, nbytes=wire,
+                policy=self.retry, rng=self.rng,
+                on_retry=self._count_flush_retry)
+            return
         while True:
             self.stats.flush_rpcs += 1
             future = rpc_call(self.node, server, "io", msg, nbytes=wire)
@@ -491,6 +526,10 @@ class CcpfsClient:
                 return
             # Redo the flush RPC (§IV-C2: clients redo unacked flushes).
             self.stats.flush_retries += 1
+
+    def _count_flush_retry(self, _attempt: int) -> None:
+        self.stats.flush_rpcs += 1
+        self.stats.flush_retries += 1
 
     def _flush_daemon(self) -> Generator:
         """§IV-C1 voluntary flusher: runs whenever dirty >= min_dirty."""

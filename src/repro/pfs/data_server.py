@@ -87,7 +87,8 @@ class DataServer:
                  extent_cache: ServerExtentCache,
                  io_ops: float = 1_000_000.0,
                  extent_log: Optional[ExtentLog] = None,
-                 track_content: bool = True):
+                 track_content: bool = True,
+                 dedup: bool = False):
         self.node = node
         self.sim = node.sim
         self.device = device
@@ -96,7 +97,8 @@ class DataServer:
         self.track_content = track_content
         self.store = BlockStore()
         self.stats = DataServerStats()
-        self.service = RpcService(node, "io", self._handle, ops=io_ops)
+        self.service = RpcService(node, "io", self._handle, ops=io_ops,
+                                  dedup=dedup)
         extent_cache.msn_query_fn = self._query_msn
         extent_cache.force_sync_fn = self._force_sync
         #: Installed by the cluster: a lock client local to this node used
@@ -189,6 +191,7 @@ class DataServer:
         the extent log) survives — the §IV-C2 model."""
         self.node.failed = True
         self.extent_cache.clear()
+        self.service.reset_dedup()
 
     def recover(self) -> None:
         self.node.failed = False

@@ -49,6 +49,17 @@ class ExtentLog:
     def stripe_keys(self):
         return list(self._logs.keys())
 
+    def max_sn(self, stripe_key: Hashable) -> int:
+        """Highest SN durably recorded for a stripe (0 when none).
+
+        Recovery must restart the stripe's sequencer above this: a lock
+        released before the crash is reported by no client, so the log is
+        the only proof its SN was ever issued — reusing it would let new
+        writes lose SN filtering against the pre-crash data (§IV-C2).
+        """
+        return max((sn for _s, _e, sn in self._logs.get(stripe_key, ())),
+                   default=0)
+
     def replay(self, stripe_key: Hashable) -> ExtentMap:
         """Rebuild the stripe's extent cache from the log (§IV-C2)."""
         emap = ExtentMap()

@@ -22,7 +22,9 @@ from typing import Dict, Generator, Hashable, List, Optional, Union
 
 from repro.dlm.client import LockClient
 from repro.dlm.config import DLMConfig, make_dlm_config
+from repro.faults import FaultConfig, FaultInjector, FaultPlan, ServerOutage
 from repro.net.fabric import Fabric, NetworkConfig, Node
+from repro.net.rpc import RetryPolicy
 from repro.pfs.client import CcpfsClient
 from repro.pfs.data_server import DataServer
 from repro.pfs.extent_cache import ServerExtentCache
@@ -93,6 +95,19 @@ class ClusterConfig:
     start_cleaner: bool = True
     extent_log: bool = False
 
+    # Fault injection / resilience (chaos runs; see docs/faults.md).
+    #: When set, a seeded :class:`FaultPlan` is attached to the fabric and
+    #: the configured outages are driven from the simulator clock.
+    faults: Optional[FaultConfig] = None
+    #: Seed for the fault plan's RNG sub-stream (defaults to ``seed``).
+    fault_seed: Optional[int] = None
+    #: When set, every client-side control RPC (lock requests, IO, meta)
+    #: retries under this policy and servers dedup by ``req_id``.
+    retry: Optional[RetryPolicy] = None
+    #: Attach a :class:`~repro.dlm.validator.LockValidator` to every lock
+    #: server (invariants re-checked after every protocol step).
+    validate_locks: bool = False
+
     seed: int = 0
 
     def dlm_config(self) -> DLMConfig:
@@ -122,11 +137,28 @@ class Cluster:
             per_message_overhead=config.net_message_overhead))
         self.dlm_config = config.dlm_config()
 
+        # Fault plan: attach the injector and drive timed outages.
+        self.fault_plan: Optional[FaultPlan] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None:
+            seed = (config.fault_seed if config.fault_seed is not None
+                    else config.seed)
+            self.fault_plan = FaultPlan(config.faults, seed=seed)
+            if config.faults.message_faults_enabled:
+                self.fault_injector = FaultInjector(self.fault_plan)
+                self.fault_injector.attach(self.fabric)
+        retry = config.retry
+        #: Duplicate deliveries (injected or retried) need server-side
+        #: req_id suppression to stay safe.
+        resilient = retry is not None or config.faults is not None
+
         # Metadata node.
         self.metadata_node = self.fabric.add_node("meta")
         self.metadata = MetadataServer(
             self.metadata_node, ops=config.meta_ops,
             default_stripe_size=config.stripe_size)
+        if resilient:
+            self.metadata.service.enable_dedup()
 
         # Data-server nodes: device + IO service + DLM service.
         from repro.dlm.server import LockServer  # local import: layering
@@ -146,8 +178,12 @@ class Cluster:
             ds = DataServer(node, device, ecache, io_ops=config.io_ops,
                             extent_log=ExtentLog() if config.extent_log
                             else None,
-                            track_content=config.track_content)
-            ls = LockServer(node, self.dlm_config, ops=config.dlm_ops)
+                            track_content=config.track_content,
+                            dedup=resilient)
+            ls = LockServer(node, self.dlm_config, ops=config.dlm_ops,
+                            retry=retry,
+                            rng=self.rng.stream(f"retry/{node.name}"),
+                            dedup=resilient)
             # The data server's forced-sync path needs a local lock client.
             ds.local_lock_client = LockClient(
                 node, self.dlm_config, server_for=self.server_node_for)
@@ -164,7 +200,9 @@ class Cluster:
         for i in range(config.num_clients):
             node = self.fabric.add_node(f"client{i}")
             lc = LockClient(node, self.dlm_config,
-                            server_for=self.server_node_for)
+                            server_for=self.server_node_for,
+                            retry=retry,
+                            rng=self.rng.stream(f"retry/{node.name}"))
             cache = ClientCache(self.sim,
                                 track_content=config.track_content,
                                 min_dirty=config.min_dirty,
@@ -178,10 +216,22 @@ class Cluster:
                 flush_timeout=config.flush_timeout,
                 start_flush_daemon=config.flush_daemon,
                 flush_wire_cap=config.flush_wire_cap,
-                partial_page_rmw=config.partial_page_rmw)
+                partial_page_rmw=config.partial_page_rmw,
+                retry=retry,
+                rng=self.rng.stream(f"retry/{node.name}/pfs"))
             self.client_nodes.append(node)
             self.clients.append(client)
             self.lock_clients.append(lc)
+
+        self.validators = []
+        if config.validate_locks:
+            from repro.dlm.validator import attach_validator
+            self.validators = attach_validator(self)
+
+        if self.fault_plan is not None:
+            for n, outage in enumerate(config.faults.outages):
+                self.sim.spawn(self._outage_driver(outage),
+                               name=f"outage-{n}")
 
     # ------------------------------------------------------------- placement
     def server_index_for(self, stripe_key: Hashable) -> int:
@@ -242,6 +292,17 @@ class Cluster:
         return bytes(out)
 
     # --------------------------------------------------------------- failure
+    def _outage_driver(self, outage: ServerOutage) -> Generator:
+        """Execute one timed crash/recover from the fault plan."""
+        yield self.sim.timeout(outage.start)
+        name = self.server_nodes[outage.server_index].name
+        self.crash_server(outage.server_index)
+        self.fault_plan.record(self.sim.now, "crash", name, name, "node",
+                               detail=f"down for {outage.duration:g}s")
+        yield self.sim.timeout(outage.duration)
+        yield from self.recover_server(outage.server_index)
+        self.fault_plan.record(self.sim.now, "recover", name, name, "node")
+
     def crash_server(self, index: int) -> None:
         """Fail a data-server node: volatile state (extent cache, lock
         states) is lost; the block store and extent log survive."""
@@ -257,6 +318,12 @@ class Cluster:
         node = self.server_nodes[index]
         ds.recover()
         server = self.lock_servers[index]
+        if ds.extent_log is not None:
+            # Durable SNs floor the recovered sequencers: a lock released
+            # before the crash is reported by no client, but its SN lives
+            # in the log and must never be reissued.
+            for key in ds.extent_log.stripe_keys():
+                server.bump_next_sn(key, ds.extent_log.max_sn(key) + 1)
         for lc in self.lock_clients:
             for rec in lc.gather_lock_states():
                 if self.server_node_for(rec.resource_id) is node:

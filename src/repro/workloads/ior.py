@@ -44,12 +44,19 @@ class IorConfig:
     #: paper's two-phase scientific IO model, §I): every client re-reads
     #: the blocks of the next rank (cross-client, cache-cold).
     read_phase: bool = False
+    #: Data-safety mode (chaos runs): clients write rank/sequence-tagged
+    #: bytes and the run ends with a durable read-back check against the
+    #: expected file image.  Forces content tracking on (slower).
+    verify: bool = False
+    #: Attach a :class:`~repro.dlm.trace.LockTracer` to every lock server
+    #: and collect the merged event list into the result.
+    trace: bool = False
     cluster: Optional[ClusterConfig] = None
 
     def cluster_config(self) -> ClusterConfig:
         cfg = self.cluster or ClusterConfig()
         cfg.num_clients = self.clients
-        cfg.track_content = False
+        cfg.track_content = bool(self.verify)
         return cfg
 
 
@@ -68,6 +75,16 @@ class IorResult:
     extent_entries_cleaned: int = 0
     extent_forced_syncs: int = 0
     extent_cache_entries: int = 0
+    #: True when the post-run durable read-back matched the expected
+    #: image (only set for ``verify`` runs).
+    verified: Optional[bool] = None
+    #: Injected-fault events of the run (``verify``/chaos runs with a
+    #: fault plan attached; see :mod:`repro.faults`).
+    fault_timeline: list = field(default_factory=list)
+    #: The cluster the point ran on (kept for chaos-test introspection).
+    cluster: Optional[Cluster] = field(default=None, repr=False)
+    #: Merged lock-protocol trace (only for ``trace`` runs).
+    trace_events: list = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -89,9 +106,23 @@ class IorResult:
         return self.bytes_written / t if t else 0.0
 
 
+def _pattern_bytes(rank: int, seq: int, size: int) -> bytes:
+    """Rank/sequence-tagged fill, so stale or misplaced data shows up as a
+    content mismatch, not just a length error."""
+    tag = bytes([(rank + 1) % 256, (seq + 1) % 256])
+    return (tag * ((size + 1) // 2))[:size]
+
+
 def run_ior(config: IorConfig) -> IorResult:
     """Build a cluster and run one IOR test point."""
+    if config.verify and not config.fsync_at_end:
+        raise ValueError("verify needs fsync_at_end: the read-back oracle "
+                         "checks durable content")
     cluster = Cluster(config.cluster_config())
+    tracers = []
+    if config.trace:
+        from repro.dlm.trace import LockTracer
+        tracers = [LockTracer(ls) for ls in cluster.lock_servers]
     n = config.clients
     if config.pattern == "n-n":
         paths = [f"/ior-{r}" for r in range(n)]
@@ -123,8 +154,9 @@ def run_ior(config: IorConfig) -> IorResult:
         yield barrier.wait()
         if pio_span["start"] is None:
             pio_span["start"] = c.sim.now
-        for off, size in offsets(rank):
-            yield from c.write(fh, off, nbytes=size)
+        for seq, (off, size) in enumerate(offsets(rank)):
+            data = _pattern_bytes(rank, seq, size) if config.verify else None
+            yield from c.write(fh, off, data=data, nbytes=size)
         pio_span["end"] = max(pio_span["end"], c.sim.now)
         yield barrier.wait()  # everyone finishes PIO before flushing
         if config.fsync_at_end:
@@ -142,6 +174,27 @@ def run_ior(config: IorConfig) -> IorResult:
             r_span["end"] = max(r_span["end"], c.sim.now)
 
     cluster.run_clients([worker(r) for r in range(n)])
+
+    verified = None
+    if config.verify:
+        expected: Dict[str, bytearray] = {}
+        for rank in range(n):
+            buf = expected.setdefault(paths[rank], bytearray())
+            for seq, (off, size) in enumerate(offsets(rank)):
+                if len(buf) < off + size:
+                    buf.extend(bytes(off + size - len(buf)))
+                buf[off:off + size] = _pattern_bytes(rank, seq, size)
+        for path, buf in sorted(expected.items()):
+            actual = cluster.read_back(path)
+            want = bytes(buf)
+            if actual != want:
+                at = next((i for i, (a, b) in enumerate(zip(actual, want))
+                           if a != b), min(len(actual), len(want)))
+                raise AssertionError(
+                    f"read-back mismatch on {path}: expected {len(want)} "
+                    f"bytes, got {len(actual)}; first difference at "
+                    f"offset {at}")
+        verified = True
 
     total = n * config.writes_per_client * config.xfer
     pio = (pio_span["end"] - pio_span["start"]) if pio_span["start"] is not None else 0.0
@@ -163,4 +216,10 @@ def run_ior(config: IorConfig) -> IorResult:
         extent_forced_syncs=sum(ds.extent_cache.forced_syncs
                                 for ds in cluster.data_servers),
         extent_cache_entries=sum(ds.extent_cache.total_entries
-                                 for ds in cluster.data_servers))
+                                 for ds in cluster.data_servers),
+        verified=verified,
+        fault_timeline=(list(cluster.fault_plan.timeline)
+                        if cluster.fault_plan is not None else []),
+        cluster=cluster,
+        trace_events=sorted((e for t in tracers for e in t.events),
+                            key=lambda e: e.time))

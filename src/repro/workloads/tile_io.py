@@ -32,6 +32,14 @@ class TileIoConfig:
     overlap: int = 4            # pixel overlap between tiles (paper: 100)
     stripes: int = 1
     fsync_at_end: bool = True
+    #: Data-safety mode (chaos runs): each client fills its tile with a
+    #: rank tag and the run ends with a durable read-back check — every
+    #: byte must carry the tag of *some* tile covering it (overlap pixels
+    #: may legitimately come from either neighbour).
+    verify: bool = False
+    #: Attach a :class:`~repro.dlm.trace.LockTracer` to every lock server
+    #: and collect the merged event list into the result.
+    trace: bool = False
     cluster: Optional[ClusterConfig] = None
 
     @property
@@ -52,7 +60,7 @@ class TileIoConfig:
     def cluster_config(self) -> ClusterConfig:
         cfg = self.cluster or ClusterConfig()
         cfg.num_clients = self.clients
-        cfg.track_content = False
+        cfg.track_content = bool(self.verify)
         return cfg
 
 
@@ -78,6 +86,10 @@ class TileIoResult:
     f_time: float
     bytes_written: int
     lock_stats: Dict[str, float] = field(default_factory=dict)
+    verified: Optional[bool] = None
+    fault_timeline: list = field(default_factory=list)
+    cluster: Optional[Cluster] = field(default=None, repr=False)
+    trace_events: list = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
@@ -88,8 +100,20 @@ class TileIoResult:
         return self.bytes_written / self.pio_time if self.pio_time else 0.0
 
 
+def _rank_tag(rank: int) -> int:
+    """Nonzero one-byte tag per rank (zero means 'never written')."""
+    return rank % 255 + 1
+
+
 def run_tile_io(config: TileIoConfig) -> TileIoResult:
+    if config.verify and not config.fsync_at_end:
+        raise ValueError("verify needs fsync_at_end: the read-back oracle "
+                         "checks durable content")
     cluster = Cluster(config.cluster_config())
+    tracers = []
+    if config.trace:
+        from repro.dlm.trace import LockTracer
+        tracers = [LockTracer(ls) for ls in cluster.lock_servers]
     cluster.create_file("/tile", stripe_count=config.stripes)
     n = config.clients
     barrier = Barrier(cluster.sim, n)
@@ -103,8 +127,14 @@ def run_tile_io(config: TileIoConfig) -> TileIoResult:
         yield barrier.wait()
         if pio_span["start"] is None:
             pio_span["start"] = c.sim.now
-        ops = [(off, size) for off, size in tile_extents(config, rank)]
-        total["bytes"] += sum(size for _off, size in ops)
+        if config.verify:
+            tag = bytes([_rank_tag(rank)])
+            ops = [(off, tag * size)
+                   for off, size in tile_extents(config, rank)]
+        else:
+            ops = [(off, size) for off, size in tile_extents(config, rank)]
+        total["bytes"] += sum(size for off, size in tile_extents(config,
+                                                                 rank))
         yield from c.write_vector(fh, ops, atomic=True)
         pio_span["end"] = max(pio_span["end"], c.sim.now)
         yield barrier.wait()
@@ -115,10 +145,40 @@ def run_tile_io(config: TileIoConfig) -> TileIoResult:
             f_span["end"] = max(f_span["end"], c.sim.now)
 
     cluster.run_clients([worker(r) for r in range(n)])
+
+    verified = None
+    if config.verify:
+        size = config.image_height * config.image_width * PIXEL
+        candidates: List[set] = [set() for _ in range(size)]
+        for rank in range(n):
+            tag = _rank_tag(rank)
+            for off, nbytes in tile_extents(config, rank):
+                for i in range(off, off + nbytes):
+                    candidates[i].add(tag)
+        actual = cluster.read_back("/tile")
+        if len(actual) != size:
+            raise AssertionError(
+                f"read-back size mismatch: expected {size} bytes, "
+                f"got {len(actual)}")
+        for i, byte in enumerate(actual):
+            if byte not in candidates[i]:
+                raise AssertionError(
+                    f"read-back mismatch at offset {i}: byte {byte} is "
+                    f"not from any covering tile {sorted(candidates[i])}")
+        verified = True
+
     pio = (pio_span["end"] - pio_span["start"]) \
         if pio_span["start"] is not None else 0.0
     ftime = (f_span["end"] - f_span["start"]) \
         if f_span["start"] is not None else 0.0
     return TileIoResult(config=config, pio_time=pio, f_time=ftime,
                         bytes_written=total["bytes"],
-                        lock_stats=cluster.total_lock_server_stats())
+                        lock_stats=cluster.total_lock_server_stats(),
+                        verified=verified,
+                        fault_timeline=(list(cluster.fault_plan.timeline)
+                                        if cluster.fault_plan is not None
+                                        else []),
+                        cluster=cluster,
+                        trace_events=sorted(
+                            (e for t in tracers for e in t.events),
+                            key=lambda e: e.time))

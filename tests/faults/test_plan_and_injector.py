@@ -1,0 +1,172 @@
+"""Unit tests for the fault-injection layer (plan + injector + fabric hook)."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    Partition,
+    ServerOutage,
+)
+from repro.net import Fabric, Message, NetworkConfig
+from repro.sim import Simulator
+
+
+def make_fabric(plan=None):
+    sim = Simulator()
+    fab = Fabric(sim, NetworkConfig())
+    a, b = fab.add_node("a"), fab.add_node("b")
+    if plan is not None:
+        FaultInjector(plan).attach(fab)
+    return sim, fab, a, b
+
+
+def ping(sim, fab, a, b, count=1, service="svc"):
+    """Send ``count`` messages a -> b; returns the delivery log."""
+    got = []
+    if service not in b._handlers:
+        b.register_service(service, lambda m: got.append((sim.now, m.payload)))
+    for i in range(count):
+        fab.send(Message(src=a, dst=b, service=service, payload=i,
+                         nbytes=64))
+    sim.run()
+    return got
+
+
+# ----------------------------------------------------------------- config
+def test_fault_config_rejects_bad_rates():
+    with pytest.raises(ValueError):
+        FaultConfig(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultConfig(duplicate_rate=-0.1)
+
+
+def test_message_faults_enabled_flag():
+    assert not FaultConfig().message_faults_enabled
+    assert FaultConfig(drop_rate=0.1).message_faults_enabled
+    assert FaultConfig(
+        partitions=(Partition(0, 1, ("a",)),)).message_faults_enabled
+    # Outages alone are cluster-driven, not per-message.
+    assert not FaultConfig(
+        outages=(ServerOutage(0, 1e-3, 1e-2),)).message_faults_enabled
+
+
+def test_partition_separates():
+    cut = Partition(0.0, 1.0, ("a", "b"), ("c",))
+    assert cut.separates("a", "c") and cut.separates("c", "b")
+    assert not cut.separates("a", "b")  # same side
+    assert not cut.separates("c", "c")
+    # Nodes outside both groups are unaffected by an explicit two-sided cut.
+    assert not cut.separates("a", "z")
+    rest = Partition(0.0, 1.0, ("a",))  # group_a vs rest-of-world
+    assert rest.separates("a", "z") and rest.separates("z", "a")
+
+
+# ------------------------------------------------------------------- plan
+def test_plan_records_and_signs():
+    plan = FaultPlan(FaultConfig(), seed=5)
+    assert plan.signature() == FaultPlan(FaultConfig(), seed=9).signature()
+    plan.record(1e-3, "drop", "a", "b", "svc", "req_id=1")
+    assert plan.counts == {"drop": 1}
+    assert plan.signature() != FaultPlan(FaultConfig(), seed=5).signature()
+    blob = json.loads(plan.to_json())
+    assert blob["seed"] == 5
+    assert blob["events"][0]["kind"] == "drop"
+    assert "drop" in plan.render_timeline()
+
+
+def test_plan_partition_active_window():
+    plan = FaultPlan(FaultConfig(
+        partitions=(Partition(1.0, 2.0, ("a",)),)))
+    assert plan.partition_active(0.5, "a", "b") is None
+    assert plan.partition_active(1.5, "a", "b") is not None
+    assert plan.partition_active(2.0, "a", "b") is None  # end-exclusive
+    assert plan.partition_active(1.5, "b", "z") is None
+
+
+# --------------------------------------------------------------- injector
+def test_drop_rate_one_drops_everything():
+    plan = FaultPlan(FaultConfig(drop_rate=1.0), seed=1)
+    sim, fab, a, b = make_fabric(plan)
+    got = ping(sim, fab, a, b, count=5)
+    assert got == []
+    assert plan.counts["drop"] == 5
+    assert fab.fault_injector.messages_seen == 5
+
+
+def test_duplicate_rate_one_delivers_twice():
+    plan = FaultPlan(FaultConfig(duplicate_rate=1.0, duplicate_lag=1e-4),
+                     seed=1)
+    sim, fab, a, b = make_fabric(plan)
+    got = ping(sim, fab, a, b, count=1)
+    assert [p for _t, p in got] == [0, 0]
+    assert got[1][0] - got[0][0] == pytest.approx(1e-4)
+
+
+def test_partition_drops_only_inside_window():
+    plan = FaultPlan(FaultConfig(
+        partitions=(Partition(1.0, 2.0, ("a",)),)))
+    sim, fab, a, b = make_fabric(plan)
+    got = []
+    b.register_service("svc", lambda m: got.append(m.payload))
+
+    def driver():
+        fab.send(Message(src=a, dst=b, service="svc", payload="pre",
+                         nbytes=64))
+        yield sim.timeout(1.5)
+        fab.send(Message(src=a, dst=b, service="svc", payload="cut",
+                         nbytes=64))
+        yield sim.timeout(1.0)
+        fab.send(Message(src=a, dst=b, service="svc", payload="post",
+                         nbytes=64))
+
+    sim.spawn(driver())
+    sim.run()
+    assert got == ["pre", "post"]
+    assert plan.counts == {"partition-drop": 1}
+
+
+def test_delay_spike_postpones_delivery():
+    plan = FaultPlan(FaultConfig(delay_rate=1.0, delay_spike=1e-3), seed=3)
+    sim, fab, a, b = make_fabric(plan)
+    base = ping(*make_fabric(), count=1)[0][0]
+    got = ping(sim, fab, a, b, count=1)
+    assert got[0][0] > base
+    assert plan.counts["delay"] == 1
+
+
+def test_injector_untouched_messages_deliver_normally():
+    plan = FaultPlan(FaultConfig(), seed=1)
+    sim, fab, a, b = make_fabric(plan)
+    base = ping(*make_fabric(), count=3)
+    got = ping(sim, fab, a, b, count=3)
+    assert got == base
+    assert plan.timeline == []
+
+
+def test_local_sends_bypass_injection():
+    plan = FaultPlan(FaultConfig(drop_rate=1.0), seed=1)
+    sim, fab, a, _b = make_fabric(plan)
+    got = []
+    a.register_service("loop", lambda m: got.append(m.payload))
+    fab.send(Message(src=a, dst=a, service="loop", payload="x", nbytes=64))
+    sim.run()
+    assert got == ["x"]
+    assert fab.fault_injector.messages_seen == 0
+
+
+def test_same_seed_same_draw_sequence():
+    def run(seed):
+        plan = FaultPlan(FaultConfig(drop_rate=0.3, duplicate_rate=0.2),
+                         seed=seed)
+        sim, fab, a, b = make_fabric(plan)
+        ping(sim, fab, a, b, count=50)
+        return plan
+
+    p1, p2, p3 = run(42), run(42), run(43)
+    assert p1.signature() == p2.signature()
+    assert p1.timeline == p2.timeline
+    assert p1.signature() != p3.signature()

@@ -1,0 +1,76 @@
+"""The examples/failure_recovery.py stale-redo scenario as a pytest.
+
+Two clients write conflicting versions of a block (SNs 1 and 2); the
+newer version is flushed, the data server crashes, recovers, and the old
+client then redoes its unacked SN-1 flush.  Parameterized over the
+extent log:
+
+* ``extent_log=True`` — the replayed log rebuilds the SN filter and the
+  stale redo is rejected (§IV-C2): durable content stays ``NEW-DATA``.
+* ``extent_log=False`` — the unsafe configuration, documented here as a
+  *failing invariant*: with no durable SN record the recovered server
+  cannot tell the redo is stale and the old data clobbers the new.
+"""
+
+import pytest
+
+from repro.net.rpc import rpc_call
+from repro.pfs import Cluster, ClusterConfig
+from repro.pfs.data_server import IoWriteMsg, WireBlock
+
+
+def run_stale_redo_scenario(extent_log: bool) -> bytes:
+    """Returns the durable file content after the stale redo."""
+    cluster = Cluster(ClusterConfig(
+        num_data_servers=1, num_clients=2, dlm="seqdlm",
+        track_content=True, extent_log=extent_log, flush_timeout=0.5,
+        start_cleaner=False))
+    cluster.create_file("/critical.dat", stripe_count=1)
+    sim = cluster.sim
+
+    def old_writer(c):
+        fh = yield from c.open("/critical.dat")
+        yield from c.write(fh, 0, b"OLD-DATA")  # cached under SN 1
+        yield sim.timeout(1.0)
+
+    def new_writer(c):
+        yield sim.timeout(1e-3)
+        fh = yield from c.open("/critical.dat")
+        yield from c.write(fh, 0, b"NEW-DATA")  # revokes SN 1, takes SN 2
+        yield from c.fsync(fh)
+
+    cluster.run_clients([old_writer(cluster.clients[0]),
+                         new_writer(cluster.clients[1])])
+    assert cluster.read_back("/critical.dat") == b"NEW-DATA"
+
+    cluster.crash_server(0)
+    cluster.run_clients([cluster.recover_server(0)])
+
+    meta = cluster.metadata.lookup("/critical.dat")
+    key = (meta.fid, 0)
+
+    def redo_stale_flush(c):
+        # Writer A redoes its unacked SN-1 flush of the old data.
+        yield rpc_call(c.node, cluster.server_nodes[0], "io",
+                       IoWriteMsg(key, [WireBlock(0, 8, 1, b"OLD-DATA")]))
+
+    cluster.run_clients([redo_stale_flush(cluster.clients[0])])
+    return cluster.read_back("/critical.dat")
+
+
+def test_stale_redo_rejected_with_extent_log():
+    assert run_stale_redo_scenario(extent_log=True) == b"NEW-DATA"
+
+
+def test_stale_redo_clobbers_without_extent_log():
+    """The documented failure mode of the unsafe configuration: without
+    the log, write ordering does NOT survive the crash.  If this ever
+    starts returning NEW-DATA, the recovery model changed and
+    docs/faults.md needs updating."""
+    assert run_stale_redo_scenario(extent_log=False) == b"OLD-DATA"
+
+
+@pytest.mark.parametrize("extent_log,expected",
+                         [(True, b"NEW-DATA"), (False, b"OLD-DATA")])
+def test_stale_redo_matrix(extent_log, expected):
+    assert run_stale_redo_scenario(extent_log) == expected

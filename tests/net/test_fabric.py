@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Fabric, Message, NetworkConfig
+from repro.net import Fabric, Message, NetworkConfig, UnknownServiceError
 from repro.sim import Simulator
 
 
@@ -110,11 +110,27 @@ def test_failed_node_drops_messages():
 
 
 def test_unknown_service_raises():
+    # Raised synchronously at send so the failure surfaces in the sender
+    # (connection-refused style) rather than out of the event loop.
     sim, fab = make_fabric()
     a, b = fab.add_node("a"), fab.add_node("b")
+    with pytest.raises(UnknownServiceError) as exc:
+        fab.send(Message(src=a, dst=b, service="nope", payload=None,
+                         nbytes=10))
+    assert exc.value.node == "b"
+    assert exc.value.service == "nope"
+    sim.run()  # nothing was scheduled
+
+
+def test_unknown_service_not_raised_for_failed_node():
+    # A *failed* node swallows everything silently; senders must rely on
+    # timeouts, not synchronous errors (SeqDLM paper section IV-C2).
+    sim, fab = make_fabric()
+    a, b = fab.add_node("a"), fab.add_node("b")
+    b.failed = True
     fab.send(Message(src=a, dst=b, service="nope", payload=None, nbytes=10))
-    with pytest.raises(KeyError):
-        sim.run()
+    sim.run()
+    assert b.messages_received == 0
 
 
 def test_duplicate_node_name_rejected():

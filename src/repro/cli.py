@@ -70,20 +70,36 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--dlm", default="seqdlm",
                          choices=("seqdlm", "dlm-basic", "dlm-lustre",
                                   "dlm-datatype"))
-    chaos_p.add_argument("--drop", type=float, default=0.05,
-                         help="message drop probability (default 0.05)")
-    chaos_p.add_argument("--duplicate", type=float, default=0.03,
-                         help="message duplication probability")
-    chaos_p.add_argument("--reorder", type=float, default=0.05,
-                         help="message reordering probability")
-    chaos_p.add_argument("--delay", type=float, default=0.02,
-                         help="delay-spike probability")
+    chaos_p.add_argument("--drop", type=float, default=None,
+                         help="message drop probability (default 0.05; "
+                              "0 with --kill-client, where a lossy net "
+                              "can legitimately evict live survivors)")
+    chaos_p.add_argument("--duplicate", type=float, default=None,
+                         help="message duplication probability "
+                              "(default 0.03; 0 with --kill-client)")
+    chaos_p.add_argument("--reorder", type=float, default=None,
+                         help="message reordering probability "
+                              "(default 0.05; 0 with --kill-client)")
+    chaos_p.add_argument("--delay", type=float, default=None,
+                         help="delay-spike probability "
+                              "(default 0.02; 0 with --kill-client)")
     chaos_p.add_argument("--crash-at", type=float, default=3e-3,
                          help="crash data server 0 at this simulated time")
     chaos_p.add_argument("--crash-duration", type=float, default=3e-2,
                          help="outage length before recovery starts")
     chaos_p.add_argument("--no-crash", action="store_true",
                          help="message faults only, no server outage")
+    chaos_p.add_argument("--kill-client", type=int, default=None,
+                         metavar="RANK",
+                         help="run the client-liveness scenario instead: "
+                              "kill client RANK mid-write (replaces the "
+                              "server outage; see docs/faults.md)")
+    chaos_p.add_argument("--kill-at", type=float, default=6e-3,
+                         help="kill time for --kill-client (default 6ms)")
+    chaos_p.add_argument("--heal-after", type=float, default=6e-2,
+                         help="blackout length for --kill-client; after "
+                              "it the zombie's RPCs get fenced "
+                              "(default 60ms)")
     chaos_p.add_argument("--clients", type=int, default=4)
     chaos_p.add_argument("--servers", type=int, default=2)
     chaos_p.add_argument("--writes", type=int, default=16,
@@ -184,17 +200,31 @@ def _cmd_chaos(args) -> int:
     from repro.net import RetryPolicy
     from repro.pfs import ClusterConfig
 
+    kill = args.kill_client is not None
+
+    def rate(given, normal):
+        # Unstated rates default to 0 for --kill-client runs: eviction
+        # timeouts sized for the kill scenario would also fire on a
+        # live-but-lossy survivor.
+        if given is not None:
+            return given
+        return 0.0 if kill else normal
+
     outages = ()
-    if not args.no_crash:
+    if not args.no_crash and not kill:
         outages = (ServerOutage(0, start=args.crash_at,
                                 duration=args.crash_duration),)
     try:
-        faults = FaultConfig(drop_rate=args.drop, duplicate_rate=args.duplicate,
-                             reorder_rate=args.reorder, delay_rate=args.delay,
+        faults = FaultConfig(drop_rate=rate(args.drop, 0.05),
+                             duplicate_rate=rate(args.duplicate, 0.03),
+                             reorder_rate=rate(args.reorder, 0.05),
+                             delay_rate=rate(args.delay, 0.02),
                              outages=outages)
     except ValueError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
         return 2
+    if kill:
+        return _cmd_chaos_kill(args, faults)
     cluster_cfg = ClusterConfig(
         num_data_servers=args.servers, num_clients=args.clients,
         dlm=args.dlm, stripe_size=4096, page_size=16,
@@ -243,6 +273,7 @@ def _cmd_chaos(args) -> int:
           f"PASS ({dt:.1f}s wall)")
     print(f"  read-back verified; {checks} lock-invariant checks clean")
     print(f"  injected: {plan.counts or '(nothing)'}")
+    print(f"  resilience: {_fmt_counters(result.cluster)}")
     print(f"  plan signature: {plan.signature()[:16]} "
           f"(replay with --seed {args.seed})")
     print()
@@ -252,6 +283,71 @@ def _cmd_chaos(args) -> int:
     print("Lock-protocol swimlane (first events)")
     print(render_timeline(result.trace_events[:args.limit]))
     return 0
+
+
+def _fmt_counters(cluster) -> str:
+    nz = {k: v for k, v in sorted(cluster.resilience_counters().items())
+          if v}
+    return ("  ".join(f"{k}={v}" for k, v in nz.items())
+            or "(all counters zero)")
+
+
+def _cmd_chaos_kill(args, faults) -> int:
+    """``repro chaos --kill-client``: the client-liveness scenario."""
+    from collections import Counter
+
+    from repro.net import RetryPolicy
+    from repro.pfs import ClusterConfig
+    from repro.workloads.client_kill import ClientKillConfig, run_client_kill
+
+    config = ClientKillConfig(
+        dlm=args.dlm, seed=args.seed, clients=args.clients,
+        victim=args.kill_client, kill_at=args.kill_at,
+        heal_after=args.heal_after, writes_per_client=args.writes,
+        faults=faults,
+        retry=RetryPolicy(timeout=3e-3, backoff=2.0, max_timeout=5e-2,
+                          max_retries=40, jitter=0.2),
+        cluster=ClusterConfig(num_data_servers=args.servers))
+    if not 0 <= config.victim < config.clients:
+        print(f"repro chaos: error: --kill-client {config.victim} out of "
+              f"range for {config.clients} clients", file=sys.stderr)
+        return 2
+
+    t0 = time.time()
+    result = run_client_kill(config)
+    dt = time.time() - t0
+    cluster = result.cluster
+    plan = cluster.fault_plan
+    if args.json:
+        print(plan.to_json())
+        return 0
+
+    census = Counter(result.victim_slots.values())
+    status = "PASS" if result.verified else "FAIL"
+    print(f"chaos client-kill/{args.dlm} seed={args.seed}: "
+          f"{status} ({dt:.1f}s wall)")
+    print(f"  victim client{config.victim} -> "
+          f"{result.outcomes[config.victim]}; slots: "
+          f"{census.get('new', 0)} new / {census.get('old', 0)} old / "
+          f"{census.get('torn', 0)} torn (old-or-new oracle)")
+    evicted = (f"evicted at {result.evicted_at * 1e3:.2f} ms"
+               if result.evicted_at is not None else "never evicted")
+    print(f"  {evicted}; waiters unblocked after "
+          f"{result.max_read_wait * 1e3:.2f} ms; "
+          f"{sum(v.checks for v in cluster.validators)} lock-invariant "
+          f"checks clean")
+    print(f"  resilience: {_fmt_counters(cluster)}")
+    print(f"  plan signature: {plan.signature()[:16]} "
+          f"(replay with --seed {args.seed})")
+    print()
+    print("Eviction / lease timeline")
+    for ev in result.liveness_events[:args.limit]:
+        print(f"  {ev.time * 1e3:9.3f} ms  {ev.kind:<16} "
+              f"{ev.client:<10} {ev.detail}")
+    print()
+    print("Injected-fault timeline")
+    print(plan.render_timeline(limit=args.limit))
+    return 1 if not result.verified else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -25,10 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Hashable, List, Optional, Tuple
 
-from repro.dlm.config import DLMConfig
+from repro.dlm.config import DLMConfig, LivenessConfig
 from repro.dlm.extent import Extent
 from repro.dlm.messages import (
     DowngradeMsg,
+    FencedMsg,
+    HeartbeatMsg,
     LockGrantMsg,
     LockRequestMsg,
     LockStateRecord,
@@ -93,6 +95,15 @@ class LockClientStats:
     cancel_time: float = 0.0
     #: Portion of cancel_time spent flushing.
     flush_time: float = 0.0
+    # -- liveness -------------------------------------------------------
+    #: Lease-renewal heartbeats sent.
+    heartbeats_sent: int = 0
+    #: Heartbeats that got no reply within one interval.
+    heartbeat_losses: int = 0
+    #: FencedMsg replies received (zombie RPCs rejected server-side).
+    fenced_replies: int = 0
+    #: Times this client adopted a fresh incarnation after eviction.
+    rejoins: int = 0
 
 
 #: Hook type: given a lock, flush its dirty data; generator completing when
@@ -112,7 +123,8 @@ class LockClient:
 
     def __init__(self, node: Node, config: DLMConfig,
                  server_for: Callable[[Hashable], Node],
-                 retry: Optional[RetryPolicy] = None, rng=None):
+                 retry: Optional[RetryPolicy] = None, rng=None,
+                 liveness: Optional[LivenessConfig] = None):
         self.node = node
         self.sim = node.sim
         self.config = config
@@ -123,9 +135,26 @@ class LockClient:
         #: runs under injected message loss (see repro.faults).
         self.retry = retry
         self.rng = rng
+        #: When set, a heartbeat process renews this client's lease with
+        #: every lock server it has ever contacted.  Leave None for lock
+        #: clients that must not be lease-evictable (e.g. a data server's
+        #: local client).
+        self.liveness = liveness
+        #: This client's incarnation number; bumped (to the server-chosen
+        #: floor) on rejoin after an eviction.  Carried by every outgoing
+        #: message so servers can fence the pre-eviction incarnation.
+        self.incarnation = 1
+        #: Hook called with the dropped locks when an eviction forces a
+        #: rejoin — ccPFS uses it to discard dirty pages under reclaimed
+        #: locks (they were resolved server-side; re-flushing them would
+        #: be the zombie write the fence exists to stop).
+        self.discard_fn: Optional[Callable[[List[ClientLock]], None]] = None
         self.stats = LockClientStats()
         self.flush_fn: FlushFn = _noop_flush
         self.dirty_fn: DirtyFn = lambda lock: False
+        #: Lock servers this client has ever talked to (sticky, sorted at
+        #: iteration for determinism) — heartbeat targets.
+        self._known_servers: set = set()
         self._cache: Dict[Hashable, List[ClientLock]] = {}
         # Lock ids are only unique per server; key by (resource, id).
         self._by_id: Dict[tuple, ClientLock] = {}
@@ -134,6 +163,13 @@ class LockClient:
         # the reply to us).  Applied when the grant registers.
         self._pending_revokes: set = set()
         node.register_service("dlm_cb", self._on_callback)
+        if liveness is not None:
+            # One attempt per beat, bounded by the interval: a lost beat
+            # is simply counted and the next interval tries again.
+            self._hb_policy = RetryPolicy(
+                timeout=liveness.heartbeat_interval, max_retries=0)
+            self.sim.spawn(self._heartbeat_loop(),
+                           name=f"{node.name}-heartbeat")
 
     # ---------------------------------------------------------------- hooks
     def set_flush_hooks(self, flush_fn: FlushFn, dirty_fn: DirtyFn) -> None:
@@ -158,7 +194,8 @@ class LockClient:
         return [LockStateRecord(
             lock_id=l.lock_id, resource_id=l.resource_id, mode=l.mode,
             extents=l.extents, sn=l.sn, state=l.state,
-            client_name=self.node.name, has_dirty=self.dirty_fn(l))
+            client_name=self.node.name, has_dirty=self.dirty_fn(l),
+            incarnation=self.incarnation)
             for l in self.cached_locks()]
 
     # ---------------------------------------------------------------- lock()
@@ -180,18 +217,28 @@ class LockClient:
         self.stats.requests += 1
         t0 = self.sim.now
         server = self.server_for(resource_id)
-        request = LockRequestMsg(resource_id=resource_id, mode=mode,
-                                 extents=tuple(extents),
-                                 client_name=self.node.name)
+        self._known_servers.add(server.name)
         nbytes = CTRL_MSG_BYTES + 32 * max(0, len(extents) - 1)
-        if self.retry is None:
-            grant: LockGrantMsg = yield rpc_call(
-                self.node, server, "dlm", request, nbytes=nbytes)
-        else:
-            grant = yield from rpc_call_retry(
-                self.node, server, "dlm", request, nbytes=nbytes,
-                policy=self.retry, rng=self.rng,
-                on_retry=self._count_request_retry)
+        while True:
+            request = LockRequestMsg(resource_id=resource_id, mode=mode,
+                                     extents=tuple(extents),
+                                     client_name=self.node.name,
+                                     incarnation=self.incarnation)
+            if self.retry is None:
+                grant: LockGrantMsg = yield rpc_call(
+                    self.node, server, "dlm", request, nbytes=nbytes)
+            else:
+                grant = yield from rpc_call_retry(
+                    self.node, server, "dlm", request, nbytes=nbytes,
+                    policy=self.retry, rng=self.rng,
+                    on_retry=self._count_request_retry)
+            if isinstance(grant, FencedMsg):
+                # Evicted while this request was in flight or queued:
+                # adopt the fresh incarnation and reissue the request.
+                self.stats.fenced_replies += 1
+                self.note_fenced(grant)
+                continue
+            break
         self.stats.lock_wait_time += self.sim.now - t0
         self.stats.grants += 1
 
@@ -206,7 +253,8 @@ class LockClient:
             # A revocation raced ahead of this grant: honour it now.
             self._pending_revokes.discard(key)
             lock.state = LockState.CANCELING
-            self._notify(server, RevokeAckMsg(lock.lock_id, resource_id))
+            self._notify(server, RevokeAckMsg(lock.lock_id, resource_id,
+                                              incarnation=self.incarnation))
         self._mark_use(lock, for_write)
         return lock
 
@@ -231,14 +279,21 @@ class LockClient:
 
     def _reliable_notify(self, server: Node, payload) -> Generator:
         try:
-            yield from rpc_call_retry(self.node, server, "dlm", payload,
-                                      nbytes=CTRL_MSG_BYTES,
-                                      policy=self.retry, rng=self.rng)
+            reply = yield from rpc_call_retry(self.node, server, "dlm",
+                                              payload,
+                                              nbytes=CTRL_MSG_BYTES,
+                                              policy=self.retry, rng=self.rng)
         except (RpcTimeoutError, UnknownServiceError):
             # The server is gone for good (or restarted): its recovery
             # path regathers lock state from clients, so this
             # notification is obsolete rather than lost.
             self.stats.notify_failures += 1
+            return
+        if isinstance(reply, FencedMsg):
+            # The server evicted us before this notification landed; the
+            # state it refers to was already reclaimed.
+            self.stats.fenced_replies += 1
+            self.note_fenced(reply)
 
     def _cache_lookup(self, resource_id, extents, mode) -> Optional[ClientLock]:
         for cl in self._cache.get(resource_id, ()):
@@ -306,7 +361,8 @@ class LockClient:
         # Duplicate revokes (retransmits) re-ack — the earlier ack may
         # have been the casualty.
         self._notify(server, RevokeAckMsg(payload.lock_id,
-                                          payload.resource_id))
+                                          payload.resource_id,
+                                          incarnation=self.incarnation))
         lock.state = LockState.CANCELING
         self._maybe_cancel(lock)
 
@@ -334,7 +390,8 @@ class LockClient:
                 self.stats.flush_time += self.sim.now - tf
                 flushed = True
             self._notify(server, DowngradeMsg(lock.lock_id,
-                                              lock.resource_id, new_mode))
+                                              lock.resource_id, new_mode,
+                                              incarnation=self.incarnation))
             lock.mode = new_mode
             self.stats.downgrades += 1
 
@@ -343,7 +400,8 @@ class LockClient:
             yield self.sim.spawn(self.flush_fn(lock))
             self.stats.flush_time += self.sim.now - tf
 
-        self._notify(server, ReleaseMsg(lock.lock_id, lock.resource_id))
+        self._notify(server, ReleaseMsg(lock.lock_id, lock.resource_id,
+                                        incarnation=self.incarnation))
         self._forget(lock)
         self.stats.cancel_time += self.sim.now - t0
 
@@ -353,6 +411,55 @@ class LockClient:
         locks = self._cache.get(lock.resource_id)
         if locks and lock in locks:
             locks.remove(lock)
+
+    # -------------------------------------------------------------- liveness
+    def note_fenced(self, msg: FencedMsg) -> None:
+        """React to a :class:`FencedMsg` reply: this client was evicted.
+
+        Rejoin by adopting the server-chosen minimum incarnation and
+        dropping every cached lock (and, via ``discard_fn``, every dirty
+        byte under them) — all of it refers to grants the eviction
+        reclaimed, and replaying it under the fresh incarnation would
+        resurrect exactly the zombie state the fence exists to stop.
+        Idempotent for duplicate/stale fence notices.
+        """
+        if msg.min_incarnation <= self.incarnation:
+            return
+        self.incarnation = msg.min_incarnation
+        self.stats.rejoins += 1
+        dropped = self.cached_locks()
+        self._cache.clear()
+        self._by_id.clear()
+        self._pending_revokes.clear()
+        if self.discard_fn is not None:
+            self.discard_fn(dropped)
+
+    def _heartbeat_loop(self) -> Generator:
+        """Renew leases with every lock server this client has contacted.
+
+        Runs for the life of the node, including through an outage: the
+        post-heal beats are what carry back the FencedMsg telling an
+        evicted client to rejoin with a fresh incarnation.
+        """
+        lv = self.liveness
+        while True:
+            yield self.sim.timeout(lv.heartbeat_interval)
+            for name in sorted(self._known_servers):
+                yield from self._beat(self.node.fabric.nodes[name])
+
+    def _beat(self, server: Node) -> Generator:
+        self.stats.heartbeats_sent += 1
+        try:
+            reply = yield from rpc_call_retry(
+                self.node, server, "dlm",
+                HeartbeatMsg(self.node.name, self.incarnation),
+                nbytes=CTRL_MSG_BYTES, policy=self._hb_policy)
+        except (RpcTimeoutError, UnknownServiceError):
+            self.stats.heartbeat_losses += 1
+            return
+        if isinstance(reply, FencedMsg):
+            self.stats.fenced_replies += 1
+            self.note_fenced(reply)
 
     # -------------------------------------------------------- bulk operations
     def cancel_all(self) -> Generator:

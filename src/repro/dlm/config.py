@@ -15,7 +15,8 @@ from typing import Optional
 from repro.dlm.lcm import CompatibilityFn, seqdlm_compatible, traditional_compatible
 from repro.dlm.types import LockMode
 
-__all__ = ["ExpansionPolicy", "DLMConfig", "make_dlm_config", "select_mode",
+__all__ = ["ExpansionPolicy", "DLMConfig", "LivenessConfig",
+           "make_dlm_config", "select_mode",
            "LUSTRE_EXPANSION_CAP", "LUSTRE_LOCK_COUNT_TRIGGER"]
 
 #: DLM-Lustre caps expansion at 32 MB once more than 32 locks are granted
@@ -66,6 +67,42 @@ class DLMConfig:
 
     def with_overrides(self, **kw) -> "DLMConfig":
         return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class LivenessConfig:
+    """Client-liveness parameters: lock leases, heartbeats and eviction.
+
+    A lock server with a liveness config grants *leases* to clients: a
+    client that has heartbeated at least once must keep renewing within
+    ``lease_duration`` or be **evicted** — its grants reclaimed, its
+    waiters promoted, and its identity fenced by incarnation number so
+    late RPCs from the half-dead client cannot mutate reclaimed state.
+    Independently, a holder that leaves a revocation callback unacked for
+    ``revoke_timeout`` is evicted too (covers clients that die before
+    ever heartbeating).  All timeouts are simulated seconds; the whole
+    mechanism is deterministic, so eviction schedules replay from the
+    run's seed.
+    """
+
+    #: How long a heartbeat keeps the lease alive.
+    lease_duration: float = 2.0e-2
+    #: Client heartbeat period (keep several beats per lease so isolated
+    #: heartbeat losses do not evict a live client).
+    heartbeat_interval: float = 5.0e-3
+    #: Eviction deadline for an unacked revocation callback.
+    revoke_timeout: float = 2.5e-2
+    #: Period of the server-side liveness monitor sweep.
+    check_interval: float = 2.5e-3
+
+    def __post_init__(self):
+        for name in ("lease_duration", "heartbeat_interval",
+                     "revoke_timeout", "check_interval"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.heartbeat_interval >= self.lease_duration:
+            raise ValueError("heartbeat_interval must be < lease_duration "
+                             "or every lease expires between beats")
 
 
 _PRESETS = {

@@ -11,6 +11,13 @@ senders.  The message set matches Fig. 1/Fig. 6 of the paper:
 ``DowngradeMsg``    client -> server      lock downgrading RPC (§III-D2)
 ``ReleaseMsg``      client -> server   ④ lock release
 ``MsnQueryMsg``     data-srv -> server    min-SN query for cache cleaning
+``HeartbeatMsg``    client -> server      lease renewal (liveness)
+``FencedMsg``       server -> client      rejection of a zombie RPC
+
+Every client→server message carries the sender's **incarnation number**;
+a server that evicted the client fences all lower incarnations (replying
+:class:`FencedMsg` instead of acting), which is what makes eviction safe
+against late RPCs from half-dead clients.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ __all__ = [
     "ReleaseMsg",
     "MsnQueryMsg",
     "LockStateRecord",
+    "HeartbeatMsg",
+    "FencedMsg",
 ]
 
 Extents = Tuple[Tuple[int, int], ...]
@@ -41,6 +50,7 @@ class LockRequestMsg:
     #: One extent normally; several for datatype (non-contiguous) locks.
     extents: Extents
     client_name: str
+    incarnation: int = 0
 
 
 @dataclass
@@ -65,6 +75,7 @@ class RevokeMsg:
 class RevokeAckMsg:
     lock_id: int
     resource_id: Hashable
+    incarnation: int = 0
 
 
 @dataclass
@@ -72,12 +83,14 @@ class DowngradeMsg:
     lock_id: int
     resource_id: Hashable
     new_mode: LockMode
+    incarnation: int = 0
 
 
 @dataclass
 class ReleaseMsg:
     lock_id: int
     resource_id: Hashable
+    incarnation: int = 0
 
 
 @dataclass
@@ -98,3 +111,26 @@ class LockStateRecord:
     state: LockState
     client_name: str = ""
     has_dirty: bool = False
+    incarnation: int = 0
+
+
+@dataclass
+class HeartbeatMsg:
+    """Lease renewal: "client ``client_name``, incarnation ``incarnation``,
+    is alive".  The first accepted heartbeat establishes the lease."""
+
+    client_name: str
+    incarnation: int = 0
+
+
+@dataclass
+class FencedMsg:
+    """Reply to an RPC from a fenced (evicted) client incarnation.
+
+    ``min_incarnation`` is the lowest incarnation the server will accept;
+    the client rejoins by adopting it, dropping every lock and dirty byte
+    the eviction reclaimed."""
+
+    client_name: str
+    incarnation: int
+    min_incarnation: int

@@ -32,12 +32,15 @@ from typing import Deque, Dict, Hashable, List, Optional, Tuple
 from repro.dlm.config import (
     DLMConfig,
     ExpansionPolicy,
+    LivenessConfig,
     LUSTRE_EXPANSION_CAP,
     LUSTRE_LOCK_COUNT_TRIGGER,
 )
 from repro.dlm.extent import EOF, overlaps
 from repro.dlm.messages import (
     DowngradeMsg,
+    FencedMsg,
+    HeartbeatMsg,
     LockGrantMsg,
     LockRequestMsg,
     LockStateRecord,
@@ -56,7 +59,7 @@ from repro.net.rpc import (
     one_way,
 )
 
-__all__ = ["LockServer", "ServerLock", "LockServerStats"]
+__all__ = ["LockServer", "ServerLock", "LockServerStats", "LivenessEvent"]
 
 
 @dataclass
@@ -71,6 +74,8 @@ class ServerLock:
     sn: int
     state: LockState = LockState.GRANTED
     revoke_sent: bool = False
+    #: Incarnation of the holder at grant time (liveness/fencing).
+    incarnation: int = 0
 
     def overlaps_extents(self, extents) -> bool:
         mine = self.extents
@@ -118,6 +123,25 @@ class LockServerStats:
     #: Cumulative time between sending a revocation callback and processing
     #: its ack — the paper's breakdown part ① "lock revocation" (Fig. 17).
     revoke_wait_time: float = 0.0
+    # -- client liveness (leases, eviction, fencing) ----------------------
+    #: Heartbeats accepted (lease grants + renewals).
+    heartbeats: int = 0
+    #: Clients expelled for a missed lease or an ignored revocation.
+    evictions: int = 0
+    #: Granted locks reclaimed by evictions.
+    locks_reclaimed: int = 0
+    #: RPCs from fenced (pre-eviction) client incarnations rejected.
+    fenced_rejections: int = 0
+
+
+@dataclass(frozen=True)
+class LivenessEvent:
+    """One entry of a lock server's lease/eviction timeline."""
+
+    time: float
+    kind: str  # lease-grant|evict|fence-reject|heartbeat-fenced
+    client: str
+    detail: str = ""
 
 
 class LockServer:
@@ -130,7 +154,8 @@ class LockServer:
     def __init__(self, node: Node, config: DLMConfig,
                  ops: float = 213_000.0,
                  retry: Optional[RetryPolicy] = None, rng=None,
-                 dedup: bool = False):
+                 dedup: bool = False,
+                 liveness: Optional[LivenessConfig] = None):
         self.node = node
         self.sim = node.sim
         self.config = config
@@ -139,23 +164,49 @@ class LockServer:
         #: a silently dropped revoke would wedge the wait queue forever).
         self.retry = retry
         self.rng = rng
+        #: When set, the server runs the lease/eviction monitor: clients
+        #: that stop heartbeating or sit on a revocation past the timeout
+        #: are evicted and their incarnation fenced.
+        self.liveness = liveness
         self.stats = LockServerStats()
         self._resources: Dict[Hashable, _Resource] = {}
-        self._revoke_sent_at: Dict[int, float] = {}
+        #: lock_id -> (sent_at, resource_id, client_name) for unacked
+        #: revocation callbacks (watchdog + revoke-timeout eviction).
+        self._revoke_sent_at: Dict[int, Tuple[float, Hashable, str]] = {}
         self._lock_ids = itertools.count(1)
         #: Bumped on reset_state so in-flight watchdogs from before a
         #: crash stop retransmitting stale revocations.
         self._epoch = 0
+        # -- liveness state (volatile: lost on crash like the lock table).
+        #: client -> lease deadline; present only for clients that have
+        #: heartbeated at least once (the lease is a contract entered by
+        #: heartbeating; never-heartbeating holders are covered by the
+        #: revoke-timeout eviction path).
+        self._leases: Dict[str, float] = {}
+        #: Highest incarnation seen per client.
+        self._incarnations: Dict[str, int] = {}
+        #: client -> minimum acceptable incarnation (evicted + 1); RPCs
+        #: below the floor are fenced.
+        self._fence: Dict[str, int] = {}
+        #: Lease/eviction timeline (rendered by ``repro chaos``).
+        self.liveness_log: List[LivenessEvent] = []
+        #: Cluster hook called as ``on_evict(client, reason, reclaimed)``
+        #: — records the eviction in the fault plan and kicks cleaning.
+        self.on_evict = None
         self.service = RpcService(node, "dlm", self._handle, ops=ops,
                                   cost_fn=self._dispatch_cost,
                                   dedup=dedup)
+        if liveness is not None:
+            self.sim.spawn(self._liveness_monitor(),
+                           name=f"{node.name}-liveness")
 
     @staticmethod
     def _dispatch_cost(msg) -> float:
         """Dispatch-cost weight per message type.  The measured CaRT OPS
         (§V-A, ~213 k) is for request-reply RPCs (lock requests, mSN
         queries); one-way notifications (release, revoke-ack, downgrade)
-        skip the reply path and cost a fraction of a full RPC."""
+        and heartbeats skip the reply path and cost a fraction of a full
+        RPC."""
         if isinstance(msg.payload, (LockRequestMsg, MsnQueryMsg)):
             return 1.0
         return 0.25
@@ -172,6 +223,15 @@ class LockServer:
         self._resources.clear()
         self._revoke_sent_at.clear()
         self._epoch += 1
+        # Liveness state is volatile too: leases and fences die with the
+        # server.  Surviving clients re-establish leases with their next
+        # heartbeat.  Losing the fence floor is safe: an evicted client's
+        # locks were reclaimed before the crash, so its stale RPCs refer
+        # to lock ids that no longer exist after recovery and fall into
+        # the same raced-with-release no-op paths as any late duplicate.
+        self._leases.clear()
+        self._incarnations.clear()
+        self._fence.clear()
         self.service.reset_dedup()
 
     def resource_lock_count(self, resource_id: Hashable) -> int:
@@ -186,7 +246,28 @@ class LockServer:
     # ------------------------------------------------------------- dispatch
     def _handle(self, req: Request) -> None:
         payload = req.payload
-        if isinstance(payload, LockRequestMsg):
+        client = getattr(payload, "client_name", "") or req.src.name
+        inc = getattr(payload, "incarnation", None)
+        if inc is not None:
+            if self.is_fenced(client, inc):
+                # Zombie RPC from a pre-eviction incarnation: reject
+                # without touching any state.  The reply doubles as the
+                # rejoin signal (it carries the minimum acceptable
+                # incarnation).
+                self.stats.fenced_rejections += 1
+                kind = ("heartbeat-fenced"
+                        if isinstance(payload, HeartbeatMsg) else
+                        "fence-reject")
+                self._log(kind, client,
+                          f"{type(payload).__name__} inc={inc} "
+                          f"< {self._fence[client]}")
+                req.respond(FencedMsg(client, inc, self._fence[client]),
+                            nbytes=CTRL_MSG_BYTES)
+                return
+            self._note_client(client, inc)
+        if isinstance(payload, HeartbeatMsg):
+            self._on_heartbeat(payload, req)
+        elif isinstance(payload, LockRequestMsg):
             self._on_lock_request(payload, req)
         elif isinstance(payload, RevokeAckMsg):
             self._on_revoke_ack(payload)
@@ -221,9 +302,9 @@ class LockServer:
         self._process(res)
 
     def _on_revoke_ack(self, msg: RevokeAckMsg) -> None:
-        sent_at = self._revoke_sent_at.pop(msg.lock_id, None)
-        if sent_at is not None:
-            self.stats.revoke_wait_time += self.sim.now - sent_at
+        entry = self._revoke_sent_at.pop(msg.lock_id, None)
+        if entry is not None:
+            self.stats.revoke_wait_time += self.sim.now - entry[0]
         res = self._res(msg.resource_id)
         lock = res.granted.get(msg.lock_id)
         if lock is None:
@@ -272,7 +353,8 @@ class LockServer:
             lock_id=rec.lock_id, resource_id=rec.resource_id,
             client_name=rec.client_name, mode=rec.mode, extents=rec.extents,
             sn=rec.sn, state=rec.state,
-            revoke_sent=rec.state is LockState.CANCELING)
+            revoke_sent=rec.state is LockState.CANCELING,
+            incarnation=rec.incarnation)
         res.next_sn = max(res.next_sn, rec.sn + 1)
         # Keep lock ids unique after recovery.
         self._lock_ids = itertools.count(
@@ -361,7 +443,8 @@ class LockServer:
                 if g.state is LockState.GRANTED and not g.revoke_sent:
                     g.revoke_sent = True
                     self.stats.revocations_sent += 1
-                    self._revoke_sent_at[g.lock_id] = self.sim.now
+                    self._revoke_sent_at[g.lock_id] = (
+                        self.sim.now, res.resource_id, g.client_name)
                     client = self.node.fabric.nodes[g.client_name]
                     one_way(self.node, client, "dlm_cb",
                             RevokeMsg(g.lock_id, res.resource_id),
@@ -507,10 +590,121 @@ class LockServer:
         lock = ServerLock(
             lock_id=next(self._lock_ids), resource_id=res.resource_id,
             client_name=msg.client_name, mode=mode, extents=extents, sn=sn,
-            state=state, revoke_sent=state is LockState.CANCELING)
+            state=state, revoke_sent=state is LockState.CANCELING,
+            incarnation=msg.incarnation)
         res.granted[lock.lock_id] = lock
         self.stats.grants += 1
         pend.req.respond(LockGrantMsg(
             lock_id=lock.lock_id, resource_id=res.resource_id, mode=mode,
             extents=extents, sn=sn, state=state,
             absorbed_lock_ids=absorbed_ids), nbytes=CTRL_MSG_BYTES)
+
+    # ------------------------------------------------- liveness / eviction
+    def is_fenced(self, client: str, incarnation: int) -> bool:
+        """True when ``incarnation`` of ``client`` has been evicted and
+        must not mutate server state."""
+        return incarnation < self._fence.get(client, 0)
+
+    def fence_floor(self, client: str, incarnation: int) -> Optional[int]:
+        """Minimum acceptable incarnation when ``(client, incarnation)``
+        is fenced, else None.  Installed as the co-located data server's
+        ``fence_fn`` so zombie flushes are rejected with the same floor
+        the DLM enforces."""
+        if self.is_fenced(client, incarnation):
+            return self._fence[client]
+        return None
+
+    def _note_client(self, client: str, incarnation: int) -> None:
+        if incarnation > self._incarnations.get(client, 0):
+            self._incarnations[client] = incarnation
+
+    def _on_heartbeat(self, msg: HeartbeatMsg, req: Request) -> None:
+        """Accept a heartbeat: establish or renew the client's lease.
+
+        Only heartbeats touch the lease — a busy client keeps its lease
+        through its (independent) heartbeat process, and holders that
+        never heartbeat (e.g. a data server's local lock client) simply
+        never enter the lease regime; the revoke-timeout path still
+        covers them."""
+        if self.liveness is not None:
+            fresh = msg.client_name not in self._leases
+            self._leases[msg.client_name] = (
+                self.sim.now + self.liveness.lease_duration)
+            self.stats.heartbeats += 1
+            if fresh:
+                self._log("lease-grant", msg.client_name,
+                          f"inc={msg.incarnation} "
+                          f"lease={self.liveness.lease_duration:g}s")
+        req.respond("ok")
+
+    def _liveness_monitor(self):
+        """Periodic sweep: evict clients whose lease lapsed or that sat
+        on a revocation callback past ``revoke_timeout``.  Victims are
+        collected into one per-sweep set so a client tripping both
+        conditions is evicted exactly once."""
+        lv = self.liveness
+        while True:
+            yield self.sim.timeout(lv.check_interval)
+            if self.node.failed:
+                continue  # a crashed server evicts nobody
+            now = self.sim.now
+            victims: Dict[str, str] = {}
+            for client, deadline in sorted(self._leases.items()):
+                if now > deadline:
+                    victims.setdefault(
+                        client,
+                        f"lease expired {now - deadline:.2e}s ago")
+            for lock_id, (sent_at, rid, client) in sorted(
+                    self._revoke_sent_at.items()):
+                if now - sent_at > lv.revoke_timeout:
+                    victims.setdefault(
+                        client,
+                        f"revocation of lock {lock_id} ({rid}) unacked "
+                        f"for {now - sent_at:.2e}s")
+            for client, reason in victims.items():
+                self._evict(client, reason)
+
+    def _evict(self, client: str, reason: str) -> None:
+        """Expel ``client``: reclaim its grants, fence its incarnation,
+        flush its queued requests, and re-run the affected wait queues so
+        surviving waiters are promoted."""
+        evicted_inc = self._incarnations.get(client, 0)
+        reclaimed: List[ServerLock] = []
+        touched: List[_Resource] = []
+        for res in self._resources.values():
+            doomed = [g for g in res.granted.values()
+                      if g.client_name == client]
+            if doomed:
+                touched.append(res)
+            for g in doomed:
+                del res.granted[g.lock_id]
+                self._revoke_sent_at.pop(g.lock_id, None)
+                evicted_inc = max(evicted_inc, g.incarnation)
+                reclaimed.append(g)
+        fence = max(self._fence.get(client, 0), evicted_inc + 1)
+        self._fence[client] = fence
+        self._leases.pop(client, None)
+        for lock_id in [lid for lid, entry in self._revoke_sent_at.items()
+                        if entry[2] == client]:
+            del self._revoke_sent_at[lock_id]
+        for res in self._resources.values():
+            stale = [p for p in res.queue if p.msg.client_name == client]
+            if stale and res not in touched:
+                touched.append(res)
+            for p in stale:
+                res.queue.remove(p)
+                p.req.respond(FencedMsg(client, p.msg.incarnation, fence),
+                              nbytes=CTRL_MSG_BYTES)
+        self.stats.evictions += 1
+        self.stats.locks_reclaimed += len(reclaimed)
+        self._log("evict", client,
+                  f"{reason}; reclaimed {len(reclaimed)} lock(s); "
+                  f"fence>={fence}")
+        if self.on_evict is not None:
+            self.on_evict(client, reason, list(reclaimed))
+        for res in touched:
+            self._process(res)
+
+    def _log(self, kind: str, client: str, detail: str = "") -> None:
+        self.liveness_log.append(
+            LivenessEvent(self.sim.now, kind, client, detail))

@@ -21,6 +21,15 @@ I3. **Single writer in GRANTED state** — at most one overlapping
 I4. **Queue sanity** — a queued request must actually conflict with at
     least one granted lock or be at a position behind such a request
     (otherwise the server forgot to grant it).
+I5. **Fencing** — no granted lock belongs to a fenced client
+    incarnation: eviction must reclaim every grant below the fence
+    floor, and nothing below it may ever be (re-)granted, so no fenced
+    RPC can mutate lock state.
+I6. **Eviction permanence per epoch** — a ``(resource, lock_id)`` pair
+    reclaimed by an eviction never reappears in the granted set within
+    the same crash epoch; together with I1/I3 re-checked after the
+    post-eviction queue promotion, this is the "no two live grants
+    overlap across an eviction" guarantee.
 
 The validator is pure observation — it never mutates server state — and
 is cheap enough to leave on in every integration test.  Violations raise
@@ -54,22 +63,54 @@ class LockValidator:
         self.max_write_sn_seen: Dict[Hashable, int] = {}
         self._seen_sns: Dict[Hashable, Set[int]] = {}
         self._seen_lock_ids: Dict[Hashable, Set[int]] = {}
+        self._evicted_grants: Set[Tuple[Hashable, int]] = set()
         self._epoch_seen = server._epoch
         self._orig_process = server._process
         server._process = self._checked_process
+        self._orig_evict = server._evict
+        server._evict = self._checked_evict
 
     # ------------------------------------------------------------ plumbing
     def detach(self) -> None:
         self.server._process = self._orig_process
+        self.server._evict = self._orig_evict
 
-    def _checked_process(self, res: _Resource) -> None:
+    def _maybe_roll_epoch(self) -> None:
         if self.server._epoch != self._epoch_seen:
-            # Server crashed since the last check: the I2 history is
-            # per-epoch (see module docstring).
+            # Server crashed since the last check: the I2/I6 histories
+            # are per-epoch (see module docstring).
             self._epoch_seen = self.server._epoch
             self.max_write_sn_seen.clear()
             self._seen_sns.clear()
             self._seen_lock_ids.clear()
+            self._evicted_grants.clear()
+
+    def _checked_evict(self, client: str, reason: str) -> None:
+        self._maybe_roll_epoch()
+        doomed = [(res.resource_id, lock_id)
+                  for res in self.server._resources.values()
+                  for lock_id, g in res.granted.items()
+                  if g.client_name == client]
+        self._orig_evict(client, reason)
+        self.checks += 1
+        # Every reclaimed grant must actually be gone...
+        for rid, lock_id in doomed:
+            if lock_id in self.server._resources[rid].granted:
+                raise LockInvariantViolation(
+                    f"[I6] eviction of {client!r} left lock {lock_id} "
+                    f"granted on {rid!r}")
+        # ...and must stay gone for the rest of the epoch (I6 is then
+        # enforced by validate_resource on every later transition).
+        self._evicted_grants.update(doomed)
+        # The fence floor must now reject the evicted incarnation, else
+        # its in-flight RPCs could resurrect state (I5 would miss a
+        # client whose grants are all reclaimed).
+        if self.server._fence.get(client, 0) < 1:
+            raise LockInvariantViolation(
+                f"[I5] eviction of {client!r} raised no fence floor")
+
+    def _checked_process(self, res: _Resource) -> None:
+        self._maybe_roll_epoch()
         before_ids = set(res.granted.keys())
         self._orig_process(res)
         self.checks += 1
@@ -134,6 +175,22 @@ class LockValidator:
                 raise LockInvariantViolation(
                     f"[I2] granted write SN {l.sn} >= next_sn "
                     f"{res.next_sn} on {rid!r}")
+
+        # I5: no granted lock from a fenced incarnation.
+        fence = self.server._fence
+        for l in locks:
+            floor = fence.get(l.client_name, 0)
+            if l.incarnation < floor:
+                raise LockInvariantViolation(
+                    f"[I5] granted lock {l.lock_id} on {rid!r} belongs to "
+                    f"fenced {l.client_name!r} incarnation "
+                    f"{l.incarnation} < {floor}")
+
+        # I6: a reclaimed grant never resurfaces within the epoch.
+        for lock_id in res.granted:
+            if (rid, lock_id) in self._evicted_grants:
+                raise LockInvariantViolation(
+                    f"[I6] evicted lock {lock_id} reappeared on {rid!r}")
 
         # I4: the queue head must be genuinely blocked.
         if res.queue:

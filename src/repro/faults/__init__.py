@@ -8,6 +8,7 @@ the paper's §V-B data-safety experiments.
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    ClientOutage,
     FaultConfig,
     FaultEvent,
     FaultPlan,
@@ -16,6 +17,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "ClientOutage",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",

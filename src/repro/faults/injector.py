@@ -50,6 +50,15 @@ class FaultInjector:
         src, dst = msg.src.name, msg.dst.name
         service = f"{msg.service}{'(reply)' if msg.is_reply else ''}"
 
+        # A blacked-out sender's traffic dies on its NIC.  This check must
+        # precede every RNG draw: whether a doomed message would also have
+        # been dropped/delayed is never sampled, so the fault stream stays
+        # aligned between runs that only differ in outage timing.
+        if msg.src.failed:
+            plan.record(now, "src-down-drop", src, dst, service,
+                        detail=f"req_id={msg.req_id}")
+            return []
+
         part = plan.partition_active(now, src, dst)
         if part is not None:
             plan.record(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.sim.rng import DeterministicRNG
 
 __all__ = [
+    "ClientOutage",
     "FaultConfig",
     "FaultEvent",
     "FaultPlan",
@@ -66,6 +67,26 @@ class ServerOutage:
 
 
 @dataclass(frozen=True)
+class ClientOutage:
+    """A timed outage of one compute-client node.
+
+    From ``start`` until ``start + duration`` the node is blacked out:
+    every message it sends or should receive is dropped.  With ``kill``
+    the client's registered application processes are also interrupted at
+    ``start`` — the application is dead for good, but the client
+    *library* (heartbeat loop, retrying RPCs) keeps running, which is
+    precisely the half-dead "zombie" whose late RPCs the lease/fencing
+    machinery must reject.  After the blackout the zombie's first fenced
+    reply makes it rejoin with a fresh incarnation.
+    """
+
+    client_index: int
+    start: float
+    duration: float
+    kill: bool = False
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Rates and windows of injected faults.
 
@@ -92,6 +113,9 @@ class FaultConfig:
     partitions: Tuple[Partition, ...] = ()
     #: Timed server crash/recover events (executed by the cluster).
     outages: Tuple[ServerOutage, ...] = ()
+    #: Timed client blackouts/kills (executed by the cluster; the
+    #: injector enforces the blackout on the wire).
+    client_outages: Tuple[ClientOutage, ...] = ()
 
     def __post_init__(self):
         for name in ("drop_rate", "duplicate_rate", "reorder_rate", "delay_rate"):
@@ -107,6 +131,9 @@ class FaultConfig:
             or self.reorder_rate
             or self.delay_rate
             or self.partitions
+            # Client blackouts are enforced at Fabric.send by the
+            # injector (the fabric only drops at the *receiving* end).
+            or self.client_outages
         )
 
     def describe(self) -> dict:

@@ -580,6 +580,7 @@ def ablation_partial_page_rmw(scale: str = "small") -> ExperimentResult:
 
 
 from repro.harness.extensions import (  # noqa: E402
+    ext_client_liveness,
     ext_client_scaling,
     ext_lockahead,
     ext_read_phase,
@@ -603,6 +604,7 @@ EXPERIMENTS = {
     "ext_scaling": ext_client_scaling,
     "ext_read_phase": ext_read_phase,
     "ext_lockahead": ext_lockahead,
+    "ext_client_liveness": ext_client_liveness,
 }
 
 

@@ -12,6 +12,10 @@ reviewer (or an adopter) would ask next:
   then a cross-client read phase.  SeqDLM must win the write phase
   without losing the read phase (reads use PR under both systems, and
   all writers' data must be durable before reads are served).
+* ``ext_client_liveness`` — what happens when a *client* dies holding
+  locks?  Runs the kill-a-client-mid-write chaos scenario under every
+  DLM config and reports eviction latency, reclaimed locks, waiter
+  unblock time and the old-or-new slot census (docs/faults.md).
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from repro.harness.report import ExperimentResult, fmt_bw, fmt_time
 from repro.pfs import ClusterConfig
 from repro.workloads.ior import IorConfig, run_ior
 
-__all__ = ["ext_client_scaling", "ext_read_phase", "ext_lockahead"]
+__all__ = ["ext_client_scaling", "ext_read_phase", "ext_lockahead",
+           "ext_client_liveness"]
 
 KB = 1024
 
@@ -147,4 +152,47 @@ def ext_lockahead(scale: str = "small") -> ExperimentResult:
     res.notes = ("lockahead matches SeqDLM only when the declared "
                  "extents are disjoint; overlap re-creates the conflict "
                  "chain it tried to avoid")
+    return res
+
+
+def ext_client_liveness(scale: str = "small") -> ExperimentResult:
+    """Extension: client death mid-write — eviction, fencing, old-or-new."""
+    from collections import Counter
+
+    from repro.net.rpc import RetryPolicy
+    from repro.workloads.client_kill import ClientKillConfig, run_client_kill
+
+    seeds = (101,) if scale == "small" else (101, 202, 303)
+    retry = RetryPolicy(timeout=3e-3, backoff=2.0, max_timeout=5e-2,
+                        max_retries=40, jitter=0.2)
+    res = ExperimentResult(
+        exp_id="ext_client_liveness",
+        title="Extension: kill a client mid-write (lease eviction, "
+        "fencing, orphan-lock reclamation)",
+        columns=["DLM", "seed", "victim", "evicted", "reclaimed",
+                 "waiter unblock", "slots", "verified"])
+    totals: Dict[str, int] = {}
+    for dlm in ("seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"):
+        for seed in seeds:
+            r = run_client_kill(ClientKillConfig(dlm=dlm, seed=seed,
+                                                 retry=retry))
+            census = Counter(r.victim_slots.values())
+            res.rows.append({
+                "DLM": dlm, "seed": seed,
+                "victim": r.outcomes[r.config.victim],
+                "evicted": (fmt_time(r.evicted_at)
+                            if r.evicted_at is not None else "never"),
+                "reclaimed": r.counters.get("locks_reclaimed", 0),
+                "waiter unblock": fmt_time(r.max_read_wait),
+                "slots": (f"{census.get('new', 0)} new / "
+                          f"{census.get('old', 0)} old / "
+                          f"{census.get('torn', 0)} torn"),
+                "verified": "yes" if r.verified else "NO",
+                "_verified": r.verified})
+            for k, v in r.counters.items():
+                totals[k] = totals.get(k, 0) + v
+    res.resilience = totals
+    res.notes = ("every victim slot reads back whole-old or whole-new; "
+                 "survivors' reads park behind the orphaned locks until "
+                 "the lease eviction promotes them")
     return res

@@ -62,6 +62,11 @@ class ExperimentResult:
     notes: str = ""
     #: Free-form derived headline numbers (speedups etc.) for EXPERIMENTS.md.
     headline: Dict[str, Any] = field(default_factory=dict)
+    #: Aggregated fault-resilience counters (retries, dedup hits,
+    #: heartbeats, evictions, fencing — see
+    #: ``Cluster.resilience_counters``) for experiments that run under a
+    #: fault plan or liveness config.
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         body = format_table(self.columns, self.rows,
@@ -69,6 +74,10 @@ class ExperimentResult:
         if self.headline:
             hl = "  ".join(f"{k}={v}" for k, v in self.headline.items())
             body += f"\nheadline: {hl}"
+        if self.resilience:
+            rs = "  ".join(f"{k}={v}" for k, v in
+                           sorted(self.resilience.items()) if v)
+            body += f"\nresilience: {rs or '(all zero)'}"
         if self.notes:
             body += f"\nnote: {self.notes}"
         return body

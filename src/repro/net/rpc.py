@@ -143,11 +143,21 @@ class RpcService:
     for non-idempotent handlers (a retried lock request must not be
     granted twice).  Off by default: clean runs never produce duplicate
     ``req_id``s, so the bookkeeping would be pure overhead.
+
+    The table is bounded two ways: a hard entry cap (``dedup_capacity``,
+    oldest evicted first) and a time-to-live (``dedup_ttl``) after which
+    answered entries expire.  The TTL must comfortably exceed the longest
+    client retry span (worst case ``sum(policy.timeout_for(i))``, ~2 s
+    for the chaos-suite policy) — expiring earlier would let a very late
+    retransmission re-execute a non-idempotent handler.  In-progress
+    entries never expire: the handler may legitimately defer its reply
+    for a long time (a queued lock request).
     """
 
     def __init__(self, node: Node, name: str, handler: Handler,
                  ops: float = float("inf"), cost_fn=None,
-                 dedup: bool = False, dedup_capacity: int = 8192):
+                 dedup: bool = False, dedup_capacity: int = 8192,
+                 dedup_ttl: Optional[float] = 5.0):
         if ops <= 0:
             raise RpcError(f"ops must be > 0, got {ops}")
         self.node = node
@@ -162,19 +172,23 @@ class RpcService:
         self.inbox: Store = Store(self.sim)
         self.requests_handled = 0
         self.duplicates_suppressed = 0
+        self.dedup_expired = 0
         self._dedup: Optional[OrderedDict] = None
         self._dedup_capacity = dedup_capacity
+        self._dedup_ttl = dedup_ttl
         if dedup:
-            self.enable_dedup(dedup_capacity)
+            self.enable_dedup(dedup_capacity, dedup_ttl)
         node.register_service(name, self.inbox.put)
         self._dispatcher = self.sim.spawn(self._dispatch(),
                                           name=f"{node.name}/{name}")
 
     # ------------------------------------------------------- duplicate guard
-    def enable_dedup(self, capacity: int = 8192) -> None:
+    def enable_dedup(self, capacity: int = 8192,
+                     ttl: Optional[float] = 5.0) -> None:
         if self._dedup is None:
             self._dedup = OrderedDict()
         self._dedup_capacity = capacity
+        self._dedup_ttl = ttl
 
     def reset_dedup(self) -> None:
         """Drop the duplicate-suppression table (volatile state lost in a
@@ -183,21 +197,41 @@ class RpcService:
         if self._dedup is not None:
             self._dedup.clear()
 
+    def _expire_dedup(self) -> None:
+        """Evict answered entries older than the TTL from the front.
+
+        Entries are (re)stamped and moved to the back when answered, so
+        the front of the OrderedDict is the oldest; the scan stops at the
+        first fresh or still-in-progress entry, keeping this amortized
+        O(1) per request."""
+        if not self._dedup or self._dedup_ttl is None:
+            return
+        horizon = self.sim.now - self._dedup_ttl
+        while self._dedup:
+            key = next(iter(self._dedup))
+            value, stamp = self._dedup[key]
+            if value is _IN_PROGRESS or stamp > horizon:
+                break
+            del self._dedup[key]
+            self.dedup_expired += 1
+
     def _dedup_check(self, msg: Message) -> bool:
         """True if ``msg`` is a duplicate that was fully handled here."""
         if self._dedup is None or msg.req_id < 0:
             return False
+        self._expire_dedup()
         key = (msg.src.name, msg.req_id)
         hit = self._dedup.get(key)
         if hit is None:
-            self._dedup[key] = _IN_PROGRESS
+            self._dedup[key] = (_IN_PROGRESS, self.sim.now)
             while len(self._dedup) > self._dedup_capacity:
                 self._dedup.popitem(last=False)
             return False
         self.duplicates_suppressed += 1
-        if hit is not _IN_PROGRESS:
+        value, _stamp = hit
+        if value is not _IN_PROGRESS:
             # Answered before: the reply may have been lost — resend it.
-            payload, nbytes = hit
+            payload, nbytes = value
             self.node.fabric.send(Message(
                 src=self.node, dst=msg.src, service=msg.service,
                 payload=payload, nbytes=nbytes, is_reply=True,
@@ -206,7 +240,9 @@ class RpcService:
 
     def _record_reply(self, msg: Message, payload: Any, nbytes: int) -> None:
         if self._dedup is not None and msg.req_id >= 0:
-            self._dedup[(msg.src.name, msg.req_id)] = (payload, nbytes)
+            key = (msg.src.name, msg.req_id)
+            self._dedup[key] = ((payload, nbytes), self.sim.now)
+            self._dedup.move_to_end(key)
 
     def _dispatch(self) -> Generator:
         sim = self.sim

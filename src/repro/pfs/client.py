@@ -22,10 +22,12 @@ from repro.dlm.client import ClientLock, LockClient
 from repro.dlm.config import select_mode
 from repro.dlm.extent import EOF, align_extent
 from repro.dlm.types import LockMode
+from repro.dlm.messages import FencedMsg
 from repro.net.fabric import Node
 from repro.net.rpc import (
     CTRL_MSG_BYTES,
     RetryPolicy,
+    RpcTimeoutError,
     one_way,
     rpc_call,
     rpc_call_retry,
@@ -67,6 +69,13 @@ class CcpfsClientStats:
     read_rpcs: int = 0
     flush_rpcs: int = 0
     flush_retries: int = 0
+    #: Flushes abandoned after exhausting retries (dead/blacked-out
+    #: sender or receiver; the blocks are dropped — post-eviction the
+    #: server-side resolution owns those bytes).
+    flush_failures: int = 0
+    #: Flushes rejected by a data server because this client's
+    #: incarnation was fenced (zombie writes stopped server-side).
+    fenced_flushes: int = 0
     cache_read_hits: int = 0
     #: Simulated seconds spent inside write()/read() calls (the numerator
     #: of the paper's locking/IO ratio denominators).
@@ -117,6 +126,7 @@ class CcpfsClient:
         self._inflight: Dict[Hashable, int] = {}
         self._inflight_waiters: Dict[Hashable, list] = {}
         lock_client.set_flush_hooks(self._flush_for_lock, self._lock_dirty)
+        lock_client.discard_fn = self._discard_for_locks
         self._daemon = None
         if start_flush_daemon:
             self._daemon = self.sim.spawn(self._flush_daemon(),
@@ -477,6 +487,15 @@ class CcpfsClient:
         self.cache.invalidate(lock.resource_id, lock.extents,
                               up_to_sn=lock.sn)
 
+    def _discard_for_locks(self, locks: List[ClientLock]) -> None:
+        """LockClient rejoin hook: the eviction reclaimed these grants, so
+        every cached byte under them — dirty included — is dead weight;
+        flushing it later would be exactly the zombie write the fence
+        rejects."""
+        for lock in locks:
+            self.cache.invalidate(lock.resource_id, lock.extents,
+                                  up_to_sn=lock.sn)
+
     def _flush_key(self, key: Hashable, extents) -> Generator:
         # Wait out any in-flight voluntary flush of the same stripe so a
         # lock release never overtakes its data.
@@ -498,7 +517,9 @@ class CcpfsClient:
 
     def _send_blocks(self, key: Hashable, blocks) -> Generator:
         msg = IoWriteMsg(key, [WireBlock(b.offset, b.length, b.sn, b.data)
-                               for b in blocks])
+                               for b in blocks],
+                         client_name=self.node.name,
+                         incarnation=self.lock_client.incarnation)
         server = self.data_server_for(key)
         wire = msg.nbytes
         if self.flush_wire_cap is not None:
@@ -508,24 +529,41 @@ class CcpfsClient:
             # dedups the req_id so a re-executed flush is harmless anyway
             # (extent-cache merges are SN-idempotent).
             self.stats.flush_rpcs += 1
-            yield from rpc_call_retry(
-                self.node, server, "io", msg, nbytes=wire,
-                policy=self.retry, rng=self.rng,
-                on_retry=self._count_flush_retry)
+            try:
+                reply = yield from rpc_call_retry(
+                    self.node, server, "io", msg, nbytes=wire,
+                    policy=self.retry, rng=self.rng,
+                    on_retry=self._count_flush_retry)
+            except RpcTimeoutError:
+                # Retry budget exhausted — this sender is blacked out (or
+                # the server is gone beyond its recovery window).  Drop
+                # the blocks: if we were evicted meanwhile, the server
+                # already resolved these extents; re-raising would tear
+                # down the flush daemon with us.
+                self.stats.flush_failures += 1
+                return
+            self._check_flush_reply(reply)
             return
         while True:
             self.stats.flush_rpcs += 1
             future = rpc_call(self.node, server, "io", msg, nbytes=wire)
             if self.flush_timeout is None:
-                yield future
+                reply = yield future
+                self._check_flush_reply(reply)
                 return
             res = yield self.sim.any_of(
                 [future, self.sim.timeout(self.flush_timeout,
                                           value="__timeout__")])
             if "__timeout__" not in res.values():
+                self._check_flush_reply(res[future])
                 return
             # Redo the flush RPC (§IV-C2: clients redo unacked flushes).
             self.stats.flush_retries += 1
+
+    def _check_flush_reply(self, reply) -> None:
+        if isinstance(reply, FencedMsg):
+            self.stats.fenced_flushes += 1
+            self.lock_client.note_fenced(reply)
 
     def _count_flush_retry(self, _attempt: int) -> None:
         self.stats.flush_rpcs += 1

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Hashable, List, Optional, Tuple
 
 from repro.dlm.extent import EOF
-from repro.dlm.messages import MsnQueryMsg
+from repro.dlm.messages import FencedMsg, MsnQueryMsg
 from repro.dlm.types import LockMode
 from repro.net.fabric import Node
 from repro.net.rpc import CTRL_MSG_BYTES, Request, RpcService, rpc_call
@@ -46,6 +46,11 @@ class WireBlock:
 class IoWriteMsg:
     stripe_key: Hashable
     blocks: List[WireBlock]
+    #: Sender identity for fencing: a flush from an evicted client
+    #: incarnation must not reach the store (empty name = unfenced
+    #: legacy/local sender).
+    client_name: str = ""
+    incarnation: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -78,6 +83,8 @@ class DataServerStats:
     blocks_received: int = 0
     bytes_received: int = 0
     bytes_discarded: int = 0  # stale (lower-SN) parts dropped by the cache
+    #: Flushes rejected because the sender's incarnation was fenced.
+    fenced_writes: int = 0
 
 
 class DataServer:
@@ -104,11 +111,25 @@ class DataServer:
         #: Installed by the cluster: a lock client local to this node used
         #: for forced global syncs (§IV-B method 2).
         self.local_lock_client = None
+        #: Installed by the cluster (the co-located lock server's
+        #: ``fence_floor``): maps ``(client_name, incarnation)`` to the
+        #: minimum acceptable incarnation when fenced, else None.
+        self.fence_fn = None
 
     # -------------------------------------------------------------- dispatch
     def _handle(self, req: Request):
         msg = req.payload
         if isinstance(msg, IoWriteMsg):
+            if self.fence_fn is not None and msg.client_name:
+                floor = self.fence_fn(msg.client_name, msg.incarnation)
+                if floor is not None:
+                    # Zombie flush from an evicted incarnation: reject
+                    # before a single byte touches the extent cache or
+                    # store — the locks covering it were reclaimed.
+                    self.stats.fenced_writes += 1
+                    req.respond(FencedMsg(msg.client_name, msg.incarnation,
+                                          floor), nbytes=CTRL_MSG_BYTES)
+                    return None
             return self._write(req, msg)
         if isinstance(msg, IoReadMsg):
             return self._read(req, msg)

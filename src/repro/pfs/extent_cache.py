@@ -80,6 +80,14 @@ class ServerExtentCache:
         self._maps.clear()
 
     # ------------------------------------------------------------- cleaning
+    def kick(self) -> None:
+        """Schedule an immediate cleaning pass, out of band of the
+        periodic loop — used after a client eviction reclaimed write
+        locks and thereby advanced the mSN floor: entries that were
+        pinned by the dead client's unreleased locks become droppable at
+        once."""
+        self.sim.spawn(self.clean_pass(), name="extent-cache-kick")
+
     def start_cleaner(self) -> None:
         """Spawn the periodic low-priority cleaning process."""
         if self._cleaner is None:

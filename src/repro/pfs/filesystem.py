@@ -21,8 +21,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Hashable, List, Optional, Union
 
 from repro.dlm.client import LockClient
-from repro.dlm.config import DLMConfig, make_dlm_config
-from repro.faults import FaultConfig, FaultInjector, FaultPlan, ServerOutage
+from repro.dlm.config import DLMConfig, LivenessConfig, make_dlm_config
+from repro.faults import (
+    ClientOutage,
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    ServerOutage,
+)
 from repro.net.fabric import Fabric, NetworkConfig, Node
 from repro.net.rpc import RetryPolicy
 from repro.pfs.client import CcpfsClient
@@ -107,6 +113,11 @@ class ClusterConfig:
     #: Attach a :class:`~repro.dlm.validator.LockValidator` to every lock
     #: server (invariants re-checked after every protocol step).
     validate_locks: bool = False
+    #: Client-liveness parameters (lock leases, heartbeats, eviction with
+    #: fencing).  When set, every lock server runs the eviction monitor
+    #: and every compute client heartbeats; data servers' local lock
+    #: clients do not heartbeat and stay lease-exempt.
+    liveness: Optional[LivenessConfig] = None
 
     seed: int = 0
 
@@ -183,7 +194,14 @@ class Cluster:
             ls = LockServer(node, self.dlm_config, ops=config.dlm_ops,
                             retry=retry,
                             rng=self.rng.stream(f"retry/{node.name}"),
-                            dedup=resilient)
+                            dedup=resilient,
+                            liveness=config.liveness)
+            # Fencing: the co-located DLM's incarnation floor also guards
+            # the IO path, so a zombie flush dies at the data server.
+            ds.fence_fn = ls.fence_floor
+            ls.on_evict = (lambda client, reason, reclaimed, idx=i:
+                           self._on_client_evicted(idx, client, reason,
+                                                   reclaimed))
             # The data server's forced-sync path needs a local lock client.
             ds.local_lock_client = LockClient(
                 node, self.dlm_config, server_for=self.server_node_for)
@@ -202,7 +220,8 @@ class Cluster:
             lc = LockClient(node, self.dlm_config,
                             server_for=self.server_node_for,
                             retry=retry,
-                            rng=self.rng.stream(f"retry/{node.name}"))
+                            rng=self.rng.stream(f"retry/{node.name}"),
+                            liveness=config.liveness)
             cache = ClientCache(self.sim,
                                 track_content=config.track_content,
                                 min_dirty=config.min_dirty,
@@ -228,10 +247,20 @@ class Cluster:
             from repro.dlm.validator import attach_validator
             self.validators = attach_validator(self)
 
+        #: Application processes registered per client index; a killing
+        #: client outage interrupts exactly these (the client *library*
+        #: processes — heartbeats, retry loops — keep running, which is
+        #: what makes the node a fenceable zombie rather than a clean
+        #: shutdown).
+        self._app_procs: Dict[int, list] = {}
+
         if self.fault_plan is not None:
             for n, outage in enumerate(config.faults.outages):
                 self.sim.spawn(self._outage_driver(outage),
                                name=f"outage-{n}")
+            for n, outage in enumerate(config.faults.client_outages):
+                self.sim.spawn(self._client_outage_driver(outage),
+                               name=f"client-outage-{n}")
 
     # ------------------------------------------------------------- placement
     def server_index_for(self, stripe_key: Hashable) -> int:
@@ -325,10 +354,68 @@ class Cluster:
             for key in ds.extent_log.stripe_keys():
                 server.bump_next_sn(key, ds.extent_log.max_sn(key) + 1)
         for lc in self.lock_clients:
+            if lc.node.failed:
+                continue  # a blacked-out client cannot answer the gather
             for rec in lc.gather_lock_states():
                 if self.server_node_for(rec.resource_id) is node:
                     server._on_recover_lock(rec)
         yield self.sim.timeout(0)
+
+    # ----------------------------------------------------- client liveness
+    def register_app_process(self, client_index: int, proc) -> None:
+        """Register an application process running on client
+        ``client_index`` so a killing :class:`ClientOutage` can interrupt
+        it (scenario drivers call this for their workers)."""
+        self._app_procs.setdefault(client_index, []).append(proc)
+
+    def _client_outage_driver(self, outage: ClientOutage) -> Generator:
+        """Execute one timed client blackout (optionally a kill)."""
+        yield self.sim.timeout(outage.start)
+        name = self.client_nodes[outage.client_index].name
+        self.crash_client(outage.client_index, kill=outage.kill)
+        self.fault_plan.record(
+            self.sim.now, "client-kill" if outage.kill else "client-crash",
+            name, name, "node", detail=f"blackout {outage.duration:g}s")
+        yield self.sim.timeout(outage.duration)
+        self.heal_client(outage.client_index)
+        self.fault_plan.record(self.sim.now, "client-heal", name, name,
+                               "node")
+
+    def crash_client(self, index: int, kill: bool = False) -> None:
+        """Black out a client node: everything it sends or should receive
+        is dropped.  With ``kill``, its registered application processes
+        are interrupted too — the app is gone for good, but the client
+        library (heartbeats, in-flight retry loops) lives on as a zombie
+        until the fence tells it to rejoin."""
+        from repro.sim.core import SimulationError
+        self.client_nodes[index].failed = True
+        if kill:
+            for proc in self._app_procs.get(index, ()):
+                if proc.triggered:
+                    continue
+                try:
+                    proc.interrupt("killed")
+                except SimulationError:
+                    pass  # finished or not waiting: nothing to kill
+
+    def heal_client(self, index: int) -> None:
+        """End a client blackout.  The node's traffic flows again; if it
+        was evicted meanwhile, its first fenced reply triggers the rejoin
+        with a fresh incarnation."""
+        self.client_nodes[index].failed = False
+
+    def _on_client_evicted(self, server_index: int, client: str,
+                           reason: str, reclaimed) -> None:
+        """LockServer eviction hook: record the eviction in the fault
+        plan (it is part of the run's replayable schedule) and kick the
+        extent-cache cleaner — reclaiming the dead client's write locks
+        advanced the mSN floor, so pinned entries can drop immediately."""
+        name = self.server_nodes[server_index].name
+        if self.fault_plan is not None:
+            self.fault_plan.record(
+                self.sim.now, "evict", name, client, "dlm",
+                detail=f"{reason}; reclaimed={len(reclaimed)}")
+        self.data_servers[server_index].extent_cache.kick()
 
     # ------------------------------------------------------------ aggregates
     def total_lock_server_stats(self) -> dict:
@@ -340,3 +427,44 @@ class Cluster:
 
     def total_device_bytes_written(self) -> int:
         return sum(ds.device.stats.bytes_written for ds in self.data_servers)
+
+    def resilience_counters(self) -> Dict[str, int]:
+        """Aggregate fault-resilience counters (retry/watchdog machinery
+        from the fault layer plus the lease/eviction counters) for the
+        harness report and the ``repro chaos`` summary."""
+        out: Dict[str, int] = {}
+
+        def add(key: str, value) -> None:
+            out[key] = out.get(key, 0) + int(value)
+
+        for ls in self.lock_servers:
+            add("revoke_retransmits", ls.stats.revoke_retransmits)
+            add("heartbeats_accepted", ls.stats.heartbeats)
+            add("evictions", ls.stats.evictions)
+            add("locks_reclaimed", ls.stats.locks_reclaimed)
+            add("fenced_rejections", ls.stats.fenced_rejections)
+            add("duplicates_suppressed", ls.service.duplicates_suppressed)
+            add("dedup_expired", ls.service.dedup_expired)
+        for lc in self.lock_clients:
+            add("lock_request_retries", lc.stats.request_retries)
+            add("notify_failures", lc.stats.notify_failures)
+            add("heartbeats_sent", lc.stats.heartbeats_sent)
+            add("heartbeat_losses", lc.stats.heartbeat_losses)
+            add("fenced_replies", lc.stats.fenced_replies)
+            add("rejoins", lc.stats.rejoins)
+        for client in self.clients:
+            add("flush_retries", client.stats.flush_retries)
+            add("flush_failures", client.stats.flush_failures)
+            add("fenced_flushes", client.stats.fenced_flushes)
+        for ds in self.data_servers:
+            add("fenced_writes", ds.stats.fenced_writes)
+            add("duplicates_suppressed", ds.service.duplicates_suppressed)
+            add("dedup_expired", ds.service.dedup_expired)
+        return out
+
+    def liveness_events(self):
+        """All lock servers' lease/eviction timelines, merged and
+        time-sorted (the ``repro chaos`` eviction timeline)."""
+        events = [ev for ls in self.lock_servers for ev in ls.liveness_log]
+        events.sort(key=lambda ev: ev.time)
+        return events

@@ -1,0 +1,332 @@
+"""Unit tests for the client-liveness subsystem (leases, eviction,
+fencing, rejoin) at the DLM protocol level.
+
+The chaos suite exercises the same machinery end to end through the
+filesystem; these tests pin down each mechanism in isolation on a bare
+LockServer/LockClient rig: lease establishment and renewal, the two
+eviction triggers (lease expiry and revoke timeout), waiter promotion,
+mSN advancement past reclaimed grants, incarnation fencing of stale
+RPCs, and the fenced client's rejoin.
+"""
+
+import pytest
+
+from repro.dlm import LockClient, LockMode, LockServer, make_dlm_config
+from repro.dlm.config import LivenessConfig
+from repro.dlm.messages import FencedMsg, HeartbeatMsg, MsnQueryMsg
+from repro.faults import FaultConfig, FaultInjector, FaultPlan
+from repro.net import Fabric, NetworkConfig
+from repro.net.rpc import rpc_call
+from repro.sim import Simulator
+
+PR, NBW, PW = LockMode.PR, LockMode.NBW, LockMode.PW
+
+LV = LivenessConfig(lease_duration=2e-2, heartbeat_interval=5e-3,
+                    revoke_timeout=2.5e-2, check_interval=2.5e-3)
+
+
+class LiveRig:
+    """One liveness-enabled lock server plus N heartbeating clients.
+
+    ``dead_clients`` get no liveness config: they never heartbeat, so
+    they model holders outside the lease regime (covered only by the
+    revoke-timeout eviction path).
+    """
+
+    def __init__(self, dlm="seqdlm", clients=2, dead_clients=0,
+                 liveness=LV, latency=1e-4, **dlm_overrides):
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, NetworkConfig(
+            latency=latency, per_message_overhead=0.0))
+        # Zero-rate injector: the bare fabric only drops deliveries *to*
+        # a failed node; the injector adds the src-side blackout drop,
+        # so ``fail()`` silences a node in both directions (the real
+        # ClientOutage semantics).
+        self.plan = FaultPlan(FaultConfig(), seed=0)
+        self.injector = FaultInjector(self.plan)
+        self.injector.attach(self.fabric)
+        self.config = make_dlm_config(dlm, **dlm_overrides)
+        self.server_node = self.fabric.add_node("server")
+        self.server = LockServer(self.server_node, self.config,
+                                 liveness=liveness)
+        self.clients = []
+        for i in range(clients + dead_clients):
+            node = self.fabric.add_node(f"client{i}")
+            self.clients.append(LockClient(
+                node, self.config, server_for=lambda rid: self.server_node,
+                liveness=liveness if i < clients else None))
+
+    def fail(self, index):
+        self.clients[index].node.failed = True
+
+    def heal(self, index):
+        self.clients[index].node.failed = False
+
+    def run(self, *gens, until=None):
+        procs = [self.sim.spawn(g) for g in gens]
+        if until is not None:
+            self.sim.run(until=until)
+        else:
+            # Plain run() would never return: the heartbeat daemons tick
+            # forever.  Wait for the given processes instead.
+            from repro.sim.core import AllOf
+            self.sim.run_until_event(AllOf(self.sim, procs))
+        for p in procs:
+            assert p.ok, p.value
+        return [p.value for p in procs]
+
+    def grants_of(self, client_name):
+        return [g for res in self.server._resources.values()
+                for g in res.granted.values()
+                if g.client_name == client_name]
+
+    def events(self, kind):
+        return [ev for ev in self.server.liveness_log if ev.kind == kind]
+
+
+# --------------------------------------------------------------- leases
+def test_first_heartbeat_establishes_lease():
+    rig = LiveRig(clients=1)
+
+    def work():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        rig.clients[0].unlock(lock)
+
+    rig.run(work(), until=2e-2)
+    assert rig.server.stats.heartbeats >= 1
+    assert "client0" in rig.server._leases
+    assert len(rig.events("lease-grant")) == 1  # logged once, then renewed
+
+
+def test_renewed_lease_never_evicts_live_client():
+    rig = LiveRig(clients=1)
+
+    def work():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        rig.clients[0].unlock(lock)
+
+    # Run many lease durations past the grant: renewals must keep the
+    # lease ahead of the monitor's sweeps the whole time.
+    rig.run(work(), until=10 * LV.lease_duration)
+    assert rig.server.stats.evictions == 0
+    assert rig.grants_of("client0")  # the cached grant is still alive
+
+
+def test_never_heartbeating_holder_is_lease_exempt():
+    """A holder outside the lease regime (no heartbeat loop) is not
+    evicted just for being silent — only the revoke-timeout path may
+    expel it."""
+    rig = LiveRig(clients=0, dead_clients=1)
+
+    def work():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        rig.clients[0].unlock(lock)
+
+    rig.run(work(), until=10 * LV.lease_duration)
+    assert rig.server.stats.heartbeats == 0
+    assert rig.server.stats.evictions == 0
+    assert rig.grants_of("client0")
+
+
+# ------------------------------------------------------------- eviction
+def test_lease_expiry_evicts_and_reclaims():
+    rig = LiveRig(clients=1)
+
+    def work():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        rig.clients[0].unlock(lock)
+
+    def killer():
+        yield rig.sim.timeout(1e-2)
+        rig.fail(0)
+
+    rig.run(work(), killer(), until=1e-2 + LV.lease_duration
+            + 2 * LV.check_interval)
+    assert rig.server.stats.evictions == 1
+    assert rig.server.stats.locks_reclaimed == 1
+    assert not rig.grants_of("client0")
+    assert "client0" not in rig.server._leases
+    (ev,) = rig.events("evict")
+    assert "lease expired" in ev.detail
+
+
+def test_revoke_timeout_evicts_silent_holder():
+    """A lease-exempt holder that sits on a revocation callback past
+    revoke_timeout is evicted and the waiter promoted."""
+    rig = LiveRig(clients=1, dead_clients=1, lock_downgrading=False)
+    holder, waiter = rig.clients[1], rig.clients[0]
+    got = {}
+
+    def hold():
+        lock = yield from holder.lock("r", ((0, 10),), NBW, True)
+        rig.fail(1)  # goes dark still holding the lock
+        return lock
+
+    def contend():
+        yield rig.sim.timeout(5e-3)
+        lock = yield from waiter.lock("r", ((0, 10),), NBW, True)
+        got["t"] = rig.sim.now
+        waiter.unlock(lock)
+
+    rig.run(hold(), contend(), until=0.1)
+    assert rig.server.stats.evictions == 1
+    (ev,) = rig.events("evict")
+    assert "unacked" in ev.detail
+    # The waiter unblocked within revoke_timeout + a sweep of slack.
+    assert got["t"] <= 5e-3 + LV.revoke_timeout + 2 * LV.check_interval
+
+
+def test_eviction_promotes_parked_waiter():
+    rig = LiveRig(clients=2, lock_downgrading=False)
+    done = {}
+
+    def victim():
+        lock = yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        rig.fail(0)
+        return lock
+
+    def waiter():
+        yield rig.sim.timeout(2e-3)
+        lock = yield from rig.clients[1].lock("r", ((0, 10),), NBW, True)
+        done["sn"] = lock.sn
+        rig.clients[1].unlock(lock)
+
+    rig.run(victim(), waiter(), until=0.1)
+    assert rig.server.stats.evictions == 1
+    assert done["sn"] > 1  # granted after (and despite) the dead holder
+    assert rig.grants_of("client1")
+
+
+def test_msn_advances_past_reclaimed_grant():
+    """Reclaiming a dead writer's grant unpins the mSN: the cleaner can
+    treat every SN up to the sequencer head as flushed."""
+    rig = LiveRig(clients=1)
+
+    def work():
+        yield from rig.clients[0].lock("r", ((0, 10),), NBW, True)
+        # Live through one heartbeat so the lease exists, then go dark:
+        # with no conflicting waiter there is no revoke, so only the
+        # lease-expiry path can reclaim this grant.
+        yield rig.sim.timeout(LV.heartbeat_interval + 1e-3)
+        rig.fail(0)
+
+    def query():
+        reply = yield rpc_call(rig.fabric.nodes["client0"], rig.server_node,
+                               "dlm", MsnQueryMsg("r", ((0, 10),)))
+        return reply
+
+    rig.run(work(), until=LV.heartbeat_interval + 2e-3)
+    # Outstanding write lock with sn=1 pins the mSN at 0.
+    rig.heal(0)  # let the probe through; the zombie is fenced, not muted
+    (before,) = rig.run(query())
+    assert before == 0
+    rig.fail(0)
+    rig.sim.run(until=LV.lease_duration + 5 * LV.check_interval + 1e-2)
+    assert rig.server.stats.evictions == 1
+    rig.heal(0)
+    (after,) = rig.run(query())
+    assert after == 1  # next_sn - 1: nothing unflushed remains
+
+
+# -------------------------------------------------------------- fencing
+def test_stale_incarnation_is_fenced_server_side():
+    rig = LiveRig(clients=1)
+    c = rig.clients[0]
+
+    def work():
+        lock = yield from c.lock("r", ((0, 10),), NBW, True)
+        c.unlock(lock)
+        yield rig.sim.timeout(LV.heartbeat_interval + 1e-3)  # earn a lease
+        rig.fail(0)
+
+    rig.run(work(), until=LV.lease_duration + 5 * LV.check_interval + 1e-2)
+    assert rig.server.stats.evictions == 1
+    assert rig.server.is_fenced("client0", 1)
+    assert rig.server.fence_floor("client0", 1) == 2
+    assert rig.server.fence_floor("client0", 2) is None
+
+    # A zombie heartbeat with the old incarnation is rejected and does
+    # not re-establish a lease.
+    rig.heal(0)
+    rejections = rig.server.stats.fenced_rejections
+
+    def zombie_beat():
+        reply = yield rpc_call(c.node, rig.server_node, "dlm",
+                               HeartbeatMsg("client0", 1))
+        return reply
+
+    (reply,) = rig.run(zombie_beat())
+    assert isinstance(reply, FencedMsg)
+    assert reply.min_incarnation == 2
+    assert rig.server.stats.fenced_rejections == rejections + 1
+    assert "client0" not in rig.server._leases
+
+
+def test_fenced_reply_triggers_rejoin_with_fresh_incarnation():
+    rig = LiveRig(clients=1)
+    c = rig.clients[0]
+
+    def work():
+        lock = yield from c.lock("r", ((0, 10),), NBW, True)
+        c.unlock(lock)
+        yield rig.sim.timeout(LV.heartbeat_interval + 1e-3)  # earn a lease
+        rig.fail(0)
+
+    rig.run(work(), until=LV.lease_duration + 5 * LV.check_interval + 1e-2)
+    assert rig.server.stats.evictions == 1
+    assert c.incarnation == 1
+    assert c.cached_locks()  # the zombie still believes in its grant
+
+    # Heal and let the heartbeat loop discover the fence.
+    rig.heal(0)
+    rig.sim.run(until=rig.sim.now + 4 * LV.heartbeat_interval)
+    assert c.incarnation == 2
+    assert c.stats.rejoins == 1
+    assert not c.cached_locks()  # the stale cache was dropped
+
+    # The rejoined incarnation operates normally and re-earns a lease.
+    def again():
+        lock = yield from c.lock("r", ((0, 20),), NBW, True)
+        c.unlock(lock)
+
+    rig.run(again(), until=rig.sim.now + 2e-2)
+    assert rig.grants_of("client0")
+    assert rig.grants_of("client0")[0].incarnation == 2
+    assert "client0" in rig.server._leases
+
+
+def test_queued_request_from_evicted_client_is_flushed():
+    """A lock request parked in the wait queue when its sender dies is
+    answered with FencedMsg at eviction, not left dangling.
+
+    Uses dlm-basic (no early grant, so a conflicting write genuinely
+    queues) and a slow-flushing holder (so the queue stays parked past
+    the victim's lease expiry)."""
+    rig = LiveRig(dlm="dlm-basic", clients=2, lock_downgrading=False)
+    holder, doomed = rig.clients[1], rig.clients[0]
+
+    def slow_flush(lock):
+        yield rig.sim.timeout(5e-2)
+
+    holder.set_flush_hooks(slow_flush, lambda lock: False)
+
+    def hold():
+        lock = yield from holder.lock("r", ((0, 10),), NBW, True)
+        return lock
+
+    def doom():
+        yield rig.sim.timeout(2e-3)
+        # Conflicting request that parks behind the slow holder; the
+        # sender earns a lease while queued, then goes dark.
+        proc = rig.sim.spawn(doomed.lock("r", ((0, 10),), NBW, True))
+        yield rig.sim.timeout(LV.heartbeat_interval + 1e-3)
+        rig.fail(0)
+        return proc
+
+    rig.run(hold(), doom(), until=0.1)
+    assert rig.server.stats.evictions == 1
+    res = rig.server._res("r")
+    assert not [p for p in res.queue if p.msg.client_name == "client0"]
+    # The purge answered with FencedMsg (the reply was dropped at the
+    # dead node, but the server-side queue is clean and fenced).
+    assert rig.server._fence.get("client0", 0) >= 2

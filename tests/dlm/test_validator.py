@@ -106,13 +106,120 @@ def test_non_overlapping_writers_are_legal():
     validator.validate_resource(res)  # disjoint: fine
 
 
+def test_i5_detects_granted_lock_below_fence_floor():
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G,
+                                incarnation=1)
+    rig.server._fence["a"] = 2  # incarnation 1 was evicted
+    with pytest.raises(LockInvariantViolation, match=r"\[I5\]"):
+        validator.validate_resource(res)
+
+
+def test_i5_allows_incarnation_at_fence_floor():
+    """The rejoined incarnation (== floor) may hold locks again."""
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G,
+                                incarnation=2)
+    rig.server._fence["a"] = 2
+    validator.validate_resource(res)  # no raise
+
+
+def test_checked_evict_reclaims_and_fences():
+    """The ``_evict`` wrapper verifies reclamation and the fence floor,
+    and records the doomed grants for the per-epoch I6 check."""
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G,
+                                incarnation=1)
+    rig.server._evict("a", "test eviction")
+    assert 1 not in res.granted
+    assert rig.server._fence["a"] == 2
+    assert ("r", 1) in validator._evicted_grants
+    assert validator.checks >= 1
+
+
+def test_i6_detects_evicted_grant_resurfacing():
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G,
+                                incarnation=1)
+    rig.server._evict("a", "test eviction")
+    # A buggy server resurrects the reclaimed grant (new incarnation, so
+    # I5 alone would not catch it).
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G,
+                                incarnation=2)
+    with pytest.raises(LockInvariantViolation, match=r"\[I6\]"):
+        validator.validate_resource(res)
+
+
+def test_i2_history_is_scoped_to_crash_epoch():
+    """A crash restarts the sequencer; an SN reissued in the new epoch
+    is legal even though the same SN was granted before the crash."""
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 5, G)
+    validator._track_new_grants(res, set())
+    assert validator.max_write_sn_seen["r"] == 5
+    # Same SN again pre-crash: duplicate.
+    res.granted[2] = ServerLock(2, "r", "b", NBW, ((200, 300),), 5, G)
+    with pytest.raises(LockInvariantViolation, match=r"\[I2\]"):
+        validator._track_new_grants(res, {1})
+
+    rig.server.reset_state()  # crash: bumps the epoch, drops lock state
+    validator._maybe_roll_epoch()
+    assert validator.max_write_sn_seen == {}
+    assert validator._seen_sns == {}
+    # Post-recovery the same SN may be granted afresh.
+    res2 = _resource_of(rig)
+    res2.next_sn = 10
+    res2.granted[7] = ServerLock(7, "r", "c", NBW, ((0, 100),), 5, G)
+    validator._track_new_grants(res2, set())  # no raise
+    assert validator.max_write_sn_seen["r"] == 5
+
+
+def test_epoch_roll_clears_eviction_history():
+    """I6 is per-epoch: a (resource, lock_id) reclaimed before a server
+    crash may legitimately reappear after recovery."""
+    rig = Rig(dlm="seqdlm", clients=1)
+    validator = LockValidator(rig.server)
+    res = _resource_of(rig)
+    res.next_sn = 10
+    res.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G)
+    rig.server._evict("a", "test eviction")
+    assert ("r", 1) in validator._evicted_grants
+
+    rig.server.reset_state()
+    res2 = _resource_of(rig)
+    res2.next_sn = 10
+    res2.granted[1] = ServerLock(1, "r", "a", NBW, ((0, 100),), 1, G)
+    # The wrapped _process rolls the epoch before checking, so the
+    # reissued lock id passes I6 in the new epoch.
+    rig.server._process(res2)
+    assert ("r", 1) not in validator._evicted_grants
+
+
 def test_detach_restores_original_process():
     rig = Rig(dlm="seqdlm", clients=1)
-    orig = rig.server._process
+    orig_process = rig.server._process
+    orig_evict = rig.server._evict
     validator = LockValidator(rig.server)
-    assert rig.server._process != orig
+    assert rig.server._process != orig_process
+    assert rig.server._evict != orig_evict
     validator.detach()
-    assert rig.server._process == orig  # bound-method equality
+    assert rig.server._process == orig_process  # bound-method equality
+    assert rig.server._evict == orig_evict
 
 
 def test_attach_validator_covers_whole_cluster():

@@ -67,7 +67,8 @@ def test_registry_contains_every_paper_artifact():
     expected = {"model", "fig4", "fig5", "fig17", "fig18", "fig19",
                 "table3", "fig20", "fig21_22", "fig23", "fig24_25",
                 "ablation_cache", "ablation_expansion", "ablation_rmw",
-                "ext_scaling", "ext_read_phase", "ext_lockahead"}
+                "ext_scaling", "ext_read_phase", "ext_lockahead",
+                "ext_client_liveness"}
     assert expected == set(EXPERIMENTS)
 
 

@@ -291,3 +291,101 @@ def test_dedup_off_by_default():
     sim, fab, client, server = setup_pair()
     svc = RpcService(server, "io", lambda req: req.respond("ok"))
     assert svc._dedup is None
+
+
+def test_dedup_ttl_expires_answered_entries():
+    """An answered entry older than the TTL is evicted, and a (very)
+    late retransmission after that re-executes the handler."""
+    sim, fab, client, server = setup_pair()
+    calls = []
+
+    def handler(req):
+        calls.append(req.payload)
+        req.respond("ok")
+
+    svc = RpcService(server, "io", handler, dedup=True, dedup_ttl=1.0)
+
+    def caller():
+        yield rpc_call(client, server, "io", "a")
+        yield sim.timeout(2.0)  # well past the TTL
+        future = sim.event()
+        client.pending_replies[1] = future
+        _resend(fab, client, server, "io", "a", 1)
+        yield future
+
+    sim.spawn(caller())
+    sim.run()
+    assert calls == ["a", "a"]  # expired entry: handler ran again
+    assert svc.dedup_expired == 1
+    assert svc.duplicates_suppressed == 0
+
+
+def test_dedup_ttl_bounds_table_under_steady_traffic():
+    """The live table only ever holds one TTL-window of entries, no
+    matter how long the run is — this is the boundedness guarantee that
+    lets servers keep dedup on forever."""
+    sim, fab, client, server = setup_pair()
+    svc = RpcService(server, "io", lambda req: req.respond("ok"),
+                     dedup=True, dedup_ttl=0.5)
+    n, gap = 100, 0.1
+    sizes = []
+
+    def caller():
+        for i in range(n):
+            yield rpc_call(client, server, "io", i)
+            sizes.append(len(svc._dedup))
+            yield sim.timeout(gap)
+
+    sim.spawn(caller())
+    sim.run()
+    window = int(0.5 / gap) + 1  # entries young enough to survive
+    assert max(sizes) <= window + 1
+    assert svc.dedup_expired >= n - window - 1
+
+
+def test_dedup_ttl_never_expires_in_progress_entries():
+    """A handler may defer its reply arbitrarily long (a queued lock
+    grant); its dedup entry must survive the TTL so retransmissions stay
+    suppressed the whole time."""
+    sim, fab, client, server = setup_pair()
+    executions = []
+
+    def handler(req):
+        def work():
+            executions.append(req.payload)
+            yield sim.timeout(5.0)  # parked far beyond the 1s TTL
+            req.respond("granted")
+        return work()
+
+    svc = RpcService(server, "dlm", handler, dedup=True, dedup_ttl=1.0)
+    got = []
+
+    def caller():
+        future = rpc_call(client, server, "dlm", "lock-A")
+        yield sim.timeout(3.0)  # entry is now 3 TTLs old, still parked
+        _resend(fab, client, server, "dlm", "lock-A",
+                next(iter(client.pending_replies)))
+        got.append((yield future))
+
+    sim.spawn(caller())
+    sim.run()
+    assert got == ["granted"]
+    assert executions == ["lock-A"]  # never re-executed
+    assert svc.duplicates_suppressed == 1
+    assert svc.dedup_expired == 0
+
+
+def test_dedup_ttl_none_disables_expiry():
+    sim, fab, client, server = setup_pair()
+    svc = RpcService(server, "io", lambda req: req.respond("ok"),
+                     dedup=True, dedup_ttl=None)
+
+    def caller():
+        yield rpc_call(client, server, "io", "a")
+        yield sim.timeout(100.0)
+        yield rpc_call(client, server, "io", "b")
+
+    sim.spawn(caller())
+    sim.run()
+    assert len(svc._dedup) == 2  # nothing aged out
+    assert svc.dedup_expired == 0

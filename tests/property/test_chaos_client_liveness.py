@@ -1,0 +1,169 @@
+"""Chaos property tests for client liveness: kill a client mid-write.
+
+The acceptance matrix of the liveness subsystem (docs/faults.md, "client
+fault model"): under every DLM config and several seeds, a client killed
+mid-write must be lease-evicted, its orphaned locks reclaimed, parked
+waiters promoted within the lease + revoke-timeout bound, zombie RPCs
+fenced, and the durable image must show every victim slot whole-old or
+whole-new — never torn.  The run replays bit-for-bit from the seed.
+
+On failure the scenario config is dumped to ``chaos-artifacts/`` so the
+CI job can upload it (see .github/workflows/ci.yml).
+"""
+
+import json
+import pathlib
+from collections import Counter
+
+import pytest
+
+from repro.dlm.config import LivenessConfig
+from repro.faults import FaultConfig
+from repro.net import RetryPolicy
+from repro.workloads.client_kill import ClientKillConfig, run_client_kill
+
+SEEDS = [101, 202, 303]
+DLMS = ["seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"]
+
+ARTIFACT_DIR = pathlib.Path("chaos-artifacts")
+
+RETRY = RetryPolicy(timeout=3e-3, backoff=2.0, max_timeout=5e-2,
+                    max_retries=40, jitter=0.2)
+
+
+def kill_config(dlm: str, seed: int, **over) -> ClientKillConfig:
+    return ClientKillConfig(dlm=dlm, seed=seed, retry=RETRY, **over)
+
+
+def run_kill(config: ClientKillConfig):
+    """One scenario run; dumps a replay handle on oracle failure."""
+    result = run_client_kill(config)
+    if not result.verified or "torn" in result.victim_slots.values():
+        _dump_failing(config, result)
+    return result
+
+
+def _dump_failing(config: ClientKillConfig, result) -> None:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    out = ARTIFACT_DIR / f"failing-kill-{config.dlm}-{config.seed}.json"
+    out.write_text(json.dumps(
+        {"dlm": config.dlm, "seed": config.seed,
+         "victim": config.victim, "kill_at": config.kill_at,
+         "slots": result.victim_slots,
+         "replay": f"python -m repro chaos --kill-client {config.victim} "
+                   f"--seed {config.seed} --dlm {config.dlm}"},
+        indent=2))
+
+
+def assert_liveness_clean(result) -> None:
+    config = result.config
+    # The kill landed mid-write and only hit the victim.
+    assert result.outcomes[config.victim] == "killed"
+    assert all(o == "finished" for i, o in enumerate(result.outcomes)
+               if i != config.victim)
+    # Old-or-new, never torn; survivors byte-exact.
+    assert result.verified is True
+    assert "torn" not in result.victim_slots.values()
+    # The victim was evicted and its orphaned grants reclaimed.
+    assert result.counters["evictions"] >= 1
+    assert result.counters["locks_reclaimed"] >= 1
+    assert result.evicted_at is not None
+    # Waiters unblocked within the lease + revoke-timeout bound (plus
+    # one monitor sweep of slack).
+    lv = config.liveness
+    bound = lv.lease_duration + lv.revoke_timeout + lv.check_interval
+    assert result.max_read_wait > 0
+    assert result.max_read_wait <= bound
+    # The zombie's post-heal RPCs were fenced and it rejoined fresh.
+    assert result.counters["fenced_rejections"] >= 1
+    assert result.counters["rejoins"] >= 1
+    # The lock-invariant validator (I1-I6) ran and stays clean on the
+    # final state too.
+    assert sum(v.checks for v in result.cluster.validators) > 0
+    for v in result.cluster.validators:
+        v.validate_all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_kill_client_mid_write(dlm, seed):
+    """Acceptance: every DLM config survives a mid-write client kill with
+    eviction, fencing and old-or-new read-back."""
+    result = run_kill(kill_config(dlm, seed))
+    assert_liveness_clean(result)
+
+
+@pytest.mark.parametrize("dlm", DLMS)
+def test_kill_client_slots_mix_old_and_new(dlm):
+    """The checkpointed victim leaves both durable and lost slots, so
+    the oracle exercises both of its legs."""
+    result = run_kill(kill_config(dlm, 101))
+    census = Counter(result.victim_slots.values())
+    assert census["new"] >= 1
+    assert census["old"] >= 1
+    assert census["torn"] == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_client_determinism(seed):
+    """Replaying a seed reproduces the identical fault timeline, liveness
+    log and durable file image."""
+    a = run_kill(kill_config("seqdlm", seed))
+    b = run_kill(kill_config("seqdlm", seed))
+    pa, pb = a.cluster.fault_plan, b.cluster.fault_plan
+    assert pa.signature() == pb.signature()
+    assert pa.timeline == pb.timeline
+    assert a.liveness_events == b.liveness_events
+    assert a.file_image == b.file_image
+    assert a.victim_slots == b.victim_slots
+
+
+def test_kill_recorded_in_fault_plan():
+    """Kill, eviction and heal are part of the replayable schedule."""
+    result = run_kill(kill_config("seqdlm", 101))
+    kinds = [ev.kind for ev in result.fault_timeline]
+    assert "client-kill" in kinds
+    assert "evict" in kinds
+    assert "client-heal" in kinds
+    # Blackout enforcement: the zombie's sends were dropped at the source.
+    assert "src-down-drop" in kinds
+
+
+def test_kill_client_under_message_loss():
+    """Kill + a lossy network: with eviction timeouts sized well above
+    the retry span, only the dead client is evicted — live-but-unlucky
+    survivors keep their leases."""
+    lv = LivenessConfig(lease_duration=4e-2, heartbeat_interval=4e-3,
+                        revoke_timeout=6e-2, check_interval=5e-3)
+    config = kill_config(
+        "seqdlm", 101, liveness=lv, heal_after=1.2e-1, drain=1e-1,
+        faults=FaultConfig(drop_rate=0.02, duplicate_rate=0.02))
+    result = run_kill(config)
+    assert_liveness_clean(result)
+    assert result.counters["evictions"] == 1
+    evicted = {ev.client for ev in result.liveness_events
+               if ev.kind == "evict"}
+    assert evicted == {f"client{config.victim}"}
+
+
+def test_no_eviction_without_kill():
+    """Healthy clients heartbeating on time are never evicted."""
+    config = kill_config("seqdlm", 101, victim=None)
+    result = run_client_kill(config)
+    assert all(o == "finished" for o in result.outcomes)
+    assert result.verified is True
+    assert result.counters["evictions"] == 0
+    assert result.counters["heartbeats_accepted"] > 0
+
+
+def test_msn_advances_past_reclaimed_locks():
+    """After the eviction the sequencer floor is reachable: survivors'
+    post-eviction reads completed (they need the mSN to advance past the
+    dead client's reclaimed SNs) and the extent caches drained."""
+    result = run_kill(kill_config("seqdlm", 101))
+    assert_liveness_clean(result)
+    cluster = result.cluster
+    stats = cluster.total_lock_server_stats()
+    assert stats["msn_queries"] > 0
+    # Every survivor's read phase returned real bytes (not timeouts).
+    assert sum(c.stats.read_rpcs for c in cluster.clients) > 0

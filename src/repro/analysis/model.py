@@ -21,7 +21,13 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 __all__ = ["HardwareParams", "TABLE1", "flush_bandwidth", "bandwidth_total",
-           "terms", "bottleneck", "predicted_speedup"]
+           "terms", "bottleneck", "predicted_speedup",
+           "dispatch_busy_time", "service_saturation",
+           "predicted_revocations"]
+
+#: Dispatch-cost weight of one-way notifications relative to a full
+#: request-reply RPC (mirrors ``LockServer._dispatch_cost``).
+NOTIFICATION_WEIGHT = 0.25
 
 
 @dataclass(frozen=True)
@@ -94,3 +100,36 @@ def predicted_speedup(write_size: int, p: HardwareParams = TABLE1
         "early_grant": base / (t1 + t2),
         "early_grant_plus_early_revocation": base / t1,
     }
+
+
+def dispatch_busy_time(full_rpcs: int, notifications: int = 0,
+                       ops: float = TABLE1.ops,
+                       notification_weight: float = NOTIFICATION_WEIGHT
+                       ) -> float:
+    """Term-① prediction of a lock service's cumulative dispatch time:
+    each request-reply RPC costs ``1/OPS``, each one-way notification a
+    :data:`NOTIFICATION_WEIGHT` fraction of that.  Comparable directly
+    against the ``rpc.dlm.busy_time`` metric."""
+    if ops <= 0:
+        raise ValueError(f"ops must be > 0, got {ops}")
+    return (full_rpcs + notification_weight * notifications) / ops
+
+
+def service_saturation(busy_time: float, elapsed: float,
+                       instances: int = 1) -> float:
+    """OPS-saturation ratio of a service group: the fraction of the run
+    its dispatchers spent busy (1.0 = the serialization point of §V-A)."""
+    if instances < 1:
+        raise ValueError(f"instances must be >= 1, got {instances}")
+    if elapsed <= 0:
+        return 0.0
+    return busy_time / (instances * elapsed)
+
+
+def predicted_revocations(n_conflicting_writes: int) -> int:
+    """Fully conflicting sequential writers hand the lock down a chain:
+    every acquisition after the first revokes its predecessor, so N
+    writes cost exactly N-1 revocation round trips (the ② count)."""
+    if n_conflicting_writes < 0:
+        raise ValueError("write count must be >= 0")
+    return max(0, n_conflicting_writes - 1)

@@ -111,6 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--json", action="store_true",
                          help="dump the fault plan as JSON instead of "
                               "the human-readable report")
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run an IOR point and rank services by simulated busy "
+             "time (where did the run's time go?)")
+    prof_p.add_argument("--dlm", default="seqdlm",
+                        choices=("seqdlm", "dlm-basic", "dlm-lustre",
+                                 "dlm-datatype"))
+    prof_p.add_argument("--pattern", default="n1-strided",
+                        choices=("n-n", "n1-segmented", "n1-strided"))
+    prof_p.add_argument("--clients", type=int, default=8)
+    prof_p.add_argument("--servers", type=int, default=2)
+    prof_p.add_argument("--writes", type=int, default=64,
+                        help="writes per client")
+    prof_p.add_argument("--xfer", type=int, default=64 * 1024,
+                        help="transfer size in bytes")
+    prof_p.add_argument("--stripes", type=int, default=2)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--json", action="store_true",
+                        help="dump the full metrics snapshot as JSON")
     return parser
 
 
@@ -274,6 +294,7 @@ def _cmd_chaos(args) -> int:
     print(f"  read-back verified; {checks} lock-invariant checks clean")
     print(f"  injected: {plan.counts or '(nothing)'}")
     print(f"  resilience: {_fmt_counters(result.cluster)}")
+    print(f"  metrics: {_snapshot_json(result.metrics)}")
     print(f"  plan signature: {plan.signature()[:16]} "
           f"(replay with --seed {args.seed})")
     print()
@@ -286,10 +307,17 @@ def _cmd_chaos(args) -> int:
 
 
 def _fmt_counters(cluster) -> str:
-    nz = {k: v for k, v in sorted(cluster.resilience_counters().items())
-          if v}
-    return ("  ".join(f"{k}={v}" for k, v in nz.items())
-            or "(all counters zero)")
+    # The full (zero-filled) key set, always, so chaos summaries diff
+    # cleanly between healthy and faulty runs.
+    return "  ".join(f"{k}={v}" for k, v in
+                     sorted(cluster.resilience_counters().items()))
+
+
+def _snapshot_json(metrics_dict) -> str:
+    """Deterministic one-line snapshot JSON (byte-identical across
+    same-seed reruns — the acceptance check of the metrics layer)."""
+    from repro.metrics import MetricsSnapshot
+    return MetricsSnapshot.from_dict(metrics_dict).to_json()
 
 
 def _cmd_chaos_kill(args, faults) -> int:
@@ -337,6 +365,7 @@ def _cmd_chaos_kill(args, faults) -> int:
           f"{sum(v.checks for v in cluster.validators)} lock-invariant "
           f"checks clean")
     print(f"  resilience: {_fmt_counters(cluster)}")
+    print(f"  metrics: {_snapshot_json(result.metrics)}")
     print(f"  plan signature: {plan.signature()[:16]} "
           f"(replay with --seed {args.seed})")
     print()
@@ -350,6 +379,46 @@ def _cmd_chaos_kill(args, faults) -> int:
     return 1 if not result.verified else 0
 
 
+def _cmd_profile(args) -> int:
+    """``repro profile``: where did the simulated time go?"""
+    from repro.metrics import MetricsSnapshot
+    from repro.pfs import ClusterConfig
+    from repro.workloads.ior import IorConfig, run_ior
+
+    t0 = time.time()
+    result = run_ior(IorConfig(
+        pattern=args.pattern, clients=args.clients,
+        writes_per_client=args.writes, xfer=args.xfer,
+        stripes=args.stripes,
+        cluster=ClusterConfig(num_data_servers=args.servers,
+                              dlm=args.dlm, seed=args.seed)))
+    dt = time.time() - t0
+    snap = MetricsSnapshot.from_dict(result.metrics)
+    if args.json:
+        print(snap.to_json(indent=2))
+        return 0
+    print(f"profile {args.pattern}/{args.dlm} "
+          f"clients={args.clients} writes={args.writes} "
+          f"xfer={args.xfer} stripes={args.stripes} seed={args.seed} "
+          f"({dt:.1f}s wall)")
+    print(f"  simulated time: {snap.sim_time:.6f} s; "
+          f"bandwidth: {result.bandwidth / 1e9:.2f} GB/s; "
+          f"{snap.value('sim.events')} events "
+          f"(heap max {snap.value('sim.queue_max', 'max')})")
+    print()
+    print("  service                busy (s)      % of elapsed")
+    for name, busy, frac in snap.profile():
+        print(f"  {name:<22} {busy:>12.6f}      {frac:>7.1%}")
+    print()
+    print("  queue-wait p50/p95/p99 (s):")
+    for name, entry in sorted(snap.metrics.items()):
+        if entry.get("type") == "histogram" and entry["count"]:
+            print(f"  {name:<26} {entry['p50']:.2e} / "
+                  f"{entry['p95']:.2e} / {entry['p99']:.2e}  "
+                  f"(n={entry['count']})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -361,4 +430,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_model(args.size, args.writes)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return 2  # pragma: no cover

@@ -193,6 +193,10 @@ class LockServer:
         #: Cluster hook called as ``on_evict(client, reason, reclaimed)``
         #: — records the eviction in the fault plan and kicks cleaning.
         self.on_evict = None
+        #: High-watermarks for the metrics layer (current values are
+        #: computed from live state, so they can never drift).
+        self.lock_table_max = 0
+        self.waiter_queue_max = 0
         self.service = RpcService(node, "dlm", self._handle, ops=ops,
                                   cost_fn=self._dispatch_cost,
                                   dedup=dedup)
@@ -233,6 +237,16 @@ class LockServer:
         self._incarnations.clear()
         self._fence.clear()
         self.service.reset_dedup()
+
+    @property
+    def lock_table_size(self) -> int:
+        """Locks currently granted across all resources."""
+        return sum(len(res.granted) for res in self._resources.values())
+
+    def _note_table_size(self) -> None:
+        size = self.lock_table_size
+        if size > self.lock_table_max:
+            self.lock_table_max = size
 
     def resource_lock_count(self, resource_id: Hashable) -> int:
         return len(self._res(resource_id).granted)
@@ -299,6 +313,8 @@ class LockServer:
         self.stats.requests += 1
         res = self._res(msg.resource_id)
         res.queue.append(_Pending(msg, req, self.sim.now))
+        if len(res.queue) > self.waiter_queue_max:
+            self.waiter_queue_max = len(res.queue)
         self._process(res)
 
     def _on_revoke_ack(self, msg: RevokeAckMsg) -> None:
@@ -356,6 +372,7 @@ class LockServer:
             revoke_sent=rec.state is LockState.CANCELING,
             incarnation=rec.incarnation)
         res.next_sn = max(res.next_sn, rec.sn + 1)
+        self._note_table_size()
         # Keep lock ids unique after recovery.
         self._lock_ids = itertools.count(
             max(rec.lock_id + 1, next(self._lock_ids)))
@@ -594,6 +611,7 @@ class LockServer:
             incarnation=msg.incarnation)
         res.granted[lock.lock_id] = lock
         self.stats.grants += 1
+        self._note_table_size()
         pend.req.respond(LockGrantMsg(
             lock_id=lock.lock_id, resource_id=res.resource_id, mode=mode,
             extents=extents, sn=sn, state=state,

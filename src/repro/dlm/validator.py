@@ -60,6 +60,9 @@ class LockValidator:
         self.server = server
         self.lcm: CompatibilityFn = server.config.lcm
         self.checks = 0
+        #: Evictions witnessed first-hand; the metrics cross-check test
+        #: compares this against ``stats.evictions`` and the registry.
+        self.evictions_observed = 0
         self.max_write_sn_seen: Dict[Hashable, int] = {}
         self._seen_sns: Dict[Hashable, Set[int]] = {}
         self._seen_lock_ids: Dict[Hashable, Set[int]] = {}
@@ -93,6 +96,7 @@ class LockValidator:
                   if g.client_name == client]
         self._orig_evict(client, reason)
         self.checks += 1
+        self.evictions_observed += 1
         # Every reclaimed grant must actually be gone...
         for rid, lock_id in doomed:
             if lock_id in self.server._resources[rid].granted:

@@ -114,6 +114,8 @@ def fig4_pattern_gap(scale: str = "small") -> ExperimentResult:
                              "bandwidth": fmt_bw(r.bandwidth),
                              "_bw": r.bandwidth,
                              "PIO time": fmt_time(r.pio_time)})
+    res.metrics = r.metrics
+    res.resilience = r.resilience
     return res
 
 
@@ -348,6 +350,8 @@ def table3_segmented(scale: str = "small") -> ExperimentResult:
         res.rows.append({"DLM": dlm, "bandwidth": fmt_bw(r.bandwidth),
                          "_bw": r.bandwidth, "_total": r.total_time,
                          "total IO time": fmt_time(r.total_time)})
+    res.metrics = r.metrics
+    res.resilience = r.resilience
     return res
 
 
@@ -389,6 +393,8 @@ def fig20_strided_1stripe(scale: str = "small") -> ExperimentResult:
                 "PIO time": fmt_time(r.pio_time), "_pio": r.pio_time,
                 "F time": fmt_time(r.f_time), "_f": r.f_time,
                 "PIO % of total": f"{pct:.0f}%"})
+    res.metrics = r.metrics
+    res.resilience = r.resilience
     return res
 
 

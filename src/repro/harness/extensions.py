@@ -192,6 +192,7 @@ def ext_client_liveness(scale: str = "small") -> ExperimentResult:
             for k, v in r.counters.items():
                 totals[k] = totals.get(k, 0) + v
     res.resilience = totals
+    res.metrics = r.metrics
     res.notes = ("every victim slot reads back whole-old or whole-new; "
                  "survivors' reads park behind the orphaned locks until "
                  "the lease eviction promotes them")

@@ -67,6 +67,9 @@ class ExperimentResult:
     #: ``Cluster.resilience_counters``) for experiments that run under a
     #: fault plan or liveness config.
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: Metrics snapshot of a representative run of the experiment
+    #: (``MetricsSnapshot.to_dict()`` — rehydrate with ``from_dict``).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         body = format_table(self.columns, self.rows,
@@ -75,9 +78,18 @@ class ExperimentResult:
             hl = "  ".join(f"{k}={v}" for k, v in self.headline.items())
             body += f"\nheadline: {hl}"
         if self.resilience:
+            # Always the full key set (zero-filled), so toggling faults
+            # on/off never adds or removes report lines.
             rs = "  ".join(f"{k}={v}" for k, v in
-                           sorted(self.resilience.items()) if v)
-            body += f"\nresilience: {rs or '(all zero)'}"
+                           sorted(self.resilience.items()))
+            body += f"\nresilience: {rs}"
+        if self.metrics:
+            from repro.metrics import MetricsSnapshot
+            snap = MetricsSnapshot.from_dict(self.metrics)
+            top = "  ".join(f"{name}={frac:.1%}"
+                            for name, _busy, frac in snap.profile()[:3])
+            body += (f"\nmetrics: {len(snap.metrics)} series @ "
+                     f"t={snap.sim_time:.4g}s  busiest: {top}")
         if self.notes:
             body += f"\nnote: {self.notes}"
         return body

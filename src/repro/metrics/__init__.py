@@ -1,0 +1,32 @@
+"""Deterministic simulated-time metrics for the SeqDLM reproduction.
+
+``repro.metrics.core`` holds the primitives (Counter / Gauge /
+Histogram / MetricsRegistry / MetricsSnapshot); ``repro.metrics.
+collect`` folds a whole cluster into one catalogued snapshot.  See
+``docs/metrics.md`` for the metric catalogue.
+"""
+
+from repro.metrics.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.metrics.collect import (
+    RESILIENCE_KEYS,
+    collect_cluster_metrics,
+    resilience_counters,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MetricsSnapshot",
+    "RESILIENCE_KEYS",
+    "collect_cluster_metrics",
+    "resilience_counters",
+]

@@ -1,0 +1,279 @@
+"""Fold a cluster's component statistics into one MetricsSnapshot.
+
+This module is the *one* aggregation path from the simulator's
+components to reported numbers.  Components keep their cheap local
+counters (``LockServerStats``, ``DataServerStats``, node traffic
+counters...); live simulated-time distributions (RPC queue wait, extent
+pin time) stream into the cluster's :class:`~repro.metrics.core.
+MetricsRegistry`; and at snapshot time everything is folded here into a
+single catalogued namespace (see ``docs/metrics.md``):
+
+    sim.*          event-loop health
+    rpc.<svc>.*    per-service dispatch (requests, queues, saturation)
+    fabric.*       transport (bytes, deliveries, in-flight)
+    faults.*       injected-fault census
+    dlm.*          lock servers        dlm.client.*   lock clients
+    pfs.client.*   file-system clients cache.*        page/extent caches
+    ds.*           data servers + devices
+    resilience.*   the chaos-report counter set
+
+``resilience_counters`` is also defined here so the legacy
+``Cluster.resilience_counters()`` dict and the ``resilience.*`` metrics
+can never disagree — there is one way to count things.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.metrics.core import MetricsSnapshot
+
+__all__ = ["collect_cluster_metrics", "resilience_counters",
+           "RESILIENCE_KEYS"]
+
+#: The full resilience key set, emitted (zero-filled) on every run so
+#: report diffs never churn when faults are toggled on or off.
+RESILIENCE_KEYS = (
+    "dedup_expired", "duplicates_suppressed", "evictions",
+    "fenced_flushes", "fenced_rejections", "fenced_replies",
+    "fenced_writes", "flush_failures", "flush_retries",
+    "heartbeat_losses", "heartbeats_accepted", "heartbeats_sent",
+    "lock_request_retries", "locks_reclaimed", "notify_failures",
+    "rejoins", "revoke_retransmits",
+)
+
+
+def resilience_counters(cluster) -> Dict[str, int]:
+    """Aggregate the fault-resilience counters across the cluster.
+
+    Always returns every key of :data:`RESILIENCE_KEYS` — a healthy
+    run reports explicit zeros rather than omitting rows.
+    """
+    out: Dict[str, int] = {k: 0 for k in RESILIENCE_KEYS}
+
+    def add(key: str, value) -> None:
+        out[key] += int(value)
+
+    for ls in cluster.lock_servers:
+        add("revoke_retransmits", ls.stats.revoke_retransmits)
+        add("heartbeats_accepted", ls.stats.heartbeats)
+        add("evictions", ls.stats.evictions)
+        add("locks_reclaimed", ls.stats.locks_reclaimed)
+        add("fenced_rejections", ls.stats.fenced_rejections)
+        add("duplicates_suppressed", ls.service.duplicates_suppressed)
+        add("dedup_expired", ls.service.dedup_expired)
+    for lc in cluster.lock_clients:
+        add("lock_request_retries", lc.stats.request_retries)
+        add("notify_failures", lc.stats.notify_failures)
+        add("heartbeats_sent", lc.stats.heartbeats_sent)
+        add("heartbeat_losses", lc.stats.heartbeat_losses)
+        add("fenced_replies", lc.stats.fenced_replies)
+        add("rejoins", lc.stats.rejoins)
+    for client in cluster.clients:
+        add("flush_retries", client.stats.flush_retries)
+        add("flush_failures", client.stats.flush_failures)
+        add("fenced_flushes", client.stats.fenced_flushes)
+    for ds in cluster.data_servers:
+        add("fenced_writes", ds.stats.fenced_writes)
+        add("duplicates_suppressed", ds.service.duplicates_suppressed)
+        add("dedup_expired", ds.service.dedup_expired)
+    return out
+
+
+def _counter(value, unit: str, owner: str) -> Dict[str, Any]:
+    return {"type": "counter", "unit": unit, "owner": owner,
+            "value": int(value)}
+
+
+def _gauge(value, unit: str, owner: str, maximum=None) -> Dict[str, Any]:
+    return {"type": "gauge", "unit": unit, "owner": owner, "value": value,
+            "max": value if maximum is None else maximum}
+
+
+def _services_by_name(cluster) -> Dict[str, List]:
+    groups: Dict[str, List] = {}
+    services = [cluster.metadata.service]
+    services += [ls.service for ls in cluster.lock_servers]
+    services += [ds.service for ds in cluster.data_servers]
+    for svc in services:
+        groups.setdefault(svc.name, []).append(svc)
+    return groups
+
+
+def collect_cluster_metrics(cluster) -> MetricsSnapshot:
+    """Build the full catalogued snapshot for ``cluster`` right now."""
+    sim = cluster.sim
+    elapsed = sim.now
+    registry = getattr(sim, "metrics", None)
+    snap = (registry.snapshot(sim_time=elapsed) if registry is not None
+            else MetricsSnapshot(sim_time=elapsed, metrics={}))
+    m = snap.metrics
+
+    # -- sim kernel --------------------------------------------------------
+    m["sim.events"] = _counter(sim.events_processed, "events", "sim")
+    m["sim.queue_max"] = _gauge(len(sim._queue), "events", "sim",
+                                maximum=sim.max_queue_length)
+
+    # -- rpc services (grouped by service name across nodes) ---------------
+    for name, group in sorted(_services_by_name(cluster).items()):
+        p = f"rpc.{name}"
+        owner = "net.rpc"
+        m[f"{p}.enqueued"] = _counter(
+            sum(s.messages_enqueued for s in group), "messages", owner)
+        m[f"{p}.dequeued"] = _counter(
+            sum(s.messages_dequeued for s in group), "messages", owner)
+        m[f"{p}.requests"] = _counter(
+            sum(s.requests_handled for s in group), "requests", owner)
+        m[f"{p}.duplicates_suppressed"] = _counter(
+            sum(s.duplicates_suppressed for s in group), "requests", owner)
+        m[f"{p}.dedup_expired"] = _counter(
+            sum(s.dedup_expired for s in group), "entries", owner)
+        m[f"{p}.queue_depth"] = _gauge(
+            sum(s.queue_depth for s in group), "messages", owner,
+            maximum=max((s.queue_depth_max for s in group), default=0))
+        busy = sum(s.busy_time for s in group)
+        m[f"{p}.busy_time"] = _gauge(busy, "seconds", owner)
+        m[f"{p}.saturation"] = _gauge(
+            busy / (len(group) * elapsed) if elapsed else 0.0,
+            "ratio", owner)
+
+    # -- fabric / faults ---------------------------------------------------
+    nodes = list(cluster.fabric.nodes.values())
+    fab = cluster.fabric
+    m["fabric.bytes_sent"] = _counter(
+        sum(n.bytes_sent for n in nodes), "bytes", "net.fabric")
+    m["fabric.bytes_received"] = _counter(
+        sum(n.bytes_received for n in nodes), "bytes", "net.fabric")
+    m["fabric.messages_sent"] = _counter(
+        sum(n.messages_sent for n in nodes), "messages", "net.fabric")
+    m["fabric.messages_received"] = _counter(
+        sum(n.messages_received for n in nodes), "messages", "net.fabric")
+    m["fabric.messages_blackholed"] = _counter(
+        sum(n.messages_blackholed for n in nodes), "messages",
+        "net.fabric")
+    m["fabric.deliveries_scheduled"] = _counter(
+        fab.deliveries_scheduled, "messages", "net.fabric")
+    m["fabric.messages_delivered"] = _counter(
+        fab.messages_delivered, "messages", "net.fabric")
+    m["fabric.bytes_delivered"] = _counter(
+        fab.bytes_delivered, "bytes", "net.fabric")
+    m["fabric.in_flight"] = _gauge(
+        fab.deliveries_scheduled - fab.messages_delivered, "messages",
+        "net.fabric")
+
+    plan = cluster.fault_plan
+    counts = dict(plan.counts) if plan is not None else {}
+    for key, metric in (("drop", "faults.drops"),
+                        ("src-down-drop", "faults.src_down_drops"),
+                        ("partition-drop", "faults.partition_drops"),
+                        ("delay", "faults.delays"),
+                        ("reorder", "faults.reorders"),
+                        ("duplicate", "faults.duplicates"),
+                        ("crash", "faults.server_crashes"),
+                        ("evict", "faults.evictions_recorded")):
+        m[metric] = _counter(counts.get(key, 0), "events", "faults")
+    injector = cluster.fault_injector
+    m["faults.messages_seen"] = _counter(
+        injector.messages_seen if injector is not None else 0,
+        "messages", "faults")
+
+    # -- lock servers ------------------------------------------------------
+    agg = cluster.total_lock_server_stats()
+    owner = "dlm.server"
+    for key in ("requests", "grants", "early_grants", "early_revocations",
+                "revocations_sent", "upgrades", "downgrades", "releases",
+                "expansions", "msn_queries", "revoke_retransmits",
+                "heartbeats", "evictions", "locks_reclaimed",
+                "fenced_rejections"):
+        m[f"dlm.{key}"] = _counter(agg.get(key, 0), "events", owner)
+    m["dlm.revoke_wait_time"] = _gauge(
+        agg.get("revoke_wait_time", 0.0), "seconds", owner)
+    m["dlm.lock_table_size"] = _gauge(
+        sum(ls.lock_table_size for ls in cluster.lock_servers), "locks",
+        owner, maximum=max((ls.lock_table_max
+                            for ls in cluster.lock_servers), default=0))
+    m["dlm.waiter_queue_max"] = _gauge(
+        max((ls.waiter_queue_max for ls in cluster.lock_servers),
+            default=0), "requests", owner)
+
+    # -- lock clients ------------------------------------------------------
+    owner = "dlm.client"
+    for key in ("requests", "cache_hits", "grants", "revokes_received",
+                "cancels", "downgrades", "request_retries",
+                "notify_failures", "heartbeats_sent", "heartbeat_losses",
+                "fenced_replies", "rejoins"):
+        m[f"dlm.client.{key}"] = _counter(
+            sum(getattr(lc.stats, key) for lc in cluster.lock_clients),
+            "events", owner)
+    for key in ("lock_wait_time", "cancel_time", "flush_time"):
+        m[f"dlm.client.{key}"] = _gauge(
+            sum(getattr(lc.stats, key) for lc in cluster.lock_clients),
+            "seconds", owner)
+
+    # -- pfs clients + page caches ----------------------------------------
+    owner = "pfs.client"
+    for key, unit in (("writes", "calls"), ("reads", "calls"),
+                      ("bytes_written", "bytes"), ("bytes_read", "bytes"),
+                      ("read_rpcs", "rpcs"), ("flush_rpcs", "rpcs"),
+                      ("flush_retries", "rpcs"), ("flush_failures", "rpcs"),
+                      ("fenced_flushes", "rpcs"),
+                      ("cache_read_hits", "reads")):
+        m[f"pfs.client.{key}"] = _counter(
+            sum(getattr(c.stats, key) for c in cluster.clients), unit,
+            owner)
+    m["pfs.client.io_time"] = _gauge(
+        sum(c.stats.io_time for c in cluster.clients), "seconds", owner)
+
+    caches = [c.cache for c in cluster.clients]
+    owner = "pfs.page_cache"
+    for key in ("bytes_written", "bytes_flushed", "bytes_evicted"):
+        m[f"cache.client.{key}"] = _counter(
+            sum(getattr(c, key) for c in caches), "bytes", owner)
+    for key, unit in (("read_hits", "reads"), ("read_misses", "reads"),
+                      ("invalidations", "calls")):
+        m[f"cache.client.{key}"] = _counter(
+            sum(getattr(c, key) for c in caches), unit, owner)
+    m["cache.client.dirty_bytes"] = _gauge(
+        sum(c.dirty_bytes for c in caches), "bytes", owner)
+
+    # -- extent caches -----------------------------------------------------
+    ecaches = [ds.extent_cache for ds in cluster.data_servers]
+    owner = "pfs.extent_cache"
+    m["cache.extent.entries"] = _gauge(
+        sum(e.total_entries for e in ecaches), "entries", owner)
+    for key, unit in (("entries_cleaned", "entries"),
+                      ("clean_passes", "passes"),
+                      ("forced_syncs", "syncs")):
+        m[f"cache.extent.{key}"] = _counter(
+            sum(getattr(e, key) for e in ecaches), unit, owner)
+
+    # -- data servers + devices -------------------------------------------
+    owner = "pfs.data_server"
+    for key, unit in (("write_rpcs", "rpcs"), ("read_rpcs", "rpcs"),
+                      ("blocks_received", "blocks"),
+                      ("bytes_discarded", "bytes"),
+                      ("fenced_writes", "rpcs")):
+        m[f"ds.{key}"] = _counter(
+            sum(getattr(ds.stats, key) for ds in cluster.data_servers),
+            unit, owner)
+    m["ds.flush_bytes"] = _counter(
+        sum(ds.stats.bytes_received for ds in cluster.data_servers),
+        "bytes", owner)
+    devices = [ds.device for ds in cluster.data_servers]
+    owner = "storage.device"
+    for key, unit in (("reads", "ios"), ("writes", "ios"),
+                      ("bytes_read", "bytes"), ("bytes_written", "bytes")):
+        m[f"ds.disk.{key}"] = _counter(
+            sum(getattr(d.stats, key) for d in devices), unit, owner)
+    disk_busy = sum(d.stats.busy_time for d in devices)
+    m["ds.disk.busy_time"] = _gauge(disk_busy, "seconds", owner)
+    m["ds.disk.saturation"] = _gauge(
+        disk_busy / (len(devices) * elapsed) if elapsed else 0.0,
+        "ratio", owner)
+
+    # -- the chaos-report resilience set (always full, zero-filled) --------
+    for key, value in resilience_counters(cluster).items():
+        m[f"resilience.{key}"] = _counter(value, "events", "resilience")
+
+    snap.metrics = dict(sorted(m.items()))
+    return snap

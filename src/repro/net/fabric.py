@@ -109,6 +109,8 @@ class Node:
         self.bytes_received = 0
         self.messages_sent = 0
         self.messages_received = 0
+        #: Deliveries swallowed because this node was failed at arrival.
+        self.messages_blackholed = 0
         self.failed = False
 
     def register_service(self, name: str,
@@ -123,7 +125,9 @@ class Node:
     def deliver(self, msg: Message) -> None:
         """Called by the fabric when a message arrives."""
         if self.failed:
-            return  # dropped on the floor; senders time out / redo (§IV-C2)
+            # Dropped on the floor; senders time out / redo (§IV-C2).
+            self.messages_blackholed += 1
+            return
         self.bytes_received += msg.nbytes
         self.messages_received += 1
         if msg.is_reply:
@@ -149,6 +153,10 @@ class Fabric:
         self.nodes: Dict[str, Node] = {}
         self._req_ids = itertools.count(1)
         self.messages_delivered = 0
+        self.bytes_delivered = 0
+        #: Delivery callbacks scheduled (injected duplicates count twice,
+        #: injected drops not at all) — in-flight = scheduled - delivered.
+        self.deliveries_scheduled = 0
         #: Optional :class:`repro.faults.FaultInjector`; when set, every
         #: non-local message's delivery schedule passes through it.
         self.fault_injector = None
@@ -216,10 +224,12 @@ class Fabric:
         else:
             times = (deliver_at,)
         for t in times:
+            self.deliveries_scheduled += 1
             ev = sim.timeout(t - now)
             ev.add_callback(lambda _ev, m=msg: self._deliver(m))
         return deliver_at
 
     def _deliver(self, msg: Message) -> None:
         self.messages_delivered += 1
+        self.bytes_delivered += msg.nbytes
         msg.dst.deliver(msg)

@@ -18,7 +18,7 @@ machinery with ``expects_reply=False``.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional, Union
 
@@ -173,14 +173,36 @@ class RpcService:
         self.requests_handled = 0
         self.duplicates_suppressed = 0
         self.dedup_expired = 0
+        self.messages_enqueued = 0
+        self.messages_dequeued = 0
+        self.queue_depth_max = 0
+        #: Cumulative simulated dispatch time (weight * 1/OPS per message)
+        #: — busy/elapsed is the OPS-saturation ratio of Equation (1).
+        self.busy_time = 0.0
+        #: Enqueue instants, parallel to the FIFO inbox, feeding the
+        #: queue-wait histogram (covers fault-delayed deliveries, which
+        #: ``Message.deliver_time`` does not).
+        self._enqueue_times: deque = deque()
+        reg = getattr(self.sim, "metrics", None)
+        self._wait_hist = (reg.histogram(f"rpc.{name}.wait_time",
+                                         unit="seconds", owner="net.rpc")
+                           if reg is not None else None)
         self._dedup: Optional[OrderedDict] = None
         self._dedup_capacity = dedup_capacity
         self._dedup_ttl = dedup_ttl
         if dedup:
             self.enable_dedup(dedup_capacity, dedup_ttl)
-        node.register_service(name, self.inbox.put)
+        node.register_service(name, self._enqueue)
         self._dispatcher = self.sim.spawn(self._dispatch(),
                                           name=f"{node.name}/{name}")
+
+    def _enqueue(self, msg: Message) -> None:
+        self.messages_enqueued += 1
+        self._enqueue_times.append(self.sim.now)
+        self.inbox.put(msg)
+        depth = len(self.inbox)
+        if depth > self.queue_depth_max:
+            self.queue_depth_max = depth
 
     # ------------------------------------------------------- duplicate guard
     def enable_dedup(self, capacity: int = 8192,
@@ -248,10 +270,18 @@ class RpcService:
         sim = self.sim
         while True:
             msg = yield self.inbox.get()
+            self.messages_dequeued += 1
+            if self._wait_hist is not None:
+                self._wait_hist.observe(
+                    sim.now - self._enqueue_times.popleft())
+            else:
+                self._enqueue_times.popleft()
             if self.service_time:
                 weight = self.cost_fn(msg) if self.cost_fn else 1.0
                 if weight > 0:
-                    yield sim.timeout(self.service_time * weight)
+                    cost = self.service_time * weight
+                    self.busy_time += cost
+                    yield sim.timeout(cost)
             if self._dedup_check(msg):
                 continue
             self.requests_handled += 1

@@ -51,6 +51,15 @@ class ServerExtentCache:
         self.clean_passes = 0
         self.forced_syncs = 0
         self._cleaner = None
+        #: First-merge instant per stripe with uncleaned entries; feeds
+        #: the mSN pin-duration histogram (how long entries sat pinned
+        #: behind unreleased write locks before cleaning freed them).
+        self._pinned_since: Dict[Hashable, float] = {}
+        reg = getattr(sim, "metrics", None)
+        self._pin_hist = (reg.histogram("cache.extent.pin_time",
+                                        unit="seconds",
+                                        owner="pfs.extent_cache")
+                          if reg is not None else None)
 
     # ------------------------------------------------------------- the map
     def map_for(self, stripe_key: Hashable) -> ExtentMap:
@@ -63,6 +72,7 @@ class ServerExtentCache:
               sn: int) -> List[Tuple[int, int]]:
         """Fig. 15 steps ①/②: merge one incoming block, return its
         update set."""
+        self._pinned_since.setdefault(stripe_key, self.sim.now)
         return self.map_for(stripe_key).merge(start, end, sn)
 
     @property
@@ -78,6 +88,7 @@ class ServerExtentCache:
 
     def clear(self) -> None:
         self._maps.clear()
+        self._pinned_since.clear()
 
     # ------------------------------------------------------------- cleaning
     def kick(self) -> None:
@@ -132,5 +143,14 @@ class ServerExtentCache:
                 lambda s, e, sn, lim=msn, ext=set(picked):
                 (s, e, sn) in ext and sn <= lim)
             cleaned += dropped
+            if dropped:
+                pinned_at = self._pinned_since.get(key)
+                if self._pin_hist is not None and pinned_at is not None:
+                    self._pin_hist.observe(self.sim.now - pinned_at)
+                # Remaining entries start a fresh pin interval.
+                if len(emap):
+                    self._pinned_since[key] = self.sim.now
+                else:
+                    self._pinned_since.pop(key, None)
         self.entries_cleaned += cleaned
         return cleaned

@@ -142,6 +142,11 @@ class Cluster:
     def __init__(self, config: ClusterConfig):
         self.config = config
         self.sim = Simulator()
+        # Anchor the metrics registry on the simulator *before* any
+        # component is built, so services/caches can register their
+        # histograms at construction time.
+        from repro.metrics import MetricsRegistry
+        self.sim.metrics = MetricsRegistry()
         self.rng = DeterministicRNG(config.seed, "cluster")
         self.fabric = Fabric(self.sim, NetworkConfig(
             latency=config.net_latency, bandwidth=config.net_bandwidth,
@@ -431,36 +436,21 @@ class Cluster:
     def resilience_counters(self) -> Dict[str, int]:
         """Aggregate fault-resilience counters (retry/watchdog machinery
         from the fault layer plus the lease/eviction counters) for the
-        harness report and the ``repro chaos`` summary."""
-        out: Dict[str, int] = {}
+        harness report and the ``repro chaos`` summary.
 
-        def add(key: str, value) -> None:
-            out[key] = out.get(key, 0) + int(value)
+        Delegates to :func:`repro.metrics.collect.resilience_counters`
+        (the single counting path shared with ``metrics_snapshot``);
+        always returns the full key set, zero-filled, so healthy-run
+        reports do not churn against faulty ones.
+        """
+        from repro.metrics.collect import resilience_counters
+        return resilience_counters(self)
 
-        for ls in self.lock_servers:
-            add("revoke_retransmits", ls.stats.revoke_retransmits)
-            add("heartbeats_accepted", ls.stats.heartbeats)
-            add("evictions", ls.stats.evictions)
-            add("locks_reclaimed", ls.stats.locks_reclaimed)
-            add("fenced_rejections", ls.stats.fenced_rejections)
-            add("duplicates_suppressed", ls.service.duplicates_suppressed)
-            add("dedup_expired", ls.service.dedup_expired)
-        for lc in self.lock_clients:
-            add("lock_request_retries", lc.stats.request_retries)
-            add("notify_failures", lc.stats.notify_failures)
-            add("heartbeats_sent", lc.stats.heartbeats_sent)
-            add("heartbeat_losses", lc.stats.heartbeat_losses)
-            add("fenced_replies", lc.stats.fenced_replies)
-            add("rejoins", lc.stats.rejoins)
-        for client in self.clients:
-            add("flush_retries", client.stats.flush_retries)
-            add("flush_failures", client.stats.flush_failures)
-            add("fenced_flushes", client.stats.fenced_flushes)
-        for ds in self.data_servers:
-            add("fenced_writes", ds.stats.fenced_writes)
-            add("duplicates_suppressed", ds.service.duplicates_suppressed)
-            add("dedup_expired", ds.service.dedup_expired)
-        return out
+    def metrics_snapshot(self):
+        """The full catalogued :class:`~repro.metrics.MetricsSnapshot`
+        of this cluster, taken at the current simulated time."""
+        from repro.metrics.collect import collect_cluster_metrics
+        return collect_cluster_metrics(self)
 
     def liveness_events(self):
         """All lock servers' lease/eviction timelines, merged and

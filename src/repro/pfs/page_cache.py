@@ -78,6 +78,9 @@ class ClientCache:
         self.bytes_written = 0
         self.bytes_flushed = 0
         self.bytes_evicted = 0
+        self.read_hits = 0
+        self.read_misses = 0
+        self.invalidations = 0
 
     # -------------------------------------------------------------- helpers
     def _entry(self, key: Hashable) -> StripeCacheEntry:
@@ -182,8 +185,13 @@ class ClientCache:
         stale-filled) content buffer, or None without content tracking."""
         entry = self._entries.get(key)
         if entry is None:
+            self.read_misses += 1
             return None, [(offset, offset + length)]
         missing = entry.versions.gaps(offset, offset + length)
+        if missing:
+            self.read_misses += 1
+        else:
+            self.read_hits += 1
         data = None
         if entry.content is not None:
             data = entry.content.read(offset, length)
@@ -246,6 +254,7 @@ class ClientCache:
         cancel must never discard bytes written under a *newer* lock whose
         (unexpanded) range overlaps the canceled lock's expanded range.
         """
+        self.invalidations += 1
         entry = self._entries.get(key)
         if entry is None:
             return

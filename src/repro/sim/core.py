@@ -325,6 +325,10 @@ class Simulator:
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._event_count: int = 0
+        self._max_queue_len: int = 0
+        #: Optional MetricsRegistry; components reach it via their node's
+        #: sim so instrumentation needs no extra plumbing (None = off).
+        self.metrics = None
 
     # -- clock --------------------------------------------------------------
     @property
@@ -339,6 +343,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Total number of events processed so far (profiling aid)."""
         return self._event_count
+
+    @property
+    def max_queue_length(self) -> int:
+        """High-watermark of the event heap (queue-occupancy metric)."""
+        return self._max_queue_len
 
     # -- event factories ------------------------------------------------------
     def event(self) -> Event:
@@ -365,6 +374,8 @@ class Simulator:
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if len(self._queue) > self._max_queue_len:
+            self._max_queue_len = len(self._queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""

@@ -133,6 +133,8 @@ class ClientKillResult:
     liveness_events: list = field(default_factory=list)
     file_image: bytes = b""
     cluster: Optional[Cluster] = field(default=None, repr=False)
+    #: Full metrics snapshot (``MetricsSnapshot.to_dict()``).
+    metrics: Dict = field(default_factory=dict)
 
 
 def _slot_offsets(rank: int, n: int, count: int) -> List[Tuple[int, int]]:
@@ -240,4 +242,5 @@ def run_client_kill(config: ClientKillConfig) -> ClientKillResult:
                         if cluster.fault_plan is not None else []),
         liveness_events=events,
         file_image=image,
-        cluster=cluster)
+        cluster=cluster,
+        metrics=cluster.metrics_snapshot().to_dict())

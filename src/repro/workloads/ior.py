@@ -85,6 +85,11 @@ class IorResult:
     cluster: Optional[Cluster] = field(default=None, repr=False)
     #: Merged lock-protocol trace (only for ``trace`` runs).
     trace_events: list = field(default_factory=list)
+    #: Full metrics snapshot (``MetricsSnapshot.to_dict()``) taken at the
+    #: end of the run; ``MetricsSnapshot.from_dict`` rehydrates it.
+    metrics: Dict = field(default_factory=dict)
+    #: The full resilience counter set (always present, zero-filled).
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -222,4 +227,6 @@ def run_ior(config: IorConfig) -> IorResult:
                         if cluster.fault_plan is not None else []),
         cluster=cluster,
         trace_events=sorted((e for t in tracers for e in t.events),
-                            key=lambda e: e.time))
+                            key=lambda e: e.time),
+        metrics=cluster.metrics_snapshot().to_dict(),
+        resilience=cluster.resilience_counters())

@@ -90,6 +90,10 @@ class TileIoResult:
     fault_timeline: list = field(default_factory=list)
     cluster: Optional[Cluster] = field(default=None, repr=False)
     trace_events: list = field(default_factory=list)
+    #: Full metrics snapshot (``MetricsSnapshot.to_dict()``).
+    metrics: Dict = field(default_factory=dict)
+    #: The full resilience counter set (always present, zero-filled).
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -181,4 +185,6 @@ def run_tile_io(config: TileIoConfig) -> TileIoResult:
                         cluster=cluster,
                         trace_events=sorted(
                             (e for t in tracers for e in t.events),
-                            key=lambda e: e.time))
+                            key=lambda e: e.time),
+                        metrics=cluster.metrics_snapshot().to_dict(),
+                        resilience=cluster.resilience_counters())

@@ -4,6 +4,7 @@ property that makes every EXPERIMENTS.md number reproducible."""
 
 import pytest
 
+from repro.metrics import MetricsSnapshot
 from repro.workloads import IorConfig, run_ior
 from repro.pfs import ClusterConfig
 from tests.integration.conftest import small_cluster
@@ -45,5 +46,56 @@ def test_ior_driver_is_deterministic():
             cluster=ClusterConfig(dlm="seqdlm", track_content=False)))
         return (r.pio_time, r.f_time,
                 tuple(sorted(r.lock_stats.items())))
+
+    assert once() == once()
+
+
+# --------------------------------------------------------- golden metrics
+# The metrics layer's headline guarantee: the full MetricsSnapshot —
+# every counter, gauge, and histogram percentile, serialized to JSON —
+# is BYTE-identical across two runs of the same configuration, for every
+# DLM implementation.  Any wall-clock value, unordered-dict iteration,
+# or id()-keyed structure leaking into a metric breaks this immediately.
+
+DLMS = ["seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"]
+
+
+def _metrics_json(dlm, pattern="n1-strided"):
+    r = run_ior(IorConfig(
+        pattern=pattern, clients=6, writes_per_client=12,
+        xfer=8 * 1024, stripes=2,
+        cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
+                              track_content=False)))
+    return MetricsSnapshot.from_dict(r.metrics).to_json()
+
+
+@pytest.mark.parametrize("dlm", DLMS)
+def test_metrics_snapshot_json_is_byte_identical(dlm):
+    assert _metrics_json(dlm) == _metrics_json(dlm)
+
+
+def test_metrics_snapshot_distinguishes_configs():
+    # Sanity: the golden check is not vacuous — different workloads must
+    # actually produce different snapshots.
+    assert _metrics_json("seqdlm", "n1-strided") != \
+        _metrics_json("seqdlm", "n1-segmented")
+
+
+def test_cluster_snapshot_json_is_byte_identical():
+    def once():
+        cluster = small_cluster(dlm="seqdlm", clients=4, servers=2,
+                                stripe_size=512)
+        cluster.create_file("/det", stripe_count=4)
+
+        def worker(rank):
+            c = cluster.clients[rank]
+            fh = yield from c.open("/det")
+            for i in range(10):
+                off = (i * 4 + rank) * 300
+                yield from c.write(fh, off, bytes([rank + 1]) * 300)
+            yield from c.fsync(fh)
+
+        cluster.run_clients([worker(r) for r in range(4)])
+        return cluster.metrics_snapshot().to_json()
 
     assert once() == once()

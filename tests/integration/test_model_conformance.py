@@ -1,0 +1,100 @@
+"""Analytical-model conformance: measured metrics vs §II-C predictions.
+
+Equation (1)'s term ① says lock dispatch costs ``1/OPS`` per
+request-reply RPC; term ② says N fully conflicting writers pay exactly
+N-1 revocation round trips.  The simulator implements those costs
+mechanically, so the *measured* metrics must match the model's closed
+forms — tightly for busy time (same cost model, summed vs computed) and
+exactly for revocation counts.
+"""
+
+import pytest
+
+from repro.analysis.model import (
+    dispatch_busy_time,
+    predicted_revocations,
+    service_saturation,
+)
+from repro.metrics import MetricsSnapshot
+from repro.pfs import Cluster, ClusterConfig
+from repro.workloads import IorConfig, run_ior
+
+DLM_OPS = 213_000.0  # ClusterConfig.dlm_ops default (§V-A CaRT OPS)
+
+
+def _no_fault_snapshot(dlm="seqdlm"):
+    r = run_ior(IorConfig(
+        pattern="n1-strided", clients=8, writes_per_client=32,
+        xfer=32 * 1024, stripes=2,
+        cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
+                              track_content=False)))
+    return r, MetricsSnapshot.from_dict(r.metrics)
+
+
+@pytest.mark.parametrize("dlm", ["seqdlm", "dlm-basic"])
+def test_dlm_busy_time_matches_dispatch_model(dlm):
+    """Measured rpc.dlm.busy_time == term-① prediction from the snapshot's
+    own message counts (full RPCs at 1/OPS, notifications at the
+    documented fraction)."""
+    r, snap = _no_fault_snapshot(dlm)
+    assert snap.value("rpc.dlm.duplicates_suppressed") == 0  # no faults
+
+    stats = r.cluster.total_lock_server_stats()
+    full_rpcs = stats["requests"] + stats["msn_queries"]
+    handled = snap.value("rpc.dlm.requests")
+    notifications = handled - full_rpcs
+    assert notifications >= 0
+
+    predicted = dispatch_busy_time(full_rpcs, notifications, ops=DLM_OPS)
+    measured = snap.value("rpc.dlm.busy_time")
+    assert measured == pytest.approx(predicted, rel=1e-9)
+    assert measured > 0
+
+
+@pytest.mark.parametrize("dlm", ["seqdlm", "dlm-basic"])
+def test_saturation_metric_matches_model(dlm):
+    """The exported rpc.dlm.saturation gauge equals the model's
+    OPS-saturation formula applied to the same busy time."""
+    r, snap = _no_fault_snapshot(dlm)
+    servers = len(r.cluster.lock_servers)
+    expected = service_saturation(snap.value("rpc.dlm.busy_time"),
+                                  elapsed=snap.sim_time,
+                                  instances=servers)
+    assert snap.value("rpc.dlm.saturation") == \
+        pytest.approx(expected, rel=1e-12)
+    assert 0.0 < snap.value("rpc.dlm.saturation") <= 1.0
+
+
+@pytest.mark.parametrize("dlm", ["seqdlm", "dlm-basic", "dlm-lustre",
+                                 "dlm-datatype"])
+@pytest.mark.parametrize("k", [1, 2, 5])
+def test_conflict_chain_revocation_count_is_exact(dlm, k):
+    """Term ②'s count: K writers taking turns on one fully conflicting
+    range trigger exactly predicted_revocations(K) == K-1 revocations,
+    under every DLM implementation."""
+    cluster = Cluster(ClusterConfig(
+        dlm=dlm, num_clients=k, num_data_servers=1, track_content=False))
+    cluster.create_file("/chain", stripe_count=1)
+    done = {"turn": 0}
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/chain")
+        while done["turn"] < rank:          # strict handoff order
+            yield c.sim.timeout(1e-5)
+        yield from c.write(fh, 0, nbytes=512)
+        yield from c.fsync(fh)
+        done["turn"] += 1
+
+    cluster.run_clients([worker(r) for r in range(k)])
+    snap = cluster.metrics_snapshot()
+    assert snap.value("dlm.revocations_sent") == predicted_revocations(k)
+    assert snap.value("dlm.grants") >= k
+
+
+def test_predicted_revocations_closed_form():
+    assert predicted_revocations(0) == 0
+    assert predicted_revocations(1) == 0
+    assert predicted_revocations(6) == 5
+    with pytest.raises(ValueError):
+        predicted_revocations(-1)

@@ -1,0 +1,168 @@
+"""Unit tests for the deterministic metrics primitives.
+
+The contract under test: every value in a snapshot is a pure function of
+the observation sequence (no wall clock, no platform-dependent float
+paths), so ``MetricsSnapshot.to_json()`` is byte-stable.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.metrics.core import SUBBUCKETS, bucket_index, bucket_upper_bound
+
+
+# ------------------------------------------------------------ primitives
+def test_counter_increments():
+    c = Counter("x", unit="events", owner="test")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert c.to_entry() == {"type": "counter", "unit": "events",
+                            "owner": "test", "value": 5}
+
+
+def test_gauge_tracks_high_watermark():
+    g = Gauge("depth")
+    g.set(3)
+    g.set(10)
+    g.set(2)
+    assert g.value == 2
+    assert g.max_value == 10
+    assert g.to_entry()["max"] == 10
+
+
+# ------------------------------------------------------------ bucketing
+@pytest.mark.parametrize("value", [
+    1e-9, 2.5e-7, 1e-6, 3.33e-4, 0.1, 0.5, 0.999, 1.0, 7.0, 1234.5])
+def test_bucket_upper_bound_brackets_value(value):
+    idx = bucket_index(value)
+    upper = bucket_upper_bound(idx)
+    assert value <= upper
+    # The bucket's width is one mantissa slice: the previous bucket's
+    # upper bound must sit below the value.
+    m, e = math.frexp(value)
+    lower = bucket_upper_bound(idx - 1) if m > 0.5 + 1e-12 or \
+        bucket_index(value * 0.999) == idx else None
+    if lower is not None:
+        assert upper / value <= 1.0 + 2.0 / SUBBUCKETS
+
+
+def test_bucket_index_is_monotonic():
+    values = [1e-9, 1e-6, 1e-3, 0.5, 0.6, 1.0, 2.0, 1e3]
+    indices = [bucket_index(v) for v in values]
+    assert indices == sorted(indices)
+
+
+def test_nonpositive_values_share_underflow_bucket():
+    assert bucket_index(0.0) == bucket_index(-1.5)
+    assert bucket_upper_bound(bucket_index(0.0)) == 0.0
+
+
+# ------------------------------------------------------------- histogram
+def test_histogram_exact_aggregates():
+    h = Histogram("h", unit="seconds")
+    for v in (0.001, 0.002, 0.004, 0.008):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(0.015)
+    assert h.min == 0.001
+    assert h.max == 0.008
+
+
+def test_histogram_percentiles_are_bucket_upper_bounds():
+    h = Histogram("h")
+    values = [0.001 * (i + 1) for i in range(100)]
+    for v in values:
+        h.observe(v)
+    # p50 must bracket the 50th observation, p99 the 99th.
+    assert values[49] <= h.percentile(0.50) <= values[54]
+    assert values[98] <= h.percentile(0.99)
+    # Every percentile is an exact bucket edge (deterministic).
+    for q in (0.5, 0.95, 0.99):
+        p = h.percentile(q)
+        assert p == bucket_upper_bound(bucket_index(p) if p > 0 else 0) \
+            or any(bucket_upper_bound(i) == p for i in h._buckets)
+
+
+def test_histogram_percentile_of_empty_is_zero():
+    assert Histogram("h").percentile(0.99) == 0.0
+
+
+def test_histogram_determinism_across_instances():
+    a, b = Histogram("a"), Histogram("b")
+    vals = [1.7e-6 * (i % 13 + 1) for i in range(500)]
+    for v in vals:
+        a.observe(v)
+    for v in reversed(vals):  # same multiset, different order
+        b.observe(v)
+    ea, eb = a.to_entry(), b.to_entry()
+    for k in ("count", "min", "max", "p50", "p95", "p99"):
+        assert ea[k] == eb[k]
+
+
+# -------------------------------------------------------------- registry
+def test_registry_get_or_create_shares_instances():
+    reg = MetricsRegistry()
+    c1 = reg.counter("rpc.x.requests")
+    c2 = reg.counter("rpc.x.requests")
+    assert c1 is c2
+    assert "rpc.x.requests" in reg
+    assert reg["rpc.x.requests"] is c1
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+    with pytest.raises(TypeError):
+        reg.histogram("m")
+
+
+def test_registry_snapshot_sorted_and_json_stable():
+    reg = MetricsRegistry()
+    reg.counter("zzz").inc(3)
+    reg.gauge("aaa").set(1.5)
+    reg.histogram("mmm").observe(0.25)
+    snap = reg.snapshot(sim_time=1.25)
+    assert list(snap.metrics) == sorted(snap.metrics)
+    j1 = snap.to_json()
+    j2 = reg.snapshot(sim_time=1.25).to_json()
+    assert j1 == j2
+    parsed = json.loads(j1)
+    assert parsed["sim_time"] == 1.25
+    assert parsed["metrics"]["zzz"]["value"] == 3
+
+
+# -------------------------------------------------------------- snapshot
+def test_snapshot_roundtrip_and_queries():
+    reg = MetricsRegistry()
+    reg.counter("dlm.grants", owner="dlm.server").inc(7)
+    reg.gauge("rpc.dlm.busy_time", unit="seconds", owner="net.rpc").set(2.0)
+    snap = reg.snapshot(sim_time=4.0)
+    again = MetricsSnapshot.from_dict(json.loads(snap.to_json()))
+    assert again.to_json() == snap.to_json()
+    assert snap.value("dlm.grants") == 7
+    assert snap.get("missing", default=-1) == -1
+    assert set(snap.with_prefix("dlm.")) == {"dlm.grants"}
+    assert set(snap.by_owner("net.rpc")) == {"rpc.dlm.busy_time"}
+
+
+def test_snapshot_profile_ranks_busy_time():
+    reg = MetricsRegistry()
+    reg.gauge("rpc.dlm.busy_time").set(3.0)
+    reg.gauge("rpc.io.busy_time").set(1.0)
+    reg.counter("dlm.grants").inc()
+    rows = reg.snapshot(sim_time=4.0).profile()
+    assert [r[0] for r in rows] == ["rpc.dlm", "rpc.io"]
+    assert rows[0][1] == 3.0
+    assert rows[0][2] == pytest.approx(0.75)

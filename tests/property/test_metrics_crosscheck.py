@@ -1,0 +1,134 @@
+"""Cross-check properties: one event, one count, three observers.
+
+The metrics layer folds component counters into a snapshot; the lock
+tracer records the same protocol events as a timeline; the invariant
+validator watches them a third way, online.  These tests assert the
+three ledgers agree *exactly* — under chaos fault plans, for every DLM
+implementation — so a metric can never silently drift from the events
+it claims to summarize:
+
+* tracer GRANT/REVOKE events  == server stats == ``dlm.*`` metrics;
+* validator-observed evictions == ``dlm.evictions`` == ``resilience.*``;
+* per-service RPC conservation (enqueued = dequeued + still queued;
+  dequeued = handled + deduplicated, up to one in-flight per instance);
+* fabric conservation: sends minus fault drops plus duplications equals
+  scheduled deliveries equals deliveries consumed or black-holed;
+* the live wait-time histogram saw exactly one sample per dequeue.
+"""
+
+import pytest
+
+from repro.metrics import MetricsSnapshot
+from tests.property.test_chaos_faults import (
+    DLMS,
+    SEEDS,
+    assert_run_clean,
+    chaos_faults,
+    run_ior_chaos,
+)
+
+
+def _value(snap: MetricsSnapshot, name: str):
+    return snap.metrics[name]["value"]
+
+
+def _run(dlm: str, seed: int):
+    result = run_ior_chaos(dlm, seed, chaos_faults(), trace=True)
+    assert_run_clean(result)
+    return result, MetricsSnapshot.from_dict(result.metrics)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_tracer_stats_and_metrics_agree(dlm, seed):
+    """GRANT/REVOKE counts: trace timeline == server stats == snapshot."""
+    result, snap = _run(dlm, seed)
+    kinds = {}
+    for ev in result.trace_events:
+        kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+
+    stats = result.cluster.total_lock_server_stats()
+    assert kinds.get("GRANT", 0) == stats["grants"] \
+        == _value(snap, "dlm.grants")
+    assert kinds.get("REVOKE", 0) == stats["revocations_sent"] \
+        == _value(snap, "dlm.revocations_sent")
+    assert kinds.get("GRANT", 0) > 0, "vacuous run: no grants traced"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_validator_evictions_match_metrics(dlm, seed):
+    """Evictions seen live by the invariant validator == server stats ==
+    both metric spellings (dlm.* and resilience.*)."""
+    result, snap = _run(dlm, seed)
+    observed = sum(v.evictions_observed for v in result.cluster.validators)
+    assert observed == _value(snap, "dlm.evictions")
+    assert observed == _value(snap, "resilience.evictions")
+    assert snap.metrics["resilience.evictions"] is not None
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_rpc_service_conservation(dlm, seed):
+    """Per service group: every enqueued message is either dequeued or
+    still queued; every dequeued message is handled, deduplicated, or
+    (at most one per instance) in service when the run ends."""
+    result, snap = _run(dlm, seed)
+    cluster = result.cluster
+    groups = {"meta": [cluster.metadata.service],
+              "dlm": [ls.service for ls in cluster.lock_servers],
+              "io": [ds.service for ds in cluster.data_servers]}
+    for name, instances in groups.items():
+        enq = _value(snap, f"rpc.{name}.enqueued")
+        deq = _value(snap, f"rpc.{name}.dequeued")
+        depth = _value(snap, f"rpc.{name}.queue_depth")
+        handled = _value(snap, f"rpc.{name}.requests")
+        dups = _value(snap, f"rpc.{name}.duplicates_suppressed")
+        assert enq == deq + depth, f"rpc.{name}: enqueue/dequeue leak"
+        in_service = deq - handled - dups
+        assert 0 <= in_service <= len(instances), \
+            f"rpc.{name}: {in_service} dequeued messages unaccounted for"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_fabric_conservation_with_faults(dlm, seed):
+    """sends - drops + duplications == scheduled deliveries ==
+    delivered + in flight; delivered == received + black-holed."""
+    result, snap = _run(dlm, seed)
+    sent = _value(snap, "fabric.messages_sent")
+    drops = (_value(snap, "faults.drops")
+             + _value(snap, "faults.src_down_drops")
+             + _value(snap, "faults.partition_drops"))
+    dups = _value(snap, "faults.duplicates")
+    scheduled = _value(snap, "fabric.deliveries_scheduled")
+    delivered = _value(snap, "fabric.messages_delivered")
+    assert sent - drops + dups == scheduled
+    assert delivered + _value(snap, "fabric.in_flight") == scheduled
+    assert delivered == (_value(snap, "fabric.messages_received")
+                         + _value(snap, "fabric.messages_blackholed"))
+    assert drops > 0, "vacuous run: fault plan injected no drops"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wait_histogram_counts_dequeues(seed):
+    """The live rpc.<svc>.wait_time histogram must have observed exactly
+    one sample per dequeued message — no missed or double samples."""
+    result, snap = _run("seqdlm", seed)
+    for name in ("meta", "dlm", "io"):
+        hist = snap.metrics[f"rpc.{name}.wait_time"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == _value(snap, f"rpc.{name}.dequeued")
+
+
+@pytest.mark.parametrize("dlm", DLMS)
+def test_resilience_metrics_mirror_counter_dict(dlm):
+    """resilience.* metrics and Cluster.resilience_counters() are the
+    same numbers through one counting path — including explicit zeros."""
+    result, snap = _run(dlm, SEEDS[0])
+    counters = result.cluster.resilience_counters()
+    mirrored = {k[len("resilience."):]: v["value"]
+                for k, v in snap.metrics.items()
+                if k.startswith("resilience.")}
+    assert mirrored == counters
+    assert mirrored == result.resilience

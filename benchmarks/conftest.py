@@ -10,7 +10,7 @@ trends, rough factors) — absolute numbers live in EXPERIMENTS.md.
 
 import pytest
 
-from repro.harness import run_experiment
+from repro.harness import run_experiment, run_sweep
 
 
 @pytest.fixture
@@ -24,6 +24,24 @@ def run_exp(benchmark):
         print()
         print(result.render())
         return result
+
+    return _run
+
+
+@pytest.fixture
+def run_cells(benchmark):
+    """Run a list of :class:`~repro.harness.sweep.SweepCell` under the
+    benchmark clock, fanned across ``REPRO_SWEEP_JOBS`` worker processes
+    (default: one per CPU; results are byte-identical regardless)."""
+    import os
+
+    def _run(cells, jobs=None):
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "0")) \
+                or (os.cpu_count() or 1)
+        return benchmark.pedantic(run_sweep, args=(cells,),
+                                  kwargs={"jobs": jobs},
+                                  rounds=1, iterations=1)
 
     return _run
 

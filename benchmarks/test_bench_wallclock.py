@@ -1,0 +1,88 @@
+"""Wall-clock micro-suite: how fast does the simulator itself run?
+
+Unlike the figure benches (which assert *simulated* results), this suite
+measures host throughput — kernel events/sec in both scheduling idioms,
+one end-to-end small Fig. 4, and the parallel sweep runner — and writes
+the numbers to ``BENCH_wallclock.json`` at the repo root.  Assertions
+are deliberately conservative (CI machines vary wildly); the committed
+JSON records the dev-box numbers and ``scripts/perf_smoke.py`` warns on
+large regressions.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.harness.wallclock import (
+    fig4_seconds,
+    kernel_events_per_sec,
+    sweep_timing,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_wallclock.json"
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    yield
+    if not RESULTS:
+        return
+    payload = {"meta": {"python": platform.python_version(),
+                        "machine": platform.machine(),
+                        "cpus": os.cpu_count() or 1}}
+    payload.update(RESULTS)
+    BENCH_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_kernel_events_per_sec(benchmark):
+    direct = benchmark.pedantic(kernel_events_per_sec, args=("direct",),
+                                rounds=1, iterations=1)
+    timeout = kernel_events_per_sec("timeout")
+    RESULTS["kernel"] = {"direct_events_per_sec": round(direct),
+                         "timeout_events_per_sec": round(timeout)}
+    print(f"\nkernel: direct {direct:,.0f} ev/s, "
+          f"timeout {timeout:,.0f} ev/s")
+    # The direct-delay fast path must clearly beat the event path, and
+    # both must clear a floor low enough for any CI box.
+    assert direct > timeout
+    assert direct > 300_000
+    assert timeout > 150_000
+
+
+def test_fig4_small_end_to_end(benchmark):
+    secs = benchmark.pedantic(fig4_seconds, rounds=1, iterations=1)
+    RESULTS["fig4_small_seconds"] = round(secs, 3)
+    print(f"\nfig4 small end-to-end: {secs:.2f}s")
+    assert secs < 120, "small-scale fig4 should finish in well under 2min"
+
+
+def test_sweep_parallel_speedup(benchmark):
+    # On boxes with < 4 CPUs extra workers only add fork/pickle overhead;
+    # still fan across 2 so the pool path (and its byte-identity) is
+    # exercised everywhere.
+    cpus = os.cpu_count() or 1
+    jobs = 4 if cpus >= 4 else 2
+    timing = benchmark.pedantic(sweep_timing, kwargs={"jobs": jobs},
+                                rounds=1, iterations=1)
+    RESULTS["sweep"] = timing
+    print(f"\nsweep: {timing['cells']} cells, serial "
+          f"{timing['serial_seconds']}s, jobs={jobs} "
+          f"{timing['parallel_seconds']}s "
+          f"({timing['speedup']}x, cpus={timing['cpus']})")
+    # Byte-identity is unconditional — a speedup that changes results
+    # is a determinism bug, not a win.
+    assert timing["byte_identical"]
+    if cpus >= 4:
+        assert timing["speedup"] >= 2.0
+    elif cpus >= 2:
+        assert timing["speedup"] >= 1.3
+    else:
+        # Single CPU: no parallelism to be had; just bound the pool's
+        # overhead (time-sliced workers cost fork + pickle + contention).
+        assert timing["speedup"] >= 0.4

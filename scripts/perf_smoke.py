@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""CI perf smoke: re-measure the wall-clock probes and warn on regression.
+
+Usage::
+
+    python scripts/perf_smoke.py --check BENCH_wallclock.json --jobs 4
+    python scripts/perf_smoke.py --out BENCH_wallclock.json   # refresh
+
+Warn-only by design (shared CI runners are noisy); the one hard failure
+is a parallel sweep that stops being byte-identical to the serial run —
+that is a determinism bug, not jitter.
+"""
+
+import sys
+
+from repro.harness.wallclock import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Small version shims.
+
+``DATACLASS_KW`` enables ``__slots__`` generation on dataclasses where
+the interpreter supports it (``slots=True`` arrived in Python 3.10; the
+CI matrix still includes 3.9).  Hot per-event records — fabric messages,
+wire blocks, flush blocks, lock-protocol messages — are created by the
+hundred-thousand in a paper-scale run, and slots cut both their
+allocation cost and their footprint.  On 3.9 the shim degrades to a
+plain dataclass: identical semantics, just without the speedup.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+__all__ = ["DATACLASS_KW"]
+
+DATACLASS_KW: Dict[str, Any] = (
+    {"slots": True} if sys.version_info >= (3, 10) else {}
+)

@@ -131,6 +131,26 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--seed", type=int, default=0)
     prof_p.add_argument("--json", action="store_true",
                         help="dump the full metrics snapshot as JSON")
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a grid of independent IOR cells, optionally fanned "
+             "across worker processes (results are byte-identical to "
+             "a serial run)")
+    sweep_p.add_argument("--grid", default="fig4",
+                         choices=("fig4", "dlms"),
+                         help="cell grid: the Fig. 4 pattern/xfer grid, "
+                              "or every DLM x seed on one workload")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial in-process; "
+                              "0 = one per CPU)")
+    sweep_p.add_argument("--scale", default="small",
+                         choices=("small", "paper"))
+    sweep_p.add_argument("--seeds", type=int, nargs="+", default=[0],
+                         help="seeds for --grid dlms")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="print one JSON object per cell instead "
+                              "of the table")
     return parser
 
 
@@ -419,6 +439,43 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    """``repro sweep``: fan a cell grid across worker processes."""
+    import dataclasses
+    import json as _json
+
+    from repro.harness import dlm_seed_grid, fig4_grid, run_sweep
+
+    if args.grid == "fig4":
+        cells = fig4_grid(scale=args.scale)
+    else:
+        cells = dlm_seed_grid(
+            ("seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"),
+            args.seeds, pattern="n1-strided", clients=8,
+            writes_per_client=64, xfer=64 * 1024, stripes=2,
+            num_data_servers=2)
+    t0 = time.time()
+    results = run_sweep(cells, jobs=args.jobs)
+    dt = time.time() - t0
+    if args.json:
+        for r in results:
+            print(_json.dumps({"cell": dataclasses.asdict(r.cell),
+                               "bandwidth": r.bandwidth,
+                               "pio_time": r.pio_time,
+                               "sim_time": r.sim_time,
+                               "events": r.events}))
+        return 0
+    print(f"sweep {args.grid} ({len(cells)} cells, jobs={args.jobs}, "
+          f"{dt:.1f}s wall)")
+    print(f"  {'dlm':<14} {'pattern':<13} {'xfer':>8} {'seed':>5} "
+          f"{'GB/s':>7} {'events':>10}")
+    for r in results:
+        c = r.cell
+        print(f"  {c.dlm:<14} {c.pattern:<13} {c.xfer // 1024:>6}K "
+              f"{c.seed:>5} {r.bandwidth / 1e9:>7.2f} {r.events:>10,}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -432,4 +489,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return 2  # pragma: no cover

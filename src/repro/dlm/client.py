@@ -443,7 +443,7 @@ class LockClient:
         """
         lv = self.liveness
         while True:
-            yield self.sim.timeout(lv.heartbeat_interval)
+            yield lv.heartbeat_interval
             for name in sorted(self._known_servers):
                 yield from self._beat(self.node.fabric.nodes[name])
 

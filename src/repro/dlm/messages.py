@@ -22,9 +22,10 @@ against late RPCs from half-dead clients.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
 
+from repro._compat import DATACLASS_KW
 from repro.dlm.types import LockMode, LockState
 
 __all__ = [
@@ -43,7 +44,7 @@ __all__ = [
 Extents = Tuple[Tuple[int, int], ...]
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class LockRequestMsg:
     resource_id: Hashable
     mode: LockMode
@@ -53,7 +54,7 @@ class LockRequestMsg:
     incarnation: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class LockGrantMsg:
     lock_id: int
     resource_id: Hashable
@@ -65,20 +66,20 @@ class LockGrantMsg:
     absorbed_lock_ids: Tuple[int, ...] = ()
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class RevokeMsg:
     lock_id: int
     resource_id: Hashable
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class RevokeAckMsg:
     lock_id: int
     resource_id: Hashable
     incarnation: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class DowngradeMsg:
     lock_id: int
     resource_id: Hashable
@@ -86,20 +87,20 @@ class DowngradeMsg:
     incarnation: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class ReleaseMsg:
     lock_id: int
     resource_id: Hashable
     incarnation: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class MsnQueryMsg:
     resource_id: Hashable
     extents: Extents
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class LockStateRecord:
     """One client-held lock, as reported during server recovery (§IV-C2)."""
 
@@ -114,7 +115,7 @@ class LockStateRecord:
     incarnation: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class HeartbeatMsg:
     """Lease renewal: "client ``client_name``, incarnation ``incarnation``,
     is alive".  The first accepted heartbeat establishes the lease."""
@@ -123,7 +124,7 @@ class HeartbeatMsg:
     incarnation: int = 0
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class FencedMsg:
     """Reply to an RPC from a fenced (evicted) client incarnation.
 

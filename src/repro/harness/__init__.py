@@ -10,6 +10,14 @@ in :data:`EXPERIMENTS` maps experiment ids (``fig4`` ... ``fig24_25``,
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import ExperimentResult, format_table
+from repro.harness.sweep import (
+    SweepCell,
+    SweepResult,
+    dlm_seed_grid,
+    fig4_grid,
+    run_sweep,
+)
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "format_table",
-           "run_experiment"]
+__all__ = ["EXPERIMENTS", "ExperimentResult", "SweepCell", "SweepResult",
+           "dlm_seed_grid", "fig4_grid", "format_table", "run_experiment",
+           "run_sweep"]

@@ -1,0 +1,122 @@
+"""Parallel experiment sweeps: fan independent cells across processes.
+
+A paper-scale figure is a *grid* of independent simulations (pattern x
+transfer size x DLM x seed).  Each cell builds its own
+:class:`~repro.sim.core.Simulator`, so cells share nothing and the grid
+is embarrassingly parallel.  ``run_sweep`` preserves two properties the
+rest of the repo depends on:
+
+* **Order**: results come back in cell order regardless of worker
+  scheduling (``Pool.map`` semantics).
+* **Byte-identity**: a cell's :class:`MetricsSnapshot` JSON is the same
+  whether the cell ran in-process (``jobs=1``), in a worker, or next to
+  15 other workers — enforced by
+  ``tests/integration/test_determinism.py::test_sweep_parallel_matches_serial_golden``
+  against digests captured on the seed kernel.
+
+Workers are spawned with the stdlib ``multiprocessing`` pool (fork on
+Linux); there is no shared state to synchronize and each worker returns
+a small picklable :class:`SweepResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro._compat import DATACLASS_KW
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "fig4_grid",
+           "dlm_seed_grid"]
+
+KB = 1024
+
+
+@dataclass(frozen=True, **DATACLASS_KW)
+class SweepCell:
+    """One IOR point of a sweep grid — plain picklable primitives only."""
+
+    dlm: str = "seqdlm"
+    seed: int = 0
+    pattern: str = "n1-strided"
+    clients: int = 16
+    writes_per_client: int = 128
+    xfer: int = 64 * KB
+    stripes: int = 1
+    num_data_servers: int = 1
+
+
+@dataclass(**DATACLASS_KW)
+class SweepResult:
+    cell: SweepCell
+    bandwidth: float
+    pio_time: float
+    f_time: float
+    sim_time: float
+    events: int
+    #: Full MetricsSnapshot serialized to canonical JSON — the byte string
+    #: the determinism goldens digest.
+    metrics_json: str
+
+
+def _run_cell(cell: SweepCell) -> SweepResult:
+    # Imports live here so a forked/spawned worker resolves them itself
+    # and the module import stays cheap.
+    from repro.metrics import MetricsSnapshot
+    from repro.pfs import ClusterConfig
+    from repro.workloads.ior import IorConfig, run_ior
+
+    r = run_ior(IorConfig(
+        pattern=cell.pattern, clients=cell.clients,
+        writes_per_client=cell.writes_per_client, xfer=cell.xfer,
+        stripes=cell.stripes,
+        cluster=ClusterConfig(dlm=cell.dlm,
+                              num_data_servers=cell.num_data_servers,
+                              track_content=False, seed=cell.seed)))
+    snap = MetricsSnapshot.from_dict(r.metrics)
+    return SweepResult(cell=cell, bandwidth=r.bandwidth,
+                       pio_time=r.pio_time, f_time=r.f_time,
+                       sim_time=snap.sim_time,
+                       events=int(snap.get("sim.events")),
+                       metrics_json=snap.to_json())
+
+
+def run_sweep(cells: Iterable[SweepCell], jobs: int = 1,
+              chunksize: int = 1) -> List[SweepResult]:
+    """Run every cell; fan across ``jobs`` worker processes when > 1.
+
+    ``jobs=1`` runs serially in-process (no pool, no pickling) — the
+    reference path the parallel path must match byte-for-byte.
+    """
+    cells = list(cells)
+    if jobs is None or jobs < 1:
+        import os
+        jobs = os.cpu_count() or 1
+    if jobs == 1 or len(cells) <= 1:
+        return [_run_cell(c) for c in cells]
+    import multiprocessing
+    with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+        return pool.map(_run_cell, cells, chunksize=chunksize)
+
+
+# ------------------------------------------------------------ grid builders
+def fig4_grid(scale: str = "small",
+              dlm: str = "dlm-lustre") -> List[SweepCell]:
+    """The Fig. 4 pattern-gap grid (pattern x transfer size) as cells."""
+    from repro.harness.experiments import SCALES
+    s = SCALES[scale]
+    cells = []
+    for xfer in (16 * KB, 64 * KB, 256 * KB, 1024 * KB):
+        writes = max(8, (s["ior_writes"] * 64 * KB) // xfer)
+        for pattern in ("n-n", "n1-segmented", "n1-strided"):
+            cells.append(SweepCell(
+                dlm=dlm, pattern=pattern, clients=s["ior_clients"],
+                writes_per_client=writes, xfer=xfer, stripes=1))
+    return cells
+
+
+def dlm_seed_grid(dlms: Iterable[str], seeds: Iterable[int],
+                  **cell_kw) -> List[SweepCell]:
+    """A DLM-comparison grid: every DLM at every seed, same workload."""
+    return [SweepCell(dlm=d, seed=s, **cell_kw)
+            for d in dlms for s in seeds]

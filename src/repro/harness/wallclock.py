@@ -1,0 +1,170 @@
+"""Wall-clock micro-benchmarks for the simulator itself.
+
+Everything else in this repo measures *simulated* time; this module
+measures how fast the simulator chews through events on the host — the
+number that decides whether a paper-scale sweep takes minutes or hours.
+Three probes:
+
+* ``kernel_events_per_sec`` — a pure scheduling loop (100 processes x
+  2000 delays), in both idioms: ``yield <float>`` (the direct-delay fast
+  path the RPC/data hot paths use) and ``yield sim.timeout(...)`` (the
+  event-based path).
+* ``fig4_seconds`` — one full small-scale Fig. 4 experiment, end to end.
+* ``sweep_timing`` — the Fig. 4 grid through :func:`run_sweep` serially
+  and fanned across workers, with the byte-identity check the
+  determinism goldens enforce.
+
+``collect`` bundles them into the dict committed as
+``BENCH_wallclock.json``; ``scripts/perf_smoke.py`` re-measures it in CI
+and warns (never fails) on regression, since shared runners are noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, Optional
+
+__all__ = ["kernel_events_per_sec", "fig4_seconds", "sweep_timing",
+           "collect"]
+
+
+def kernel_events_per_sec(idiom: str = "direct", procs: int = 100,
+                          yields: int = 2000, repeats: int = 3) -> float:
+    """Best-of-``repeats`` kernel throughput for one scheduling idiom."""
+    from repro.sim.core import Simulator
+
+    def once() -> float:
+        sim = Simulator()
+        if idiom == "direct":
+            def proc(sim):
+                for _ in range(yields):
+                    yield 1.0
+        elif idiom == "timeout":
+            def proc(sim):
+                for _ in range(yields):
+                    yield sim.timeout(1.0)
+        else:
+            raise ValueError(f"unknown idiom {idiom!r}")
+        for _ in range(procs):
+            sim.spawn(proc(sim))
+        t0 = time.perf_counter()
+        sim.run()
+        return sim.events_processed / (time.perf_counter() - t0)
+
+    return max(once() for _ in range(repeats))
+
+
+def fig4_seconds(scale: str = "small") -> float:
+    """Wall seconds for one end-to-end Fig. 4 experiment."""
+    from repro.harness.experiments import run_experiment
+
+    t0 = time.perf_counter()
+    run_experiment("fig4", scale)
+    return time.perf_counter() - t0
+
+
+def sweep_timing(jobs: int = 4, scale: str = "small") -> Dict:
+    """Serial vs parallel wall time for the Fig. 4 grid, plus the
+    byte-identity verdict.  Speedup is only meaningful with >= 2 CPUs —
+    the dict records ``cpus`` so consumers can judge."""
+    from repro.harness.sweep import fig4_grid, run_sweep
+
+    cells = fig4_grid(scale=scale)
+    t0 = time.perf_counter()
+    serial = run_sweep(cells, jobs=1)
+    t1 = time.perf_counter()
+    parallel = run_sweep(cells, jobs=jobs)
+    t2 = time.perf_counter()
+    serial_s = t1 - t0
+    parallel_s = t2 - t1
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else 0.0,
+        "byte_identical": [r.metrics_json for r in serial]
+        == [r.metrics_json for r in parallel],
+    }
+
+
+def collect(jobs: int = 4, scale: str = "small",
+            baseline_events_per_sec: Optional[float] = None) -> Dict:
+    """Run every probe and return the BENCH_wallclock.json payload.
+
+    ``baseline_events_per_sec`` is the pre-fast-path kernel's measured
+    throughput on the same machine (when known) so the recorded speedup
+    is an honest same-box ratio rather than a cross-machine guess.
+    """
+    direct = kernel_events_per_sec("direct")
+    timeout = kernel_events_per_sec("timeout")
+    out = {
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "kernel": {
+            "direct_events_per_sec": round(direct),
+            "timeout_events_per_sec": round(timeout),
+        },
+        "fig4_small_seconds": round(fig4_seconds(scale), 3),
+        "sweep": sweep_timing(jobs=jobs, scale=scale),
+    }
+    if baseline_events_per_sec:
+        out["kernel"]["seed_kernel_events_per_sec"] = round(
+            baseline_events_per_sec)
+        out["kernel"]["speedup_vs_seed"] = round(
+            direct / baseline_events_per_sec, 2)
+    return out
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via script
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jobs", type=int, default=4)
+    ap.add_argument("--out", help="write the JSON payload here")
+    ap.add_argument("--check",
+                    help="compare against a committed BENCH_wallclock.json "
+                         "and warn on >threshold regression (never fails)")
+    ap.add_argument("--threshold", type=float, default=0.25)
+    args = ap.parse_args(argv)
+    payload = collect(jobs=args.jobs)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    if args.check and os.path.exists(args.check):
+        with open(args.check) as fh:
+            ref = json.load(fh)
+        pairs = [
+            ("kernel.direct_events_per_sec",
+             payload["kernel"]["direct_events_per_sec"],
+             ref.get("kernel", {}).get("direct_events_per_sec"), True),
+            ("kernel.timeout_events_per_sec",
+             payload["kernel"]["timeout_events_per_sec"],
+             ref.get("kernel", {}).get("timeout_events_per_sec"), True),
+            ("fig4_small_seconds", payload["fig4_small_seconds"],
+             ref.get("fig4_small_seconds"), False),
+        ]
+        for name, now, was, higher_is_better in pairs:
+            if not was:
+                continue
+            ratio = (now / was) if higher_is_better else (was / now)
+            if ratio < 1.0 - args.threshold:
+                print(f"::warning::perf-smoke: {name} regressed "
+                      f"{(1.0 - ratio):.0%} vs committed baseline "
+                      f"({was} -> {now}); machine noise is possible — "
+                      f"investigate if it persists")
+        if not payload["sweep"]["byte_identical"]:
+            # Not noise: parallel results must always match serial.
+            print("::error::perf-smoke: parallel sweep results diverged "
+                  "from serial — determinism bug")
+            return 1
+    return 0

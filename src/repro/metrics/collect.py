@@ -111,7 +111,7 @@ def collect_cluster_metrics(cluster) -> MetricsSnapshot:
 
     # -- sim kernel --------------------------------------------------------
     m["sim.events"] = _counter(sim.events_processed, "events", "sim")
-    m["sim.queue_max"] = _gauge(len(sim._queue), "events", "sim",
+    m["sim.queue_max"] = _gauge(sim.queue_length, "events", "sim",
                                 maximum=sim.max_queue_length)
 
     # -- rpc services (grouped by service name across nodes) ---------------

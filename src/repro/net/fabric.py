@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro._compat import DATACLASS_KW
 from repro.sim.core import Simulator
 
 __all__ = ["NetworkConfig", "Message", "Node", "Fabric",
@@ -71,7 +72,7 @@ class NetworkConfig:
             raise ValueError("latency must be >= 0 and bandwidth > 0")
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class Message:
     """A unit of transport. ``nbytes`` drives timing; ``payload`` is the
     protocol object delivered verbatim (no serialization is simulated)."""

@@ -281,7 +281,7 @@ class RpcService:
                 if weight > 0:
                     cost = self.service_time * weight
                     self.busy_time += cost
-                    yield sim.timeout(cost)
+                    yield cost  # direct delay: kernel fast path
             if self._dedup_check(msg):
                 continue
             self.requests_handled += 1

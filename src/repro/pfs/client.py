@@ -224,7 +224,7 @@ class CcpfsClient:
         """Pay the memory-bandwidth cost of staging ``nbytes`` into the
         cache's registered page pool (outside any lock)."""
         if self.mem_bandwidth != float("inf") and nbytes:
-            yield self.sim.timeout(nbytes / self.mem_bandwidth)
+            yield nbytes / self.mem_bandwidth
 
     def _deposit(self, fh: FileHandle, offset: int, data: Optional[bytes],
                  nbytes: int, locks: Dict[int, ClientLock]) -> None:
@@ -353,7 +353,7 @@ class CcpfsClient:
             else:
                 self.stats.cache_read_hits += 1
             if self.mem_bandwidth != float("inf"):
-                yield self.sim.timeout(frag.length / self.mem_bandwidth)
+                yield frag.length / self.mem_bandwidth
             if out is not None:
                 data, _still = self.cache.read(key, frag.local_offset,
                                                frag.length)
@@ -579,7 +579,7 @@ class CcpfsClient:
                 yield self.sim.all_of(procs)
             else:
                 # Nothing extractable right now; avoid a busy spin.
-                yield self.sim.timeout(1e-4)
+                yield 1e-4
 
     # --------------------------------------------------------------- helper
     def size_hint(self, fh: FileHandle) -> None:

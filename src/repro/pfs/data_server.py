@@ -14,14 +14,22 @@ the update set to the extent log, then ack the client.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Hashable, List, Optional, Tuple
 
+from repro._compat import DATACLASS_KW
 from repro.dlm.extent import EOF
 from repro.dlm.messages import FencedMsg, MsnQueryMsg
 from repro.dlm.types import LockMode
 from repro.net.fabric import Node
 from repro.net.rpc import CTRL_MSG_BYTES, Request, RpcService, rpc_call
+from repro.pfs.content import (
+    CONTENT_CHECKSUM,
+    CONTENT_FULL,
+    fold_update,
+    payload_crc,
+    resolve_content_mode,
+)
 from repro.pfs.extent_cache import ServerExtentCache
 from repro.pfs.extent_log import ExtentLog
 from repro.storage.blockstore import BlockStore
@@ -34,7 +42,7 @@ __all__ = ["DataServer", "IoWriteMsg", "IoReadMsg", "IoTruncateMsg",
 BLOCK_HEADER_BYTES = 48
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class WireBlock:
     offset: int
     length: int
@@ -42,7 +50,7 @@ class WireBlock:
     data: Optional[bytes] = None
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class IoWriteMsg:
     stripe_key: Hashable
     blocks: List[WireBlock]
@@ -58,25 +66,25 @@ class IoWriteMsg:
                 + BLOCK_HEADER_BYTES * len(self.blocks) + CTRL_MSG_BYTES)
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class IoReadMsg:
     stripe_key: Hashable
     offset: int
     length: int
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class IoTruncateMsg:
     stripe_key: Hashable
     size: int
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class IoSizeMsg:
     stripe_key: Hashable
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class DataServerStats:
     write_rpcs: int = 0
     read_rpcs: int = 0
@@ -95,13 +103,20 @@ class DataServer:
                  io_ops: float = 1_000_000.0,
                  extent_log: Optional[ExtentLog] = None,
                  track_content: bool = True,
-                 dedup: bool = False):
+                 dedup: bool = False,
+                 content_mode: Optional[str] = None):
         self.node = node
         self.sim = node.sim
         self.device = device
         self.extent_cache = extent_cache
         self.extent_log = extent_log
-        self.track_content = track_content
+        self.content_mode = resolve_content_mode(track_content, content_mode)
+        #: Back-compat bool: only "full" mode stores real bytes.
+        self.track_content = self.content_mode == CONTENT_FULL
+        self._checksum = self.content_mode == CONTENT_CHECKSUM
+        #: Rolling CRC32 per stripe of the accepted update stream
+        #: (checksum mode); a cheap cross-run integrity fingerprint.
+        self.digests: Dict[Hashable, int] = {}
         self.store = BlockStore()
         self.stats = DataServerStats()
         self.service = RpcService(node, "io", self._handle, ops=io_ops,
@@ -152,16 +167,28 @@ class DataServer:
                 msg.stripe_key, block.offset, block.offset + block.length,
                 block.sn)
             kept = 0
+            # One memoryview per block: update slices are zero-copy views.
+            mv = (memoryview(block.data)
+                  if self.track_content and block.data is not None else None)
+            digest = (self.digests.get(msg.stripe_key, 0)
+                      if self._checksum else 0)
             for s, e in updates:
                 kept += e - s
-                if self.track_content and block.data is not None:
+                if mv is not None:
                     self.store.write(msg.stripe_key, s,
-                                     block.data[s - block.offset:
-                                                e - block.offset])
+                                     mv[s - block.offset:e - block.offset])
                 else:
                     # Still track sizes for sparse/perf runs.
                     obj = self.store.object(msg.stripe_key)
                     obj.size = max(obj.size, e)
+                    if self._checksum:
+                        digest = fold_update(
+                            digest, s, e, block.sn,
+                            payload_crc(block.data[s - block.offset:
+                                                   e - block.offset])
+                            if block.data is not None else 0)
+            if self._checksum:
+                self.digests[msg.stripe_key] = digest
             self.stats.bytes_discarded += block.length - kept
             device_bytes += kept
             if self.extent_log is not None:

@@ -107,7 +107,7 @@ class ServerExtentCache:
 
     def _clean_loop(self) -> Generator:
         while True:
-            yield self.sim.timeout(self.clean_interval)
+            yield self.clean_interval
             if self.total_entries <= self.entry_threshold:
                 continue
             cleaned = yield self.sim.spawn(self.clean_pass())

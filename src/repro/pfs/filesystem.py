@@ -84,6 +84,12 @@ class ClusterConfig:
     #: cache-bound plateau of the paper's Fig. 4 / Table III.
     mem_bandwidth: float = 2.5e9
     track_content: bool = True
+    #: Tri-state payload tracking: ``"full"`` (real bytes end to end),
+    #: ``"checksum"`` (rolling CRC32 of every accepted update, no byte
+    #: buffers), ``"off"`` (extent/SN bookkeeping only).  ``None`` derives
+    #: the mode from ``track_content``; an explicit mode wins over the
+    #: bool.  See :mod:`repro.pfs.content`.
+    content_mode: Optional[str] = None
     min_dirty: int = 8 * 1024 * 1024
     max_dirty: int = 128 * 1024 * 1024
     flush_daemon: bool = True
@@ -125,6 +131,10 @@ class ClusterConfig:
         if isinstance(self.dlm, DLMConfig):
             return self.dlm
         return make_dlm_config(self.dlm, **self.dlm_overrides)
+
+    def resolved_content_mode(self) -> str:
+        from repro.pfs.content import resolve_content_mode
+        return resolve_content_mode(self.track_content, self.content_mode)
 
 
 def _stable_hash(key: Hashable) -> int:
@@ -194,7 +204,7 @@ class Cluster:
             ds = DataServer(node, device, ecache, io_ops=config.io_ops,
                             extent_log=ExtentLog() if config.extent_log
                             else None,
-                            track_content=config.track_content,
+                            content_mode=config.resolved_content_mode(),
                             dedup=resilient)
             ls = LockServer(node, self.dlm_config, ops=config.dlm_ops,
                             retry=retry,
@@ -228,7 +238,7 @@ class Cluster:
                             rng=self.rng.stream(f"retry/{node.name}"),
                             liveness=config.liveness)
             cache = ClientCache(self.sim,
-                                track_content=config.track_content,
+                                content_mode=config.resolved_content_mode(),
                                 min_dirty=config.min_dirty,
                                 max_dirty=config.max_dirty)
             client = CcpfsClient(
@@ -328,12 +338,12 @@ class Cluster:
     # --------------------------------------------------------------- failure
     def _outage_driver(self, outage: ServerOutage) -> Generator:
         """Execute one timed crash/recover from the fault plan."""
-        yield self.sim.timeout(outage.start)
+        yield float(outage.start)
         name = self.server_nodes[outage.server_index].name
         self.crash_server(outage.server_index)
         self.fault_plan.record(self.sim.now, "crash", name, name, "node",
                                detail=f"down for {outage.duration:g}s")
-        yield self.sim.timeout(outage.duration)
+        yield float(outage.duration)
         yield from self.recover_server(outage.server_index)
         self.fault_plan.record(self.sim.now, "recover", name, name, "node")
 
@@ -364,7 +374,7 @@ class Cluster:
             for rec in lc.gather_lock_states():
                 if self.server_node_for(rec.resource_id) is node:
                     server._on_recover_lock(rec)
-        yield self.sim.timeout(0)
+        yield 0.0
 
     # ----------------------------------------------------- client liveness
     def register_app_process(self, client_index: int, proc) -> None:
@@ -375,13 +385,13 @@ class Cluster:
 
     def _client_outage_driver(self, outage: ClientOutage) -> Generator:
         """Execute one timed client blackout (optionally a kill)."""
-        yield self.sim.timeout(outage.start)
+        yield float(outage.start)
         name = self.client_nodes[outage.client_index].name
         self.crash_client(outage.client_index, kill=outage.kill)
         self.fault_plan.record(
             self.sim.now, "client-kill" if outage.kill else "client-crash",
             name, name, "node", detail=f"blackout {outage.duration:g}s")
-        yield self.sim.timeout(outage.duration)
+        yield float(outage.duration)
         self.heal_client(outage.client_index)
         self.fault_plan.record(self.sim.now, "client-heal", name, name,
                                "node")

@@ -22,7 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro._compat import DATACLASS_KW
 from repro.dlm.extent import Extent, ExtentMap
+from repro.pfs.content import (
+    CONTENT_CHECKSUM,
+    CONTENT_FULL,
+    fold_update,
+    payload_crc,
+    resolve_content_mode,
+)
 from repro.sim.core import Simulator
 from repro.sim.sync import Gate
 from repro.storage.blockstore import StripeObject
@@ -30,17 +38,17 @@ from repro.storage.blockstore import StripeObject
 __all__ = ["ClientCache", "FlushBlock", "StripeCacheEntry"]
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class FlushBlock:
     """One dirty piece headed for a data server."""
 
     offset: int  # stripe-local
     length: int
     sn: int
-    data: Optional[bytes]  # None when content tracking is off
+    data: Optional[bytes]  # None unless content mode is "full"
 
 
-@dataclass
+@dataclass(**DATACLASS_KW)
 class StripeCacheEntry:
     versions: ExtentMap = field(default_factory=ExtentMap)
     dirty: ExtentMap = field(default_factory=ExtentMap)
@@ -53,13 +61,20 @@ class ClientCache:
     def __init__(self, sim: Simulator, track_content: bool = True,
                  min_dirty: int = 256 * 1024 * 1024,
                  max_dirty: int = 4 * 1024 * 1024 * 1024,
-                 max_cached: Optional[int] = None):
+                 max_cached: Optional[int] = None,
+                 content_mode: Optional[str] = None):
         if not (0 < min_dirty <= max_dirty):
             raise ValueError("need 0 < min_dirty <= max_dirty")
         if max_cached is not None and max_cached < max_dirty:
             raise ValueError("max_cached must be >= max_dirty")
         self.sim = sim
-        self.track_content = track_content
+        self.content_mode = resolve_content_mode(track_content, content_mode)
+        #: Back-compat bool: only "full" mode materializes byte buffers.
+        self.track_content = self.content_mode == CONTENT_FULL
+        self._checksum = self.content_mode == CONTENT_CHECKSUM
+        #: Rolling CRC32 per stripe of the accepted write stream
+        #: (checksum mode only); see :mod:`repro.pfs.content`.
+        self._digests: Dict[Hashable, int] = {}
         self.min_dirty = min_dirty
         self.max_dirty = max_dirty
         #: §IV memory pool: total cached bytes (clean + dirty) above which
@@ -134,6 +149,13 @@ class ClientCache:
     def keys(self) -> List[Hashable]:
         return list(self._entries.keys())
 
+    def digest(self, key: Hashable) -> int:
+        """Rolling write-stream CRC32 for one stripe (checksum mode)."""
+        return self._digests.get(key, 0)
+
+    def digests(self) -> Dict[Hashable, int]:
+        return dict(self._digests)
+
     def dirty_keys(self) -> List[Hashable]:
         return [k for k, e in self._entries.items() if len(e.dirty)]
 
@@ -156,11 +178,23 @@ class ClientCache:
         before = entry.dirty.covered_bytes()
         updates = entry.versions.merge(offset, offset + length, sn)
         written = 0
+        content = entry.content
+        # One memoryview up front: per-update slices below are then
+        # zero-copy views, not bytes copies.
+        mv = memoryview(data) if data is not None else None
+        digest = self._digests.get(key, 0) if self._checksum else 0
         for s, e in updates:
             entry.dirty.merge(s, e, sn)
             written += e - s
-            if entry.content is not None and data is not None:
-                entry.content.write(s, data[s - offset:e - offset])
+            if content is not None and mv is not None:
+                content.write(s, mv[s - offset:e - offset])
+            elif self._checksum:
+                digest = fold_update(
+                    digest, s, e, sn,
+                    payload_crc(mv[s - offset:e - offset])
+                    if mv is not None else 0)
+        if self._checksum:
+            self._digests[key] = digest
         self.bytes_written += written
         self._dirty_delta(entry, before)
         self._reclaim()
@@ -173,8 +207,9 @@ class ClientCache:
         entry = self._entry(key)
         updates = entry.versions.merge(offset, offset + length, sn)
         if entry.content is not None and data is not None:
+            mv = memoryview(data)
             for s, e in updates:
-                entry.content.write(s, data[s - offset:e - offset])
+                entry.content.write(s, mv[s - offset:e - offset])
         self._reclaim()
 
     # ----------------------------------------------------------------- read
@@ -272,6 +307,7 @@ class ClientCache:
         """Crash simulation: volatile cache contents disappear."""
         self._entries.clear()
         self._lru.clear()
+        self._digests.clear()
         self._dirty_bytes = 0
         self.gate.open()
         self.flush_signal.close()

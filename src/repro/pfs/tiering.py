@@ -148,7 +148,7 @@ class DrainManager:
 
     def _drain_loop(self, interval: float, threshold: int) -> Generator:
         while True:
-            yield self.sim.timeout(interval)
+            yield interval
             if self.dirty_bytes() > threshold:
                 yield from self.drain_all()
 

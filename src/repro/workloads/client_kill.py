@@ -170,10 +170,10 @@ def run_client_kill(config: ClientKillConfig) -> ClientKillResult:
                 # same-tick survivor writes would revoke it while the
                 # victim is still alive, and it would die holding
                 # nothing.)
-                yield sim.timeout(config.pace / 2)
+                yield config.pace / 2
             for seq, (off, size) in enumerate(
                     _slot_offsets(rank, n, config.writes_per_client)):
-                yield sim.timeout(config.pace)
+                yield float(config.pace)
                 yield from c.write(fh, off, data=_slot_bytes(rank, seq))
                 if config.fsync_every and (seq + 1) % config.fsync_every == 0:
                     yield from c.fsync(fh)

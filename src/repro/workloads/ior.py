@@ -56,7 +56,14 @@ class IorConfig:
     def cluster_config(self) -> ClusterConfig:
         cfg = self.cluster or ClusterConfig()
         cfg.num_clients = self.clients
-        cfg.track_content = bool(self.verify)
+        if self.verify:
+            # Data-safety runs need real bytes end to end.
+            cfg.track_content = True
+            cfg.content_mode = "full"
+        elif cfg.content_mode is None:
+            # Performance runs default to no content; an explicitly
+            # requested mode (e.g. "checksum") is honored.
+            cfg.track_content = False
         return cfg
 
 

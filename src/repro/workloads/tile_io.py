@@ -60,7 +60,11 @@ class TileIoConfig:
     def cluster_config(self) -> ClusterConfig:
         cfg = self.cluster or ClusterConfig()
         cfg.num_clients = self.clients
-        cfg.track_content = bool(self.verify)
+        if self.verify:
+            cfg.track_content = True
+            cfg.content_mode = "full"
+        elif cfg.content_mode is None:
+            cfg.track_content = False
         return cfg
 
 

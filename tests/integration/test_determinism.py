@@ -2,6 +2,11 @@
 simulated timeline, byte content, and statistics on every run — the
 property that makes every EXPERIMENTS.md number reproducible."""
 
+import hashlib
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.metrics import MetricsSnapshot
@@ -79,6 +84,70 @@ def test_metrics_snapshot_distinguishes_configs():
     # actually produce different snapshots.
     assert _metrics_json("seqdlm", "n1-strided") != \
         _metrics_json("seqdlm", "n1-segmented")
+
+
+# ------------------------------------------------- golden kernel identity
+# Digests captured with the original (pre-fast-path) event kernel.  The
+# optimized kernel and the parallel sweep runner must reproduce these
+# snapshots byte-for-byte: any change in event ordering, tie-breaking,
+# event counting, or queue-watermark tracking shows up here immediately.
+# Regenerate (only when a snapshot change is intended and understood) with:
+#   REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+#       tests/integration/test_determinism.py -q
+
+GOLDEN_PATH = Path(__file__).parent / "golden_metrics.json"
+GOLDEN_SEEDS = [101, 202, 303]
+
+
+def _golden_case(dlm, seed):
+    r = run_ior(IorConfig(
+        pattern="n1-strided", clients=6, writes_per_client=12,
+        xfer=8 * 1024, stripes=2,
+        cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
+                              track_content=False, seed=seed)))
+    return MetricsSnapshot.from_dict(r.metrics).to_json()
+
+
+def _digest(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_metrics_match_seed_kernel_golden(dlm, seed):
+    key = f"{dlm}/seed={seed}"
+    digest = _digest(_golden_case(dlm, seed))
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        table = (json.loads(GOLDEN_PATH.read_text())
+                 if GOLDEN_PATH.exists() else {})
+        table[key] = digest
+        GOLDEN_PATH.write_text(
+            json.dumps(table, indent=2, sort_keys=True) + "\n")
+        return
+    table = json.loads(GOLDEN_PATH.read_text())
+    assert digest == table[key], (
+        f"MetricsSnapshot for {key} diverged from the seed-kernel golden; "
+        "the kernel fast path must be byte-identical to the original")
+
+
+def test_sweep_parallel_matches_serial_golden():
+    # The parallel runner must hand back byte-identical snapshots: each
+    # cell builds its own Simulator, so process count cannot leak in.
+    from repro.harness import SweepCell, run_sweep
+
+    cells = [SweepCell(dlm=dlm, seed=seed, pattern="n1-strided",
+                       clients=6, writes_per_client=12, xfer=8 * 1024,
+                       stripes=2, num_data_servers=2)
+             for dlm in DLMS[:2] for seed in GOLDEN_SEEDS[:2]]
+    serial = run_sweep(cells, jobs=1)
+    parallel = run_sweep(cells, jobs=2)
+    assert [r.metrics_json for r in serial] == \
+        [r.metrics_json for r in parallel]
+    # And the sweep path itself must agree with the in-process golden.
+    table = json.loads(GOLDEN_PATH.read_text())
+    for cell, res in zip(cells, serial):
+        assert _digest(res.metrics_json) == \
+            table[f"{cell.dlm}/seed={cell.seed}"]
 
 
 def test_cluster_snapshot_json_is_byte_identical():

@@ -190,13 +190,96 @@ def test_yield_non_event_is_an_error():
 
     def proc(sim):
         try:
-            yield 42
+            yield "forty-two"
         except SimulationError:
             caught.append(True)
 
     sim.spawn(proc(sim))
     sim.run()
     assert caught == [True]
+
+
+# ------------------------------------------------ direct (plain-number) delays
+# The fast path: `yield 1.5` is equivalent to `yield sim.timeout(1.5)` but
+# skips the Timeout object and callback dispatch entirely.
+
+
+def test_yield_plain_number_waits_that_long():
+    sim = Simulator()
+    trace = []
+
+    def proc(sim):
+        yield 1.5
+        trace.append(sim.now)
+        yield 2          # ints work too
+        trace.append(sim.now)
+        yield 0.0        # zero-delay reschedule at the current time
+        trace.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert trace == [1.5, 3.5, 3.5]
+
+
+def test_direct_delay_interleaves_like_timeout():
+    # A process using direct delays and one using sim.timeout with the same
+    # delays must interleave in spawn order at equal times.
+    sim = Simulator()
+    trace = []
+
+    def direct(sim):
+        for _ in range(3):
+            yield 1.0
+            trace.append(("direct", sim.now))
+
+    def via_timeout(sim):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+            trace.append(("timeout", sim.now))
+
+    sim.spawn(direct(sim))
+    sim.spawn(via_timeout(sim))
+    sim.run()
+    assert trace == [("direct", 1.0), ("timeout", 1.0),
+                     ("direct", 2.0), ("timeout", 2.0),
+                     ("direct", 3.0), ("timeout", 3.0)]
+
+
+def test_yield_negative_delay_is_an_error():
+    sim = Simulator()
+    caught = []
+
+    def proc(sim):
+        try:
+            yield -1.0
+        except SimulationError:
+            caught.append(True)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert caught == [True]
+
+
+def test_interrupt_process_waiting_on_direct_delay():
+    sim = Simulator()
+    trace = []
+
+    def sleeper(sim):
+        try:
+            yield 100.0
+        except Interrupt as i:
+            trace.append((sim.now, i.cause))
+        yield 1.0
+        trace.append((sim.now, "done"))
+
+    def interrupter(sim, target):
+        yield 2.0
+        target.interrupt("wake-up")
+
+    p = sim.spawn(sleeper(sim))
+    sim.spawn(interrupter(sim, p))
+    sim.run()
+    assert trace == [(2.0, "wake-up"), (3.0, "done")]
 
 
 def test_interrupt_waiting_process():
@@ -296,6 +379,55 @@ def test_event_budget_guard():
     sim.spawn(spin(sim))
     with pytest.raises(SimulationError, match="budget"):
         sim.run(max_events=100)
+
+
+def test_event_budget_is_exact():
+    # Regression: the guard used to check `n > budget` AFTER stepping,
+    # letting budget+1 events through.  Exactly `max_events` events must
+    # process before the guard raises.
+    sim = Simulator()
+
+    def spin(sim):
+        while True:
+            yield sim.timeout(0)
+
+    sim.spawn(spin(sim))
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=100)
+    assert sim.events_processed == 100
+
+    sim2 = Simulator()
+
+    def spin2(sim):
+        while True:
+            yield sim.timeout(0.001)
+
+    def job(sim):
+        yield sim.timeout(1e9)
+
+    sim2.spawn(spin2(sim2))
+    p = sim2.spawn(job(sim2))
+    with pytest.raises(SimulationError, match="budget"):
+        sim2.run_until_event(p, max_events=50)
+    assert sim2.events_processed == 50
+
+
+def test_event_budget_not_raised_when_target_lands_on_budget():
+    # If the awaited event is processed by exactly the budget-th event the
+    # run succeeds — the budget bounds work done, not work remaining.
+    sim = Simulator()
+
+    def job(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(job(sim))
+    sim.run_until_event(p)
+    needed = sim.events_processed
+
+    sim2 = Simulator()
+    p2 = sim2.spawn(job(sim2))
+    sim2.run_until_event(p2, max_events=needed)  # must not raise
+    assert sim2.events_processed == needed
 
 
 def test_events_processed_counter():

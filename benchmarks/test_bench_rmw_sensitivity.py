@@ -36,7 +36,7 @@ def test_bench_lock_ops_sensitivity(benchmark):
                 pattern="n1-strided", clients=16, writes_per_client=96,
                 xfer=64 * 1024, stripes=1,
                 cluster=ClusterConfig(dlm="seqdlm", num_data_servers=1,
-                                      track_content=False, dlm_ops=ops)))
+                                      content_mode="off", dlm_ops=ops)))
             out[ops] = r.bandwidth
         return out
 

@@ -22,7 +22,7 @@ XFER = 256 * 1024
 def main() -> None:
     cluster = Cluster(ClusterConfig(
         num_data_servers=2, num_clients=CLIENTS, dlm="seqdlm",
-        track_content=False))
+        content_mode="off"))
     backing, managers = attach_backing_store(
         cluster, bandwidth=0.5e9, latency=1e-3)  # a tired old PFS
     cluster.create_file("/ckpt", stripe_count=4)

@@ -23,7 +23,7 @@ def checkpoint(dlm: str):
         pattern="n1-strided", clients=CLIENTS, writes_per_client=WRITES,
         xfer=XFER, stripes=1,
         cluster=ClusterConfig(dlm=dlm, num_data_servers=1,
-                              track_content=False))
+                              content_mode="off"))
     return run_ior(cfg)
 
 

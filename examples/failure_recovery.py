@@ -18,7 +18,7 @@ from repro.pfs.data_server import IoWriteMsg, WireBlock
 def main() -> None:
     cluster = Cluster(ClusterConfig(
         num_data_servers=1, num_clients=2, dlm="seqdlm",
-        track_content=True, extent_log=True, flush_timeout=0.5,
+        content_mode="full", extent_log=True, flush_timeout=0.5,
         start_cleaner=False))
     cluster.create_file("/critical.dat", stripe_count=1)
     sim = cluster.sim

@@ -30,7 +30,7 @@ def record_payload(producer: int, seq: int) -> bytes:
 def main() -> None:
     cluster = Cluster(ClusterConfig(
         num_data_servers=1, num_clients=6, dlm="seqdlm",
-        stripe_size=4096, track_content=True))
+        stripe_size=4096, content_mode="full"))
     cluster.create_file("/pipeline.log", stripe_count=1)
     sim = cluster.sim
     verified = {"count": 0, "bad": 0}

@@ -19,7 +19,7 @@ def main() -> None:
         num_clients=4,
         dlm="seqdlm",          # try "dlm-basic" to feel the difference
         stripe_size=64 * 1024,
-        track_content=True,    # keep real bytes so we can check content
+        content_mode="full",  # keep real bytes so we can check content
     ))
     cluster.create_file("/demo.dat", stripe_count=2)
 

@@ -31,7 +31,7 @@ def main() -> None:
                 stripes=stripes,
                 cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
                                       stripe_size=stripe_size,
-                                      track_content=False))
+                                      content_mode="off"))
             results[dlm] = run_tile_io(cfg)
         dt, sq = results["dlm-datatype"], results["seqdlm"]
         print(f"stripes={stripes}:")

@@ -24,7 +24,7 @@ def workload(writes: int):
     return run_ior(IorConfig(
         pattern="n1-strided", clients=16, writes_per_client=writes,
         xfer=64 * 1024, stripes=1,
-        cluster=ClusterConfig(dlm="seqdlm", track_content=False)))
+        cluster=ClusterConfig(dlm="seqdlm", content_mode="off")))
 
 
 def main() -> int:

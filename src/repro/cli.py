@@ -7,8 +7,13 @@ Usage (also via ``python -m repro``)::
     python -m repro run fig20 --scale paper   # full-size op counts
     python -m repro run all                   # everything, in order
     python -m repro model --size 1048576      # evaluate Equation 1/2
+    python -m repro traffic --rate 20000      # open-loop overload run
 
-Exit status is non-zero on unknown experiments so the CLI is scriptable.
+The run-style subcommands (``chaos``, ``profile``, ``sweep``,
+``traffic``) share ``--seed`` / ``--json`` with one meaning: the seed
+is the determinism handle (same seed, same bytes) and ``--json`` emits
+machine-readable output.  Exit codes are uniform — 0 success, 1 failed
+check, 2 usage error — so the CLI is scriptable.
 """
 
 from __future__ import annotations
@@ -28,6 +33,22 @@ from repro.analysis.model import (
 from repro.harness import EXPERIMENTS, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_common_flags(parser: argparse.ArgumentParser,
+                      json_help: str) -> None:
+    """The flags every run-style subcommand shares, with one meaning.
+
+    ``--seed`` is the determinism handle: rerunning the same command
+    with the same seed reproduces the run byte-for-byte.  ``--json``
+    switches from the human-readable report to machine-readable output
+    on stdout.  Exit codes are uniform too: 0 success, 1 failed check,
+    2 usage error.
+    """
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed; same seed, same bytes "
+                             "(default 0)")
+    parser.add_argument("--json", action="store_true", help=json_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,9 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="run a workload under a seeded fault plan and verify "
              "data safety (see docs/faults.md)")
-    chaos_p.add_argument("--seed", type=int, default=0,
-                         help="fault-plan seed; rerunning the same seed "
-                              "replays the identical injected schedule")
+    _add_common_flags(chaos_p,
+                      json_help="dump the seeded fault plan as JSON "
+                                "instead of the human-readable report")
     chaos_p.add_argument("--workload", default="ior",
                          choices=("ior", "tile-io"))
     chaos_p.add_argument("--dlm", default="seqdlm",
@@ -108,9 +129,6 @@ def build_parser() -> argparse.ArgumentParser:
                          help="transfer size in bytes (ior)")
     chaos_p.add_argument("--limit", type=int, default=40,
                          help="max rows of each printed timeline")
-    chaos_p.add_argument("--json", action="store_true",
-                         help="dump the fault plan as JSON instead of "
-                              "the human-readable report")
 
     prof_p = sub.add_parser(
         "profile",
@@ -128,9 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--xfer", type=int, default=64 * 1024,
                         help="transfer size in bytes")
     prof_p.add_argument("--stripes", type=int, default=2)
-    prof_p.add_argument("--seed", type=int, default=0)
-    prof_p.add_argument("--json", action="store_true",
-                        help="dump the full metrics snapshot as JSON")
+    _add_common_flags(prof_p,
+                      json_help="dump the full metrics snapshot as JSON")
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -146,11 +163,52 @@ def build_parser() -> argparse.ArgumentParser:
                               "0 = one per CPU)")
     sweep_p.add_argument("--scale", default="small",
                          choices=("small", "paper"))
-    sweep_p.add_argument("--seeds", type=int, nargs="+", default=[0],
-                         help="seeds for --grid dlms")
-    sweep_p.add_argument("--json", action="store_true",
-                         help="print one JSON object per cell instead "
-                              "of the table")
+    _add_common_flags(sweep_p,
+                      json_help="print one JSON object per cell instead "
+                                "of the table")
+    sweep_p.add_argument("--seeds", type=int, nargs="+", default=None,
+                         help="seed list for --grid dlms "
+                              "(default: just --seed)")
+
+    traffic_p = sub.add_parser(
+        "traffic",
+        help="drive one open-loop traffic run (seeded arrivals, "
+             "admission control) and print its SLO report "
+             "(see docs/api.md)")
+    _add_common_flags(traffic_p,
+                      json_help="dump the full metrics snapshot as JSON "
+                                "(byte-identical across same-seed "
+                                "reruns)")
+    traffic_p.add_argument("--dlm", default="seqdlm",
+                           choices=("seqdlm", "dlm-basic", "dlm-lustre",
+                                    "dlm-datatype"))
+    traffic_p.add_argument("--arrival", default="poisson",
+                           choices=("poisson", "bursty", "ramp"),
+                           help="arrival-process shape")
+    traffic_p.add_argument("--rate", type=float, default=2000.0,
+                           help="mean offered load, requests per "
+                                "simulated second")
+    traffic_p.add_argument("--duration", type=float, default=0.25,
+                           help="arrival window in simulated seconds")
+    traffic_p.add_argument("--users", type=int, default=1000,
+                           help="logical user population multiplexed "
+                                "onto the clients")
+    traffic_p.add_argument("--clients", type=int, default=4)
+    traffic_p.add_argument("--servers", type=int, default=1)
+    traffic_p.add_argument("--workers", type=int, default=8,
+                           help="worker coroutines per client node")
+    traffic_p.add_argument("--xfer", type=int, default=16 * 1024,
+                           help="bytes per request")
+    traffic_p.add_argument("--read-fraction", type=float, default=0.0,
+                           help="fraction of requests that read")
+    traffic_p.add_argument("--queue-limit", type=int, default=16,
+                           help="server admission queue bound")
+    traffic_p.add_argument("--policy", default="reject",
+                           choices=("reject", "shed-oldest", "block"),
+                           help="server admission policy at the bound")
+    traffic_p.add_argument("--client-queue-limit", type=int, default=256,
+                           help="per-client work queue bound; arrivals "
+                                "past it are dropped")
     return parser
 
 
@@ -446,12 +504,13 @@ def _cmd_sweep(args) -> int:
 
     from repro.harness import dlm_seed_grid, fig4_grid, run_sweep
 
+    seeds = args.seeds if args.seeds is not None else [args.seed]
     if args.grid == "fig4":
         cells = fig4_grid(scale=args.scale)
     else:
         cells = dlm_seed_grid(
             ("seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"),
-            args.seeds, pattern="n1-strided", clients=8,
+            seeds, pattern="n1-strided", clients=8,
             writes_per_client=64, xfer=64 * 1024, stripes=2,
             num_data_servers=2)
     t0 = time.time()
@@ -476,6 +535,49 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_traffic(args) -> int:
+    """``repro traffic``: one open-loop run and its SLO report."""
+    from repro.net.rpc import AdmissionConfig
+    from repro.traffic import TrafficConfig, run_traffic
+
+    try:
+        config = TrafficConfig(
+            dlm=args.dlm, seed=args.seed, arrival=args.arrival,
+            rate=args.rate, duration=args.duration, users=args.users,
+            num_clients=args.clients, num_servers=args.servers,
+            workers_per_client=args.workers, xfer=args.xfer,
+            read_fraction=args.read_fraction,
+            client_queue_limit=args.client_queue_limit,
+            admission=AdmissionConfig(queue_limit=args.queue_limit,
+                                      policy=args.policy))
+    except ValueError as exc:
+        print(f"repro traffic: error: {exc}", file=sys.stderr)
+        return 2
+    t0 = time.time()
+    r = run_traffic(config)
+    dt = time.time() - t0
+    if args.json:
+        print(_snapshot_json(r.metrics))
+        return 0
+    print(f"traffic {args.arrival}/{args.dlm} rate={args.rate:,.0f}/s "
+          f"seed={args.seed} ({dt:.1f}s wall)")
+    print(f"  offered   : {r.offered:>8,}  ({r.offered_rate:,.0f}/s "
+          f"over {config.duration:g} s)")
+    print(f"  accepted  : {r.accepted:>8,}  "
+          f"(dropped at client queue: {r.dropped_client:,})")
+    print(f"  completed : {r.completed:>8,}  "
+          f"({r.completion_ratio:.1%} of offered; failed: {r.failed:,})")
+    print(f"  rejected  : {r.rejected_server:>8,}  "
+          f"(server admission, policy={args.policy}; "
+          f"shed: {r.shed_server:,})")
+    print(f"  sojourn   : p50 {r.sojourn_p50:.2e} s / "
+          f"p95 {r.sojourn_p95:.2e} s / p99 {r.sojourn_p99:.2e} s")
+    print(f"  goodput   : {r.goodput:,.0f}/s over a "
+          f"{r.makespan * 1e3:.1f} ms makespan")
+    print(f"  metrics: {_snapshot_json(r.metrics)}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -491,4 +593,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "traffic":
+        return _cmd_traffic(args)
     return 2  # pragma: no cover

@@ -1,0 +1,189 @@
+"""Dict round-tripping for the repo's config dataclasses.
+
+Every user-facing config (:class:`~repro.pfs.filesystem.ClusterConfig`
+and everything it nests) mixes in :class:`DictConfigMixin`, giving it
+
+* ``cfg.to_dict()`` — a plain, JSON-serializable dict of the config
+  tree (nested configs become nested dicts, enums become their values,
+  tuples become lists, registered callables become their names);
+* ``Cls.from_dict(data)`` — the exact inverse, with **unknown keys
+  rejected** so a typo in a scenario file fails loudly instead of being
+  silently ignored.
+
+The invariant tests pin is ``Cls.from_dict(cfg.to_dict()) == cfg`` for
+every config class.
+
+Callables (e.g. a DLM's lock-compatibility function) cannot be
+serialized by value, so they round-trip *by name* through a registry:
+modules that define serializable functions call :func:`register_fn` at
+import time, and ``from_dict`` resolves the stored name back to the
+function object.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import dataclasses
+import enum
+import typing
+from typing import Any, Callable, Dict, Optional, Type, TypeVar
+
+__all__ = ["DictConfigMixin", "to_dict", "from_dict",
+           "register_fn", "registered_fn"]
+
+C = TypeVar("C")
+
+#: Name -> function table for callables that appear in config fields.
+_FN_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_fn(fn: Callable, name: Optional[str] = None) -> Callable:
+    """Make ``fn`` serializable by name in ``to_dict``/``from_dict``.
+
+    Usable as a decorator.  Re-registering the same function under the
+    same name is a no-op; registering a *different* function under an
+    existing name is an error (it would silently change what stored
+    configs deserialize to).
+    """
+    key = name or fn.__name__
+    existing = _FN_REGISTRY.get(key)
+    if existing is not None and existing is not fn:
+        raise ValueError(f"function name {key!r} already registered")
+    _FN_REGISTRY[key] = fn
+    return fn
+
+
+def registered_fn(name: str) -> Callable:
+    """Look up a function previously registered with :func:`register_fn`."""
+    try:
+        return _FN_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown function name {name!r}; known: "
+            f"{sorted(_FN_REGISTRY)}") from None
+
+
+# ------------------------------------------------------------------ encoding
+def _encode(value: Any, where: str) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name), f"{where}.{f.name}")
+                for f in dataclasses.fields(value) if f.init}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_encode(v, where) for v in value]
+    if callable(value):
+        name = getattr(value, "__name__", None)
+        if name is not None and _FN_REGISTRY.get(name) is value:
+            return name
+        raise ValueError(
+            f"{where}: cannot serialize unregistered callable {value!r}; "
+            f"register it with repro.config.register_fn")
+    return value
+
+
+def to_dict(cfg: Any) -> dict:
+    """Serialize a config dataclass (recursively) to a plain dict."""
+    if not dataclasses.is_dataclass(cfg) or isinstance(cfg, type):
+        raise TypeError(f"to_dict expects a dataclass instance, got {cfg!r}")
+    return _encode(cfg, type(cfg).__name__)
+
+
+# ------------------------------------------------------------------ decoding
+def _decode(tp: Any, value: Any, where: str) -> Any:
+    if tp is Any:
+        return value
+    origin = typing.get_origin(tp)
+    if origin is typing.Union:
+        args = typing.get_args(tp)
+        if value is None and type(None) in args:
+            return None
+        errors = []
+        for arm in args:
+            if arm is type(None):
+                continue
+            try:
+                return _decode(arm, value, where)
+            except (TypeError, ValueError) as exc:
+                errors.append(str(exc))
+        raise ValueError(f"{where}: {value!r} matches no arm of {tp}: "
+                         + "; ".join(errors))
+    if dataclasses.is_dataclass(tp):
+        if isinstance(value, tp):
+            return value
+        if not isinstance(value, dict):
+            raise TypeError(
+                f"{where}: expected dict for {tp.__name__}, got {value!r}")
+        return from_dict(tp, value)
+    if isinstance(tp, type) and issubclass(tp, enum.Enum):
+        if isinstance(value, tp):
+            return value
+        return tp(value)
+    if origin is tuple:
+        args = typing.get_args(tp)
+        if not isinstance(value, (list, tuple)):
+            raise TypeError(f"{where}: expected sequence, got {value!r}")
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_decode(args[0], v, where) for v in value)
+        return tuple(_decode(a, v, where) for a, v in zip(args, value))
+    if origin is list:
+        (arm,) = typing.get_args(tp)
+        if not isinstance(value, (list, tuple)):
+            raise TypeError(f"{where}: expected sequence, got {value!r}")
+        return [_decode(arm, v, where) for v in value]
+    if origin is collections.abc.Callable or tp is Callable:
+        if isinstance(value, str):
+            return registered_fn(value)
+        if callable(value):
+            return value
+        raise TypeError(
+            f"{where}: expected function name or callable, got {value!r}")
+    if tp is float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        raise TypeError(f"{where}: expected number, got {value!r}")
+    if tp is bool:
+        if isinstance(value, bool):
+            return value
+        raise TypeError(f"{where}: expected bool, got {value!r}")
+    if isinstance(tp, type):
+        if isinstance(value, tp):
+            return value
+        raise TypeError(
+            f"{where}: expected {tp.__name__}, got {value!r}")
+    return value  # unparameterized/exotic annotation: pass through
+
+
+def from_dict(cls: Type[C], data: dict) -> C:
+    """Build ``cls`` from a dict produced by :func:`to_dict`.
+
+    Keys that are not init fields of ``cls`` raise ``ValueError`` — a
+    stored scenario never silently drops a misspelled knob.
+    """
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise TypeError(f"from_dict expects a dataclass type, got {cls!r}")
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"{cls.__name__}.from_dict expects a dict, got {data!r}")
+    fields = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = sorted(set(data) - fields)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) for {cls.__name__}: {', '.join(unknown)} "
+            f"(valid: {', '.join(sorted(fields))})")
+    hints = typing.get_type_hints(cls)
+    kwargs = {name: _decode(hints[name], raw, f"{cls.__name__}.{name}")
+              for name, raw in data.items()}
+    return cls(**kwargs)
+
+
+class DictConfigMixin:
+    """Adds ``to_dict``/``from_dict`` round-tripping to a config
+    dataclass; see the module docstring for the encoding rules."""
+
+    def to_dict(self) -> dict:
+        return to_dict(self)
+
+    @classmethod
+    def from_dict(cls: Type[C], data: dict) -> C:
+        return from_dict(cls, data)

@@ -12,8 +12,14 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.config import DictConfigMixin, register_fn
 from repro.dlm.lcm import CompatibilityFn, seqdlm_compatible, traditional_compatible
 from repro.dlm.types import LockMode
+
+# The lock-compatibility matrices round-trip by name in
+# DLMConfig.to_dict()/from_dict().
+register_fn(seqdlm_compatible)
+register_fn(traditional_compatible)
 
 __all__ = ["ExpansionPolicy", "DLMConfig", "LivenessConfig",
            "make_dlm_config", "select_mode",
@@ -38,7 +44,7 @@ class ExpansionPolicy(enum.Enum):
 
 
 @dataclass(frozen=True)
-class DLMConfig:
+class DLMConfig(DictConfigMixin):
     """Behavioural switches for one DLM variant."""
 
     name: str
@@ -70,7 +76,7 @@ class DLMConfig:
 
 
 @dataclass(frozen=True)
-class LivenessConfig:
+class LivenessConfig(DictConfigMixin):
     """Client-liveness parameters: lock leases, heartbeats and eviction.
 
     A lock server with a liveness config grants *leases* to clients: a

@@ -53,6 +53,7 @@ from repro.dlm.types import LockMode, LockState, is_write_mode, severity_lub
 from repro.net.fabric import Node
 from repro.net.rpc import (
     CTRL_MSG_BYTES,
+    AdmissionConfig,
     Request,
     RetryPolicy,
     RpcService,
@@ -155,7 +156,8 @@ class LockServer:
                  ops: float = 213_000.0,
                  retry: Optional[RetryPolicy] = None, rng=None,
                  dedup: bool = False,
-                 liveness: Optional[LivenessConfig] = None):
+                 liveness: Optional[LivenessConfig] = None,
+                 admission: Optional[AdmissionConfig] = None):
         self.node = node
         self.sim = node.sim
         self.config = config
@@ -199,7 +201,7 @@ class LockServer:
         self.waiter_queue_max = 0
         self.service = RpcService(node, "dlm", self._handle, ops=ops,
                                   cost_fn=self._dispatch_cost,
-                                  dedup=dedup)
+                                  dedup=dedup, admission=admission)
         if liveness is not None:
             self.sim.spawn(self._liveness_monitor(),
                            name=f"{node.name}-liveness")

@@ -21,6 +21,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.config import DictConfigMixin
 from repro.sim.rng import DeterministicRNG
 
 __all__ = [
@@ -34,7 +35,7 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class Partition:
+class Partition(DictConfigMixin):
     """A network partition window: messages crossing the cut are dropped.
 
     ``group_a`` lists node names on one side; ``group_b`` names the other
@@ -57,7 +58,7 @@ class Partition:
 
 
 @dataclass(frozen=True)
-class ServerOutage:
+class ServerOutage(DictConfigMixin):
     """A timed crash/recover of one data-server node (§IV-C2): volatile
     state is lost at ``start``; recovery begins ``duration`` later."""
 
@@ -67,7 +68,7 @@ class ServerOutage:
 
 
 @dataclass(frozen=True)
-class ClientOutage:
+class ClientOutage(DictConfigMixin):
     """A timed outage of one compute-client node.
 
     From ``start`` until ``start + duration`` the node is blacked out:
@@ -87,7 +88,7 @@ class ClientOutage:
 
 
 @dataclass(frozen=True)
-class FaultConfig:
+class FaultConfig(DictConfigMixin):
     """Rates and windows of injected faults.
 
     All rates are per-message probabilities evaluated at ``Fabric.send``

@@ -60,7 +60,7 @@ SCALES: Dict[str, Dict[str, int]] = {
 
 def _base_cluster(dlm, servers: int = 1, **overrides) -> ClusterConfig:
     cfg = ClusterConfig(dlm=dlm, num_data_servers=servers,
-                        track_content=False)
+                        content_mode="off")
     for k, v in overrides.items():
         setattr(cfg, k, v)
     return cfg
@@ -589,6 +589,7 @@ from repro.harness.extensions import (  # noqa: E402
     ext_client_liveness,
     ext_client_scaling,
     ext_lockahead,
+    ext_overload,
     ext_read_phase,
 )
 
@@ -611,6 +612,7 @@ EXPERIMENTS = {
     "ext_read_phase": ext_read_phase,
     "ext_lockahead": ext_lockahead,
     "ext_client_liveness": ext_client_liveness,
+    "ext_overload": ext_overload,
 }
 
 

@@ -72,7 +72,7 @@ def _run_cell(cell: SweepCell) -> SweepResult:
         stripes=cell.stripes,
         cluster=ClusterConfig(dlm=cell.dlm,
                               num_data_servers=cell.num_data_servers,
-                              track_content=False, seed=cell.seed)))
+                              content_mode="off", seed=cell.seed)))
     snap = MetricsSnapshot.from_dict(r.metrics)
     return SweepResult(cell=cell, bandwidth=r.bandwidth,
                        pio_time=r.pio_time, f_time=r.f_time,

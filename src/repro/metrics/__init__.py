@@ -25,7 +25,6 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
-    "MetricsSnapshot",
     "RESILIENCE_KEYS",
     "collect_cluster_metrics",
     "resilience_counters",

@@ -136,6 +136,15 @@ def collect_cluster_metrics(cluster) -> MetricsSnapshot:
         m[f"{p}.saturation"] = _gauge(
             busy / (len(group) * elapsed) if elapsed else 0.0,
             "ratio", owner)
+        # Admission counters only exist for admission-controlled
+        # services: emitting zeros unconditionally would churn the
+        # golden byte-identity digests of classic (unbounded) runs.
+        if any(s.admission is not None for s in group):
+            m[f"{p}.admission_rejected"] = _counter(
+                sum(s.admission_rejected for s in group), "requests",
+                owner)
+            m[f"{p}.admission_shed"] = _counter(
+                sum(s.admission_shed for s in group), "requests", owner)
 
     # -- fabric / faults ---------------------------------------------------
     nodes = list(cluster.fabric.nodes.values())

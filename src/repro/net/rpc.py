@@ -20,15 +20,17 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional, Union
+from typing import Any, Callable, Generator, Optional, Tuple, Union
 
+from repro.config import DictConfigMixin
 from repro.net.fabric import Fabric, Message, Node, UnknownServiceError
 from repro.sim.core import Event, Simulator
 from repro.sim.resources import Store
 
-__all__ = ["RpcError", "RpcTimeoutError", "RetryPolicy", "Request",
-           "RpcService", "rpc_call", "rpc_call_retry", "one_way",
-           "CTRL_MSG_BYTES"]
+__all__ = ["RpcError", "RpcTimeoutError", "RetryPolicy", "AdmissionConfig",
+           "Rejected", "Request", "RpcService", "rpc_call",
+           "rpc_call_retry", "one_way", "CTRL_MSG_BYTES",
+           "ADMISSION_POLICIES"]
 
 #: Size charged for small control messages (lock requests, grants,
 #: revocations, releases).  Matches the order of magnitude of a CaRT header
@@ -45,7 +47,7 @@ class RpcTimeoutError(RpcError):
 
 
 @dataclass(frozen=True)
-class RetryPolicy:
+class RetryPolicy(DictConfigMixin):
     """Client-side timeout/retry behaviour for :func:`rpc_call_retry`.
 
     Timeouts grow exponentially (``timeout * backoff**attempt``, capped
@@ -78,6 +80,67 @@ class RetryPolicy:
         if self.jitter and rng is not None:
             t *= 1.0 + self.jitter * (2.0 * rng.uniform() - 1.0)
         return t
+
+
+#: Valid ``AdmissionConfig.policy`` values.
+ADMISSION_POLICIES = ("reject", "shed-oldest", "block")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig(DictConfigMixin):
+    """Server-side admission control: bound a service's request queue.
+
+    An open-loop workload can offer more load than a server's OPS limit
+    can drain; without admission control the inbox grows without bound
+    and every request's sojourn time diverges.  With a ``queue_limit``
+    the server sheds excess load instead:
+
+    * ``"reject"`` — a request arriving at a full queue is refused with
+      a :class:`Rejected` reply carrying a ``retry_after`` hint (the
+      estimated queue-drain time), so the client backs off rather than
+      hammering the server (load shedding at the door);
+    * ``"shed-oldest"`` — the new request is admitted and the *oldest*
+      queued request is dropped with a :class:`Rejected` reply instead
+      (freshest-first under overload);
+    * ``"block"`` — no bound at all; the degenerate baseline that shows
+      the unbounded-latency collapse the other policies prevent.
+
+    Rejections require the caller to use a retrying call path
+    (:func:`rpc_call_retry` understands :class:`Rejected` and backs off
+    by the hint); the cluster enforces that a retry policy is configured
+    whenever admission control is on.
+    """
+
+    #: Maximum queued requests per admission-controlled service.
+    queue_limit: int = 64
+    policy: str = "reject"
+    #: Which services enforce the bound (service names as registered on
+    #: the node: ``"dlm"``, ``"io"``, ``"meta"``).
+    services: Tuple[str, ...] = ("dlm",)
+    #: Floor on the retry-after hint (an idle server still asks the
+    #: client to wait at least this long before resending).
+    min_retry_after: float = 1.0e-4
+
+    def __post_init__(self):
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, "
+                             f"got {self.policy!r}")
+        if self.min_retry_after <= 0:
+            raise ValueError("min_retry_after must be > 0")
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Reply payload for a request refused by admission control."""
+
+    #: Name of the refusing service.
+    service: str
+    #: Server's estimate of when retrying is worthwhile (seconds from
+    #: now): queue-drain time at the service's OPS limit.
+    retry_after: float
 
 
 class Request:
@@ -157,7 +220,8 @@ class RpcService:
     def __init__(self, node: Node, name: str, handler: Handler,
                  ops: float = float("inf"), cost_fn=None,
                  dedup: bool = False, dedup_capacity: int = 8192,
-                 dedup_ttl: Optional[float] = 5.0):
+                 dedup_ttl: Optional[float] = 5.0,
+                 admission: Optional[AdmissionConfig] = None):
         if ops <= 0:
             raise RpcError(f"ops must be > 0, got {ops}")
         self.node = node
@@ -176,6 +240,10 @@ class RpcService:
         self.messages_enqueued = 0
         self.messages_dequeued = 0
         self.queue_depth_max = 0
+        #: Optional bounded-queue policy; None = classic unbounded inbox.
+        self.admission = admission
+        self.admission_rejected = 0
+        self.admission_shed = 0
         #: Cumulative simulated dispatch time (weight * 1/OPS per message)
         #: — busy/elapsed is the OPS-saturation ratio of Equation (1).
         self.busy_time = 0.0
@@ -197,12 +265,40 @@ class RpcService:
                                           name=f"{node.name}/{name}")
 
     def _enqueue(self, msg: Message) -> None:
+        adm = self.admission
+        if (adm is not None and adm.policy != "block"
+                and len(self.inbox) >= adm.queue_limit):
+            if adm.policy == "reject":
+                self.admission_rejected += 1
+                self._send_rejection(msg)
+                return
+            # shed-oldest: admit the newcomer, refuse the oldest queued.
+            shed = self.inbox.pop_oldest()
+            self._enqueue_times.popleft()
+            self.admission_shed += 1
+            self._send_rejection(shed)
         self.messages_enqueued += 1
         self._enqueue_times.append(self.sim.now)
         self.inbox.put(msg)
         depth = len(self.inbox)
         if depth > self.queue_depth_max:
             self.queue_depth_max = depth
+
+    def _send_rejection(self, msg: Message) -> None:
+        """Tell ``msg``'s sender to back off (no-op for one-way sends).
+
+        The hint is the deterministic queue-drain estimate: the current
+        backlog (plus the refused request itself) times the per-request
+        service time, floored at ``min_retry_after``.
+        """
+        if msg.req_id < 0:
+            return
+        hint = max(self.admission.min_retry_after,
+                   (len(self.inbox) + 1.0) * self.service_time)
+        self.node.fabric.send(Message(
+            src=self.node, dst=msg.src, service=msg.service,
+            payload=Rejected(service=self.name, retry_after=hint),
+            nbytes=CTRL_MSG_BYTES, is_reply=True, req_id=msg.req_id))
 
     # ------------------------------------------------------- duplicate guard
     def enable_dedup(self, capacity: int = 8192,
@@ -345,6 +441,12 @@ def rpc_call_retry(src: Node, dst: Node, service: str, payload: Any,
     *immediately* (no backoff) when the target is alive but has
     unregistered the service — retrying a request the node can never
     dispatch would only mask a wiring bug.
+
+    Admission-control rejections are a third outcome: a
+    :class:`Rejected` reply makes the caller back off for the server's
+    ``retry_after`` hint (±``policy.jitter``) before resending the same
+    ``req_id``; each rejection consumes one attempt, so a persistently
+    overloaded server eventually surfaces as :class:`RpcTimeoutError`.
     """
     policy = policy or RetryPolicy()
     fabric: Fabric = src.fabric
@@ -367,7 +469,19 @@ def rpc_call_retry(src: Node, dst: Node, service: str, payload: Any,
                             value=_RETRY_TIMEOUT)
         result = yield sim.any_of([future, timer])
         if future in result:
-            return result[future]
+            value = result[future]
+            if not isinstance(value, Rejected):
+                return value
+            # Server-side admission refusal: honor the retry-after hint,
+            # then fall through to the resend.  Re-arm a fresh future
+            # under the *same* req_id so a late reply to any earlier
+            # attempt (the router popped the old future) still lands.
+            future = sim.event()
+            src.pending_replies[req_id] = future
+            backoff = value.retry_after
+            if policy.jitter and rng is not None:
+                backoff *= 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0)
+            yield backoff
     src.pending_replies.pop(req_id, None)
     raise RpcTimeoutError(
         f"rpc {service!r} to {dst.name!r} unanswered after "

@@ -104,7 +104,8 @@ class DataServer:
                  extent_log: Optional[ExtentLog] = None,
                  track_content: bool = True,
                  dedup: bool = False,
-                 content_mode: Optional[str] = None):
+                 content_mode: Optional[str] = None,
+                 admission=None):
         self.node = node
         self.sim = node.sim
         self.device = device
@@ -120,7 +121,7 @@ class DataServer:
         self.store = BlockStore()
         self.stats = DataServerStats()
         self.service = RpcService(node, "io", self._handle, ops=io_ops,
-                                  dedup=dedup)
+                                  dedup=dedup, admission=admission)
         extent_cache.msn_query_fn = self._query_msn
         extent_cache.force_sync_fn = self._force_sync
         #: Installed by the cluster: a lock client local to this node used

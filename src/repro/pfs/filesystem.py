@@ -17,9 +17,11 @@ path retries on timeout when ``flush_timeout`` is configured).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Hashable, List, Optional, Union
 
+from repro.config import DictConfigMixin
 from repro.dlm.client import LockClient
 from repro.dlm.config import DLMConfig, LivenessConfig, make_dlm_config
 from repro.faults import (
@@ -30,7 +32,7 @@ from repro.faults import (
     ServerOutage,
 )
 from repro.net.fabric import Fabric, NetworkConfig, Node
-from repro.net.rpc import RetryPolicy
+from repro.net.rpc import AdmissionConfig, RetryPolicy
 from repro.pfs.client import CcpfsClient
 from repro.pfs.data_server import DataServer
 from repro.pfs.extent_cache import ServerExtentCache
@@ -43,9 +45,12 @@ from repro.storage.device import StorageDevice, WriteCostModel
 
 __all__ = ["ClusterConfig", "Cluster"]
 
+#: Warn-once latch for the ``track_content`` deprecation.
+_track_content_warned = False
+
 
 @dataclass
-class ClusterConfig:
+class ClusterConfig(DictConfigMixin):
     """Everything needed to build a simulated ccPFS deployment.
 
     Defaults model the paper's testbed (§V-A): 100 Gbps HDR IB, ~213 kOPS
@@ -83,12 +88,16 @@ class ClusterConfig:
     #: clients' aggregate cache bandwidth (~40 GB/s) matches the
     #: cache-bound plateau of the paper's Fig. 4 / Table III.
     mem_bandwidth: float = 2.5e9
-    track_content: bool = True
+    #: **Deprecated** — use ``content_mode`` instead.  Setting this to a
+    #: non-None value warns once per process; behaviour is unchanged
+    #: (``True`` ≙ ``content_mode="full"``, ``False`` ≙ ``"off"``, and an
+    #: explicit ``content_mode`` always wins).
+    track_content: Optional[bool] = None
     #: Tri-state payload tracking: ``"full"`` (real bytes end to end),
     #: ``"checksum"`` (rolling CRC32 of every accepted update, no byte
-    #: buffers), ``"off"`` (extent/SN bookkeeping only).  ``None`` derives
-    #: the mode from ``track_content``; an explicit mode wins over the
-    #: bool.  See :mod:`repro.pfs.content`.
+    #: buffers), ``"off"`` (extent/SN bookkeeping only).  ``None`` means
+    #: ``"full"`` (or derives from the deprecated ``track_content``
+    #: bool).  See :mod:`repro.pfs.content`.
     content_mode: Optional[str] = None
     min_dirty: int = 8 * 1024 * 1024
     max_dirty: int = 128 * 1024 * 1024
@@ -116,6 +125,11 @@ class ClusterConfig:
     #: When set, every client-side control RPC (lock requests, IO, meta)
     #: retries under this policy and servers dedup by ``req_id``.
     retry: Optional[RetryPolicy] = None
+    #: Server-side admission control: bounded request queues on the
+    #: services named in ``admission.services`` (see
+    #: :class:`~repro.net.rpc.AdmissionConfig`).  Requires ``retry`` —
+    #: rejected requests are resent after the server's retry-after hint.
+    admission: Optional[AdmissionConfig] = None
     #: Attach a :class:`~repro.dlm.validator.LockValidator` to every lock
     #: server (invariants re-checked after every protocol step).
     validate_locks: bool = False
@@ -127,6 +141,17 @@ class ClusterConfig:
 
     seed: int = 0
 
+    def __setattr__(self, name, value):
+        if name == "track_content" and value is not None:
+            global _track_content_warned
+            if not _track_content_warned:
+                _track_content_warned = True
+                warnings.warn(
+                    "ClusterConfig.track_content is deprecated; use "
+                    "content_mode='full'/'checksum'/'off' instead",
+                    DeprecationWarning, stacklevel=2)
+        object.__setattr__(self, name, value)
+
     def dlm_config(self) -> DLMConfig:
         if isinstance(self.dlm, DLMConfig):
             return self.dlm
@@ -134,7 +159,8 @@ class ClusterConfig:
 
     def resolved_content_mode(self) -> str:
         from repro.pfs.content import resolve_content_mode
-        return resolve_content_mode(self.track_content, self.content_mode)
+        track = True if self.track_content is None else self.track_content
+        return resolve_content_mode(track, self.content_mode)
 
 
 def _stable_hash(key: Hashable) -> int:
@@ -177,12 +203,23 @@ class Cluster:
         #: Duplicate deliveries (injected or retried) need server-side
         #: req_id suppression to stay safe.
         resilient = retry is not None or config.faults is not None
+        admission = config.admission
+        if admission is not None and retry is None:
+            raise ValueError(
+                "ClusterConfig.admission requires ClusterConfig.retry: "
+                "admission rejections are resent by the client retry loop")
+
+        def _adm(service_name: str) -> Optional[AdmissionConfig]:
+            if admission is not None and service_name in admission.services:
+                return admission
+            return None
 
         # Metadata node.
         self.metadata_node = self.fabric.add_node("meta")
         self.metadata = MetadataServer(
             self.metadata_node, ops=config.meta_ops,
-            default_stripe_size=config.stripe_size)
+            default_stripe_size=config.stripe_size,
+            admission=_adm("meta"))
         if resilient:
             self.metadata.service.enable_dedup()
 
@@ -205,12 +242,13 @@ class Cluster:
                             extent_log=ExtentLog() if config.extent_log
                             else None,
                             content_mode=config.resolved_content_mode(),
-                            dedup=resilient)
+                            dedup=resilient, admission=_adm("io"))
             ls = LockServer(node, self.dlm_config, ops=config.dlm_ops,
                             retry=retry,
                             rng=self.rng.stream(f"retry/{node.name}"),
                             dedup=resilient,
-                            liveness=config.liveness)
+                            liveness=config.liveness,
+                            admission=_adm("dlm"))
             # Fencing: the co-located DLM's incarnation floor also guards
             # the IO path, so a zombie flush dies at the data server.
             ds.fence_fn = ls.fence_floor

@@ -45,14 +45,16 @@ class MetadataServer:
 
     def __init__(self, node: Node, ops: float = 100_000.0,
                  default_stripe_count: int = 1,
-                 default_stripe_size: int = 1024 * 1024):
+                 default_stripe_size: int = 1024 * 1024,
+                 admission=None):
         self.node = node
         self.default_stripe_count = default_stripe_count
         self.default_stripe_size = default_stripe_size
         self._by_path: Dict[str, FileMeta] = {}
         self._by_fid: Dict[int, FileMeta] = {}
         self._fids = itertools.count(1)
-        self.service = RpcService(node, "meta", self._handle, ops=ops)
+        self.service = RpcService(node, "meta", self._handle, ops=ops,
+                                  admission=admission)
 
     # ------------------------------------------------------------ direct API
     # (used by cluster setup code so experiments can pre-create files

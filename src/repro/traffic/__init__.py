@@ -1,0 +1,26 @@
+"""Open-loop traffic generation and admission-control experiments.
+
+See :mod:`repro.traffic.arrivals` for the seeded arrival processes and
+:mod:`repro.traffic.engine` for the engine that drives a cluster with
+them.
+"""
+
+from repro.traffic.arrivals import (
+    ARRIVAL_KINDS,
+    BurstyArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    make_arrivals,
+)
+from repro.traffic.engine import TrafficConfig, TrafficResult, run_traffic
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "RampArrivals",
+    "TrafficConfig",
+    "TrafficResult",
+    "make_arrivals",
+    "run_traffic",
+]

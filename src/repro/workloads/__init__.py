@@ -8,6 +8,8 @@
 * :mod:`repro.workloads.tile_io` — mpi-tile-IO (§V-D): overlapping tiles,
   non-contiguous atomic writes.
 * :mod:`repro.workloads.vpic` — VPIC-IO via the h5bench phases (§V-E).
+* :mod:`repro.workloads.client_kill` — the kill-a-client-mid-write
+  liveness scenario (docs/faults.md) with its old-or-new oracle.
 """
 
 from repro.workloads.patterns import (
@@ -15,11 +17,18 @@ from repro.workloads.patterns import (
     n1_strided_offsets,
     n_n_offsets,
 )
+from repro.workloads.client_kill import (
+    ClientKillConfig,
+    ClientKillResult,
+    run_client_kill,
+)
 from repro.workloads.ior import IorConfig, IorResult, run_ior
 from repro.workloads.tile_io import TileIoConfig, TileIoResult, run_tile_io
 from repro.workloads.vpic import VpicConfig, VpicResult, run_vpic
 
 __all__ = [
+    "ClientKillConfig",
+    "ClientKillResult",
     "IorConfig",
     "IorResult",
     "TileIoConfig",
@@ -29,6 +38,7 @@ __all__ = [
     "n1_segmented_offsets",
     "n1_strided_offsets",
     "n_n_offsets",
+    "run_client_kill",
     "run_ior",
     "run_tile_io",
     "run_vpic",

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.config import DictConfigMixin
 from repro.dlm.config import LivenessConfig
 from repro.faults import ClientOutage, FaultConfig
 from repro.net.rpc import RetryPolicy
@@ -50,7 +51,7 @@ SLOT = 64
 
 
 @dataclass
-class ClientKillConfig:
+class ClientKillConfig(DictConfigMixin):
     """One kill-a-client-mid-write chaos point."""
 
     dlm: str = "seqdlm"
@@ -96,7 +97,8 @@ class ClientKillConfig:
         cfg.num_clients = self.clients
         cfg.stripe_size = self.stripe_size
         cfg.page_size = self.page_size
-        cfg.track_content = True
+        if cfg.content_mode is None:
+            cfg.content_mode = "full"
         cfg.extent_log = True
         cfg.validate_locks = True
         cfg.liveness = self.liveness

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.config import DictConfigMixin
 from repro.pfs import Cluster, ClusterConfig
 from repro.sim.sync import Barrier
 from repro.workloads.patterns import (
@@ -31,7 +32,7 @@ __all__ = ["IorConfig", "IorResult", "run_ior"]
 
 
 @dataclass
-class IorConfig:
+class IorConfig(DictConfigMixin):
     """One IOR test point."""
 
     pattern: str = "n1-strided"     # n-n | n1-segmented | n1-strided
@@ -58,12 +59,11 @@ class IorConfig:
         cfg.num_clients = self.clients
         if self.verify:
             # Data-safety runs need real bytes end to end.
-            cfg.track_content = True
             cfg.content_mode = "full"
         elif cfg.content_mode is None:
             # Performance runs default to no content; an explicitly
             # requested mode (e.g. "checksum") is honored.
-            cfg.track_content = False
+            cfg.content_mode = "off"
         return cfg
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.config import DictConfigMixin
 from repro.pfs import Cluster, ClusterConfig
 from repro.sim.sync import Barrier
 
@@ -25,7 +26,7 @@ PIXEL = 4  # bytes per pixel (the paper's 4-byte pixels)
 
 
 @dataclass
-class TileIoConfig:
+class TileIoConfig(DictConfigMixin):
     tile_rows: int = 2          # tiles vertically   (paper: 8)
     tile_cols: int = 2          # tiles horizontally (paper: 12)
     tile_dim: int = 64          # pixels per tile side (paper: 20,480)
@@ -61,10 +62,9 @@ class TileIoConfig:
         cfg = self.cluster or ClusterConfig()
         cfg.num_clients = self.clients
         if self.verify:
-            cfg.track_content = True
             cfg.content_mode = "full"
         elif cfg.content_mode is None:
-            cfg.track_content = False
+            cfg.content_mode = "off"
         return cfg
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.config import DictConfigMixin
 from repro.pfs import Cluster, ClusterConfig
 from repro.pfs.iof import ForwardingDaemon, ForwardingRank
 from repro.sim.sync import Barrier
@@ -32,7 +33,7 @@ VAR_BYTES = 4
 
 
 @dataclass
-class VpicConfig:
+class VpicConfig(DictConfigMixin):
     clients: int = 4            # forwarding nodes (paper: 80)
     ranks_per_client: int = 4   # application processes per node (paper: 16)
     particles_per_rank: int = 4096   # per iteration (paper: 65,536/262,144)
@@ -64,7 +65,8 @@ class VpicConfig:
     def cluster_config(self) -> ClusterConfig:
         cfg = self.cluster or ClusterConfig()
         cfg.num_clients = self.clients
-        cfg.track_content = False
+        if cfg.content_mode is None:
+            cfg.content_mode = "off"
         return cfg
 
 

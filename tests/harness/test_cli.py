@@ -49,3 +49,45 @@ def test_run_table3_end_to_end(capsys):
     assert main(["run", "table3"]) == 0
     out = capsys.readouterr().out
     assert "seqdlm" in out and "dlm-basic" in out
+
+
+TRAFFIC_ARGS = ["traffic", "--dlm", "seqdlm", "--rate", "3000",
+                "--duration", "0.05", "--users", "200", "--clients", "2",
+                "--workers", "2", "--seed", "101"]
+
+
+def test_traffic_human_report(capsys):
+    assert main(TRAFFIC_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "offered" in out and "goodput" in out
+    assert "seed=101" in out
+
+
+def test_traffic_json_is_byte_identical_across_reruns(capsys):
+    assert main(TRAFFIC_ARGS + ["--json"]) == 0
+    first = capsys.readouterr().out
+    assert main(TRAFFIC_ARGS + ["--json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert first.startswith("{")  # one canonical JSON document
+
+
+def test_traffic_rejects_bad_usage(capsys):
+    assert main(["traffic", "--rate", "0"]) == 2
+    assert "error" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["traffic", "--policy", "nope"])
+
+
+def test_common_flags_present_on_all_run_subcommands():
+    """chaos/profile/sweep/traffic share --seed and --json."""
+    parser = build_parser()
+    for cmd in ("chaos", "profile", "sweep", "traffic"):
+        args = parser.parse_args([cmd, "--seed", "7", "--json"])
+        assert args.seed == 7 and args.json is True
+
+
+def test_sweep_seed_feeds_the_dlm_grid(capsys):
+    assert main(["sweep", "--grid", "dlms", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert " 9 " in out or "    9" in out

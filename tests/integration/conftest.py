@@ -18,7 +18,7 @@ def small_cluster(dlm="seqdlm", clients=2, servers=1, stripe_size=1024,
     kw.setdefault("start_cleaner", False)
     cfg = ClusterConfig(num_data_servers=servers, num_clients=clients,
                         dlm=dlm, stripe_size=stripe_size,
-                        track_content=True, **kw)
+                        content_mode="full", **kw)
     return Cluster(cfg)
 
 

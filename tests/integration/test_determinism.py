@@ -48,7 +48,7 @@ def test_ior_driver_is_deterministic():
         r = run_ior(IorConfig(
             pattern="n1-strided", clients=8, writes_per_client=16,
             xfer=16 * 1024, stripes=1,
-            cluster=ClusterConfig(dlm="seqdlm", track_content=False)))
+            cluster=ClusterConfig(dlm="seqdlm", content_mode="off")))
         return (r.pio_time, r.f_time,
                 tuple(sorted(r.lock_stats.items())))
 
@@ -70,7 +70,7 @@ def _metrics_json(dlm, pattern="n1-strided"):
         pattern=pattern, clients=6, writes_per_client=12,
         xfer=8 * 1024, stripes=2,
         cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
-                              track_content=False)))
+                              content_mode="off")))
     return MetricsSnapshot.from_dict(r.metrics).to_json()
 
 
@@ -104,7 +104,7 @@ def _golden_case(dlm, seed):
         pattern="n1-strided", clients=6, writes_per_client=12,
         xfer=8 * 1024, stripes=2,
         cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
-                              track_content=False, seed=seed)))
+                              content_mode="off", seed=seed)))
     return MetricsSnapshot.from_dict(r.metrics).to_json()
 
 

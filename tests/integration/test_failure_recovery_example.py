@@ -23,7 +23,7 @@ def run_stale_redo_scenario(extent_log: bool) -> bytes:
     """Returns the durable file content after the stale redo."""
     cluster = Cluster(ClusterConfig(
         num_data_servers=1, num_clients=2, dlm="seqdlm",
-        track_content=True, extent_log=extent_log, flush_timeout=0.5,
+        content_mode="full", extent_log=extent_log, flush_timeout=0.5,
         start_cleaner=False))
     cluster.create_file("/critical.dat", stripe_count=1)
     sim = cluster.sim

@@ -10,7 +10,7 @@ def precise_cluster(clients=2):
     """No-expansion DLM + byte-granular lock alignment."""
     return Cluster(ClusterConfig(
         num_data_servers=1, num_clients=clients, dlm="dlm-datatype",
-        stripe_size=1024, page_size=1, track_content=True,
+        stripe_size=1024, page_size=1, content_mode="full",
         min_dirty=1 << 20, max_dirty=1 << 24, start_cleaner=False))
 
 

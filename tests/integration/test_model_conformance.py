@@ -27,7 +27,7 @@ def _no_fault_snapshot(dlm="seqdlm"):
         pattern="n1-strided", clients=8, writes_per_client=32,
         xfer=32 * 1024, stripes=2,
         cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
-                              track_content=False)))
+                              content_mode="off")))
     return r, MetricsSnapshot.from_dict(r.metrics)
 
 
@@ -73,7 +73,7 @@ def test_conflict_chain_revocation_count_is_exact(dlm, k):
     range trigger exactly predicted_revocations(K) == K-1 revocations,
     under every DLM implementation."""
     cluster = Cluster(ClusterConfig(
-        dlm=dlm, num_clients=k, num_data_servers=1, track_content=False))
+        dlm=dlm, num_clients=k, num_data_servers=1, content_mode="off"))
     cluster.create_file("/chain", stripe_count=1)
     done = {"turn": 0}
 

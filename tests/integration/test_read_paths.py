@@ -79,7 +79,7 @@ def test_ior_read_phase_reports_bandwidth():
     r = run_ior(IorConfig(
         pattern="n1-segmented", clients=4, writes_per_client=8,
         xfer=32 * 1024, stripes=1, read_phase=True,
-        cluster=ClusterConfig(num_clients=4, track_content=False)))
+        cluster=ClusterConfig(num_clients=4, content_mode="off")))
     assert r.read_time > 0
     assert r.bytes_read == r.bytes_written
     assert r.read_bandwidth > 0

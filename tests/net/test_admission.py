@@ -1,0 +1,182 @@
+"""Unit tests for server-side admission control (bounded RPC queues)."""
+
+import pytest
+
+from repro.net import (
+    Fabric,
+    NetworkConfig,
+    RetryPolicy,
+    RpcService,
+    rpc_call,
+    rpc_call_retry,
+)
+from repro.net.rpc import ADMISSION_POLICIES, AdmissionConfig, Rejected
+from repro.sim import Simulator
+
+
+def setup_cluster(n_clients=1, **netkw):
+    sim = Simulator()
+    fab = Fabric(sim, NetworkConfig(**netkw))
+    clients = [fab.add_node(f"client{i}") for i in range(n_clients)]
+    server = fab.add_node("server")
+    return sim, fab, clients, server
+
+
+def slow_echo(server, admission, ops=1000.0):
+    """An echo service that takes 1/ops seconds per request."""
+    return RpcService(server, "echo",
+                      lambda req: req.respond(req.payload),
+                      ops=ops, admission=admission)
+
+
+# ---------------------------------------------------------- AdmissionConfig
+def test_admission_config_validation():
+    with pytest.raises(ValueError):
+        AdmissionConfig(queue_limit=0)
+    with pytest.raises(ValueError):
+        AdmissionConfig(policy="drop-newest")
+    with pytest.raises(ValueError):
+        AdmissionConfig(min_retry_after=0.0)
+    for policy in ADMISSION_POLICIES:
+        AdmissionConfig(policy=policy)  # all documented policies build
+
+
+def test_admission_config_round_trips():
+    cfg = AdmissionConfig(queue_limit=7, policy="shed-oldest",
+                          services=("dlm", "io"))
+    assert AdmissionConfig.from_dict(cfg.to_dict()) == cfg
+
+
+# ------------------------------------------------------------------ reject
+def test_reject_replies_with_retry_after_hint():
+    """Overflowing calls get a Rejected payload, not a queue slot."""
+    sim, fab, clients, server = setup_cluster(n_clients=3)
+    svc = slow_echo(server, AdmissionConfig(queue_limit=1, policy="reject"))
+    replies = []
+
+    def caller(node, tag):
+        reply = yield rpc_call(node, server, "echo", tag)
+        replies.append((tag, reply))
+
+    # Three concurrent calls: one dispatching, one queued, one refused.
+    for i, node in enumerate(clients):
+        sim.spawn(caller(node, i))
+    sim.run()
+
+    rejected = [r for _, r in replies if isinstance(r, Rejected)]
+    served = [r for _, r in replies if not isinstance(r, Rejected)]
+    assert len(rejected) == 1 and svc.admission_rejected == 1
+    assert len(served) == 2
+    rej = rejected[0]
+    assert rej.service == "echo"
+    assert rej.retry_after >= svc.admission.min_retry_after
+
+
+def test_reject_bounds_the_queue():
+    sim, fab, clients, server = setup_cluster(n_clients=12)
+    adm = AdmissionConfig(queue_limit=4, policy="reject")
+    svc = slow_echo(server, adm)
+
+    def caller(node):
+        yield rpc_call(node, server, "echo", 0)
+
+    for node in clients:
+        sim.spawn(caller(node))
+    sim.run()
+    assert svc.queue_depth_max <= adm.queue_limit
+    assert svc.admission_rejected > 0
+    assert svc.admission_shed == 0
+
+
+# ------------------------------------------------------------- shed-oldest
+def test_shed_oldest_admits_newcomer_and_refuses_oldest():
+    sim, fab, clients, server = setup_cluster(n_clients=12)
+    adm = AdmissionConfig(queue_limit=4, policy="shed-oldest")
+    svc = slow_echo(server, adm)
+    replies = []
+
+    def caller(node, tag):
+        reply = yield rpc_call(node, server, "echo", tag)
+        replies.append((tag, reply))
+
+    for i, node in enumerate(clients):
+        sim.spawn(caller(node, i))
+    sim.run()
+
+    assert svc.queue_depth_max <= adm.queue_limit
+    assert svc.admission_shed > 0 and svc.admission_rejected == 0
+    # Every caller got an answer — an echo or a Rejected — and the
+    # refused ones are the *earliest* arrivals (freshest-first).
+    assert len(replies) == len(clients)
+    shed_tags = [t for t, r in replies if isinstance(r, Rejected)]
+    served_tags = [t for t, r in replies if not isinstance(r, Rejected)]
+    assert shed_tags and max(shed_tags) < max(served_tags)
+
+
+# ------------------------------------------------------------------- block
+def test_block_policy_leaves_queue_unbounded():
+    sim, fab, clients, server = setup_cluster(n_clients=12)
+    adm = AdmissionConfig(queue_limit=4, policy="block")
+    svc = slow_echo(server, adm)
+
+    def caller(node):
+        yield rpc_call(node, server, "echo", 0)
+
+    for node in clients:
+        sim.spawn(caller(node))
+    sim.run()
+    assert svc.queue_depth_max > adm.queue_limit
+    assert svc.admission_rejected == 0 and svc.admission_shed == 0
+    assert svc.requests_handled == len(clients)
+
+
+# --------------------------------------------------- retry loop integration
+def test_rpc_call_retry_backs_off_and_eventually_lands():
+    """A rejected retrying call waits out the hint and gets served."""
+    sim, fab, clients, server = setup_cluster(n_clients=12)
+    adm = AdmissionConfig(queue_limit=2, policy="reject")
+    svc = slow_echo(server, adm)
+    policy = RetryPolicy(timeout=1.0, max_retries=50)
+    done = []
+
+    def caller(node, tag):
+        reply = yield from rpc_call_retry(node, server, "echo", tag,
+                                          policy=policy)
+        done.append((tag, reply))
+
+    for i, node in enumerate(clients):
+        sim.spawn(caller(node, i))
+    sim.run()
+
+    # All twelve eventually completed despite rejections along the way.
+    assert sorted(done) == [(i, i) for i in range(len(clients))]
+    assert svc.admission_rejected > 0
+    assert svc.queue_depth_max <= adm.queue_limit
+
+
+def test_rejection_consumes_retry_budget():
+    """Rejections count as attempts: a persistently overloaded server
+    surfaces as RpcTimeoutError instead of retrying forever."""
+    from repro.net import RpcTimeoutError
+
+    sim, fab, clients, server = setup_cluster(n_clients=6)
+    # A server that never answers and dispatches slowly: the queue
+    # fills, the overflow gets rejected, and no caller can ever win.
+    adm = AdmissionConfig(queue_limit=2, policy="reject")
+    svc = RpcService(server, "echo", lambda req: None, ops=1.0,
+                     admission=adm)
+    policy = RetryPolicy(timeout=0.1, max_retries=2)
+    failures = []
+
+    def caller(node, tag):
+        try:
+            yield from rpc_call_retry(node, server, "echo", tag,
+                                      policy=policy)
+        except RpcTimeoutError:
+            failures.append(tag)
+
+    for i, node in enumerate(clients):
+        sim.spawn(caller(node, i))
+    sim.run()
+    assert sorted(failures) == list(range(len(clients)))
+    assert svc.admission_rejected > 0

@@ -30,7 +30,7 @@ schedules = st.lists(
 def test_random_concurrent_writes_are_never_torn(schedule, stripes, dlm):
     cluster = Cluster(ClusterConfig(
         num_data_servers=2, num_clients=3, dlm=dlm, stripe_size=512,
-        page_size=16, track_content=True, min_dirty=1 << 20,
+        page_size=16, content_mode="full", min_dirty=1 << 20,
         max_dirty=1 << 24, start_cleaner=False))
     cluster.create_file("/rand", stripe_count=stripes)
 

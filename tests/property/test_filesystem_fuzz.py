@@ -40,7 +40,7 @@ def record(client: int, op_idx: int) -> bytes:
 def test_mixed_operations_never_corrupt(schedule, stripes):
     cluster = Cluster(ClusterConfig(
         num_data_servers=2, num_clients=3, dlm="seqdlm",
-        stripe_size=256, page_size=16, track_content=True,
+        stripe_size=256, page_size=16, content_mode="full",
         min_dirty=1 << 20, max_dirty=1 << 24, start_cleaner=False))
     cluster.create_file("/log", stripe_count=stripes)
     cluster.create_file("/slots", stripe_count=stripes)

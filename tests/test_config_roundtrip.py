@@ -1,0 +1,131 @@
+"""Config dict round-trips: every public config serializes to plain
+dicts and rebuilds equal — the contract that makes scenarios storable
+as JSON/YAML — plus the ``track_content`` deprecation shim."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import (
+    AdmissionConfig,
+    ClientKillConfig,
+    ClusterConfig,
+    DLMConfig,
+    FaultConfig,
+    IorConfig,
+    LivenessConfig,
+    RetryPolicy,
+    TileIoConfig,
+    TrafficConfig,
+    VpicConfig,
+    make_dlm_config,
+)
+from repro.faults import ClientOutage, Partition, ServerOutage
+
+
+def roundtrip(cfg):
+    cls = type(cfg)
+    wire = json.dumps(cfg.to_dict(), sort_keys=True)  # JSON-safe too
+    back = cls.from_dict(json.loads(wire))
+    assert back == cfg
+    assert json.dumps(back.to_dict(), sort_keys=True) == wire
+    return back
+
+
+# ----------------------------------------------------------- round-tripping
+@pytest.mark.parametrize("cfg", [
+    RetryPolicy(),
+    RetryPolicy(timeout=2e-3, backoff=3.0, jitter=0.1, max_retries=7),
+    AdmissionConfig(),
+    AdmissionConfig(queue_limit=8, policy="shed-oldest",
+                    services=("dlm", "io", "meta")),
+    LivenessConfig(),
+    FaultConfig(),
+    FaultConfig(drop_rate=0.05, duplicate_rate=0.01,
+                outages=(ServerOutage(0, start=1e-3, duration=1e-2),),
+                client_outages=(ClientOutage(1, start=2e-3,
+                                             duration=1e-2),),
+                partitions=(Partition(start=0.0, end=5e-3,
+                                      group_a=("client0",)),)),
+], ids=lambda c: type(c).__name__)
+def test_simple_configs_round_trip(cfg):
+    roundtrip(cfg)
+
+
+@pytest.mark.parametrize("dlm", ["seqdlm", "dlm-basic", "dlm-lustre",
+                                 "dlm-datatype"])
+def test_dlm_config_round_trips_with_registered_callable(dlm):
+    """DLMConfig carries a compatibility *function*; it serializes by
+    registered name and resolves back to the same object."""
+    cfg = make_dlm_config(dlm)
+    back = roundtrip(cfg)
+    assert back.lcm is cfg.lcm
+
+
+def test_cluster_config_round_trips_with_nested_configs():
+    cfg = ClusterConfig(
+        num_clients=3, num_data_servers=2, dlm="seqdlm",
+        content_mode="checksum", seed=42,
+        retry=RetryPolicy(timeout=2e-3),
+        admission=AdmissionConfig(queue_limit=32),
+        faults=FaultConfig(drop_rate=0.02),
+        liveness=LivenessConfig())
+    back = roundtrip(cfg)
+    assert isinstance(back.retry, RetryPolicy)
+    assert isinstance(back.admission, AdmissionConfig)
+    assert back.admission.queue_limit == 32
+
+
+@pytest.mark.parametrize("cfg", [
+    IorConfig(pattern="n1-strided", clients=4, xfer=4096),
+    TileIoConfig(tile_rows=2, tile_cols=2),
+    VpicConfig(),
+    ClientKillConfig(victim=1, kill_at=5e-3),
+    TrafficConfig(arrival="ramp", rate=5000.0,
+                  arrival_overrides={"end_factor": 3.0}),
+], ids=lambda c: type(c).__name__)
+def test_workload_configs_round_trip(cfg):
+    roundtrip(cfg)
+
+
+def test_unknown_keys_error_and_name_the_valid_ones():
+    with pytest.raises(ValueError, match="unknown"):
+        RetryPolicy.from_dict({"timeout": 1e-3, "max_retry": 3})
+    with pytest.raises(ValueError, match="num_clients"):
+        ClusterConfig.from_dict({"clients": 4})
+
+
+def test_from_dict_accepts_its_own_defaults():
+    assert ClusterConfig.from_dict({}) == ClusterConfig()
+
+
+# ------------------------------------------------- track_content deprecation
+def _reset_warn_latch():
+    import repro.pfs.filesystem as fs
+    fs._track_content_warned = False
+
+
+def test_track_content_warns_once_and_keeps_behaviour():
+    _reset_warn_latch()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        a = ClusterConfig(track_content=True)
+        b = ClusterConfig(track_content=False)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1  # warn once per process, not per config
+    assert "content_mode" in str(deprecations[0].message)
+    # The legacy bool still resolves exactly as before.
+    assert a.resolved_content_mode() == "full"
+    assert b.resolved_content_mode() == "off"
+
+
+def test_content_mode_does_not_warn():
+    _reset_warn_latch()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ClusterConfig(content_mode="checksum")
+        ClusterConfig()
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]

@@ -1,0 +1,108 @@
+"""Unit tests for the seeded open-loop arrival processes."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRNG
+from repro.traffic import (
+    ARRIVAL_KINDS,
+    BurstyArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    make_arrivals,
+)
+
+
+def draw(process, seed=7, duration=10.0):
+    rng = DeterministicRNG(seed, "arrivals-test")
+    return list(process.times(rng.stream("a"), duration))
+
+
+# ------------------------------------------------------------ shared shape
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_times_are_increasing_and_inside_the_window(kind):
+    times = draw(make_arrivals(kind, 500.0), duration=2.0)
+    assert times, "expected some arrivals"
+    assert all(0.0 < t < 2.0 for t in times)
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_same_seed_same_timeline(kind):
+    p = make_arrivals(kind, 300.0)
+    assert draw(p, seed=11) == draw(p, seed=11)
+    assert draw(p, seed=11) != draw(p, seed=12)
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_mean_rate_is_honoured(kind):
+    """All three shapes time-average to ``rate`` (their defaults are
+    calibrated that way), so a sweep can swap shapes at fixed load."""
+    rate, duration = 1000.0, 20.0
+    times = draw(make_arrivals(kind, rate), duration=duration)
+    observed = len(times) / duration
+    assert observed == pytest.approx(rate, rel=0.1)
+
+
+# ------------------------------------------------------------- per-process
+def test_poisson_gap_mean():
+    rate = 2000.0
+    times = draw(PoissonArrivals(rate), duration=10.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert sum(gaps) / len(gaps) == pytest.approx(1.0 / rate, rel=0.1)
+
+
+def test_bursty_actually_bursts():
+    """Windowed counts under MMPP-2 spread far beyond Poisson's."""
+    rate, duration = 1000.0, 20.0
+    window = 0.05
+
+    def window_counts(process):
+        counts = {}
+        for t in draw(process, duration=duration):
+            counts[int(t / window)] = counts.get(int(t / window), 0) + 1
+        return list(counts.values())
+
+    bursty = window_counts(BurstyArrivals(rate, low_factor=0.0,
+                                          high_factor=2.0))
+    poisson = window_counts(PoissonArrivals(rate))
+    # An off-phase MMPP window is empty or near-empty; a burst window
+    # carries ~2x the Poisson load.
+    assert max(bursty) > max(poisson)
+    assert min(bursty) < min(poisson) or len(bursty) < len(poisson)
+
+
+def test_ramp_back_half_outweighs_front_half():
+    times = draw(RampArrivals(2000.0, start_factor=0.0, end_factor=2.0),
+                 duration=10.0)
+    front = sum(1 for t in times if t < 5.0)
+    back = len(times) - front
+    # Rate at the end is 4x the midpoint ramp: 1:3 split in expectation.
+    assert back > 2 * front
+
+
+def test_make_arrivals_overrides_and_unknown_kind():
+    p = make_arrivals("bursty", 100.0, high_factor=3.0)
+    assert p.high_factor == 3.0
+    with pytest.raises(ValueError, match="unknown arrival kind"):
+        make_arrivals("sawtooth", 100.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(100.0, low_factor=2.0, high_factor=1.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(100.0, mean_dwell=0.0)
+    with pytest.raises(ValueError):
+        RampArrivals(100.0, start_factor=-1.0)
+    with pytest.raises(ValueError):
+        RampArrivals(100.0, start_factor=0.0, end_factor=0.0)
+
+
+def test_config_round_trip():
+    for p in (PoissonArrivals(250.0),
+              BurstyArrivals(250.0, high_factor=2.5),
+              RampArrivals(250.0, end_factor=3.0)):
+        assert type(p).from_dict(p.to_dict()) == p

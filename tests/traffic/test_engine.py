@@ -1,0 +1,142 @@
+"""Integration tests for the open-loop traffic engine.
+
+The headline acceptance check lives here: a traffic run is a pure
+function of its config — rerunning the same seed yields a byte-identical
+metrics snapshot for every DLM flavour — and under overload the
+admission-controlled server queues stay bounded while the SLO counters
+account for every request.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics import MetricsSnapshot
+from repro.net.rpc import AdmissionConfig
+from repro.pfs import ClusterConfig
+from repro.traffic import TrafficConfig, run_traffic
+
+DLMS = ("seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype")
+
+
+def small_config(dlm="seqdlm", seed=101, **over):
+    cfg = TrafficConfig(dlm=dlm, seed=seed, rate=4000.0, duration=0.05,
+                        users=200, num_clients=2, workers_per_client=2)
+    for k, v in over.items():
+        setattr(cfg, k, v)
+    return cfg
+
+
+def snapshot_json(result) -> str:
+    return MetricsSnapshot.from_dict(result.metrics).to_json()
+
+
+# ------------------------------------------------------------- determinism
+@pytest.mark.parametrize("dlm", DLMS)
+@pytest.mark.parametrize("seed", (101, 202, 303))
+def test_rerun_is_byte_identical(dlm, seed):
+    a = run_traffic(small_config(dlm=dlm, seed=seed))
+    b = run_traffic(small_config(dlm=dlm, seed=seed))
+    assert snapshot_json(a) == snapshot_json(b)
+
+
+def test_different_seeds_differ():
+    a = run_traffic(small_config(seed=101))
+    b = run_traffic(small_config(seed=404))
+    assert snapshot_json(a) != snapshot_json(b)
+
+
+@pytest.mark.parametrize("arrival", ("bursty", "ramp"))
+def test_non_poisson_arrivals_run_and_replay(arrival):
+    cfg = lambda: small_config(arrival=arrival)  # noqa: E731
+    a, b = run_traffic(cfg()), run_traffic(cfg())
+    assert snapshot_json(a) == snapshot_json(b)
+    assert a.completed > 0
+
+
+# -------------------------------------------------------------- accounting
+def test_slo_accounting_balances():
+    r = run_traffic(small_config())
+    assert r.offered == r.accepted + r.dropped_client
+    assert r.accepted == r.completed + r.failed
+    assert r.offered == pytest.approx(
+        r.config.rate * r.config.duration, rel=0.5)
+    assert 0.0 < r.sojourn_p50 <= r.sojourn_p95 <= r.sojourn_p99
+    assert r.goodput > 0 and 0 < r.makespan
+    assert r.completion_ratio == 1.0
+    # The SLO counters are folded into the snapshot too.
+    snap = MetricsSnapshot.from_dict(r.metrics)
+    assert snap.value("traffic.offered") == r.offered
+    assert snap.value("traffic.completed") == r.completed
+
+
+def overload_config(policy, dlm="seqdlm"):
+    """Offered load ~10x a deliberately tiny DLM OPS budget."""
+    return TrafficConfig(
+        dlm=dlm, seed=101, rate=20_000.0, duration=0.1, users=500,
+        num_clients=4, workers_per_client=8,
+        admission=AdmissionConfig(queue_limit=16, policy=policy),
+        cluster=ClusterConfig(dlm=dlm, num_data_servers=1,
+                              content_mode="off", dlm_ops=2000.0))
+
+
+def test_overload_reject_bounds_queue_and_counts_rejections():
+    r = run_traffic(overload_config("reject"))
+    assert r.rejected_server > 0
+    assert r.shed_server == 0
+    snap = MetricsSnapshot.from_dict(r.metrics)
+    assert snap.value("rpc.dlm.queue_depth", "max") <= 16
+    assert snap.value("rpc.dlm.admission_rejected") == r.rejected_server
+
+
+def test_overload_shed_oldest_bounds_queue():
+    r = run_traffic(overload_config("shed-oldest"))
+    assert r.shed_server > 0
+    assert r.rejected_server == 0
+    snap = MetricsSnapshot.from_dict(r.metrics)
+    assert snap.value("rpc.dlm.queue_depth", "max") <= 16
+
+
+def test_overload_block_grows_past_the_limit():
+    r = run_traffic(overload_config("block"))
+    assert r.rejected_server == 0 and r.shed_server == 0
+    snap = MetricsSnapshot.from_dict(r.metrics)
+    assert snap.value("rpc.dlm.queue_depth", "max") > 16
+
+
+# ------------------------------------------------------------------ config
+def test_admission_without_retry_is_rejected():
+    from repro.pfs import Cluster
+
+    cfg = ClusterConfig(admission=AdmissionConfig())
+    with pytest.raises(ValueError, match="requires ClusterConfig.retry"):
+        Cluster(cfg)
+
+
+def test_traffic_config_round_trips_via_json():
+    cfg = small_config(arrival="bursty",
+                       arrival_overrides={"high_factor": 2.5},
+                       admission=AdmissionConfig(queue_limit=8),
+                       cluster=ClusterConfig(dlm_ops=2000.0,
+                                             content_mode="off"))
+    wire = json.dumps(cfg.to_dict(), sort_keys=True)
+    back = TrafficConfig.from_dict(json.loads(wire))
+    assert back == cfg
+    assert json.dumps(back.to_dict(), sort_keys=True) == wire
+
+
+def test_traffic_config_validation():
+    with pytest.raises(ValueError):
+        TrafficConfig(rate=0.0)
+    with pytest.raises(ValueError):
+        TrafficConfig(read_fraction=1.5)
+    with pytest.raises(ValueError):
+        TrafficConfig(workers_per_client=0)
+
+
+def test_read_mix_executes_reads():
+    r = run_traffic(small_config(read_fraction=0.5))
+    snap = MetricsSnapshot.from_dict(r.metrics)
+    assert snap.value("pfs.client.reads") > 0
+    assert snap.value("pfs.client.writes") > 0
+    assert r.completed == r.accepted

@@ -46,7 +46,7 @@ def test_tile_io_overlap_pixels_single_winner():
     cfg = TileIoConfig(tile_rows=1, tile_cols=2, tile_dim=8, overlap=2)
     cluster = Cluster(ClusterConfig(
         num_data_servers=1, num_clients=cfg.clients, dlm="seqdlm",
-        stripe_size=4096, page_size=16, track_content=True,
+        stripe_size=4096, page_size=16, content_mode="full",
         start_cleaner=False))
     cluster.create_file("/tile", stripe_count=1)
     barrier = Barrier(cluster.sim, cfg.clients)

@@ -2,11 +2,11 @@
 
 Unlike the figure benches (which assert *simulated* results), this suite
 measures host throughput — kernel events/sec in both scheduling idioms,
-one end-to-end small Fig. 4, and the parallel sweep runner — and writes
-the numbers to ``BENCH_wallclock.json`` at the repo root.  Assertions
-are deliberately conservative (CI machines vary wildly); the committed
-JSON records the dev-box numbers and ``scripts/perf_smoke.py`` warns on
-large regressions.
+one end-to-end small Fig. 4, and the persistent-pool sweep runner across
+a jobs curve — and writes the numbers to ``BENCH_wallclock.json`` at the
+repo root.  Assertions are deliberately conservative (CI machines vary
+wildly); the committed JSON records the dev-box numbers and
+``scripts/perf_smoke.py`` gates regressions in CI.
 """
 
 import json
@@ -62,27 +62,30 @@ def test_fig4_small_end_to_end(benchmark):
     assert secs < 120, "small-scale fig4 should finish in well under 2min"
 
 
-def test_sweep_parallel_speedup(benchmark):
-    # On boxes with < 4 CPUs extra workers only add fork/pickle overhead;
-    # still fan across 2 so the pool path (and its byte-identity) is
-    # exercised everywhere.
-    cpus = os.cpu_count() or 1
-    jobs = 4 if cpus >= 4 else 2
-    timing = benchmark.pedantic(sweep_timing, kwargs={"jobs": jobs},
+def test_sweep_jobs_curve(benchmark):
+    # Measure the whole jobs curve the CI matrix also walks; the
+    # persistent-pool + chunked-dispatch path is exercised at every
+    # parallel point regardless of how many CPUs the box has.
+    timing = benchmark.pedantic(sweep_timing, kwargs={"jobs": (1, 2, 4)},
                                 rounds=1, iterations=1)
     RESULTS["sweep"] = timing
+    cpus = timing["cpus"]
     print(f"\nsweep: {timing['cells']} cells, serial "
-          f"{timing['serial_seconds']}s, jobs={jobs} "
-          f"{timing['parallel_seconds']}s "
-          f"({timing['speedup']}x, cpus={timing['cpus']})")
+          f"{timing['serial_seconds']}s, cpus={cpus}")
+    for j, entry in sorted(timing["per_jobs"].items(), key=lambda kv: int(kv[0])):
+        print(f"  jobs={j}: {entry['seconds']}s ({entry['speedup']}x, "
+              f"chunksize={entry['chunksize']}, chunks={entry['chunks']})")
     # Byte-identity is unconditional — a speedup that changes results
     # is a determinism bug, not a win.
     assert timing["byte_identical"]
     if cpus >= 4:
-        assert timing["speedup"] >= 2.0
+        assert timing["best_speedup"] >= 2.0
     elif cpus >= 2:
-        assert timing["speedup"] >= 1.3
+        assert timing["best_speedup"] >= 1.3
     else:
-        # Single CPU: no parallelism to be had; just bound the pool's
-        # overhead (time-sliced workers cost fork + pickle + contention).
-        assert timing["speedup"] >= 0.4
+        # Single CPU: no parallelism to be had, so the speedup assertion
+        # is skipped *visibly* — but the pool path must still be cheap
+        # (fork + chunk dispatch + JSON-bytes transfer, no silent 0.5x).
+        print("  NOTICE: <2 CPUs — speedup assertion skipped "
+              "(parallelism unmeasurable on one core)")
+        assert timing["best_speedup"] >= 0.5

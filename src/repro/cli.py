@@ -151,9 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser(
         "sweep",
-        help="run a grid of independent IOR cells, optionally fanned "
-             "across worker processes (results are byte-identical to "
-             "a serial run)")
+        help="run a grid of independent IOR cells fanned across a "
+             "persistent worker pool, streaming each cell's row as its "
+             "chunk completes (results are byte-identical to a serial "
+             "run)")
     sweep_p.add_argument("--grid", default="fig4",
                          choices=("fig4", "dlms"),
                          help="cell grid: the Fig. 4 pattern/xfer grid, "
@@ -161,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial in-process; "
                               "0 = one per CPU)")
+    sweep_p.add_argument("--chunksize", type=int, default=0,
+                         help="cells dispatched per worker task "
+                              "(0 = adaptive from cells/jobs)")
     sweep_p.add_argument("--scale", default="small",
                          choices=("small", "paper"))
     _add_common_flags(sweep_p,
@@ -498,12 +502,28 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    """``repro sweep``: fan a cell grid across worker processes."""
+    """``repro sweep``: fan a cell grid across a persistent worker pool,
+    streaming each cell's row as its chunk completes.  Rows arrive in
+    cell order (ordered-completion ``imap``), so the streamed output is
+    deterministic regardless of worker scheduling."""
     import dataclasses
     import json as _json
+    import os as _os
 
-    from repro.harness import dlm_seed_grid, fig4_grid, run_sweep
+    from repro.harness import (
+        SweepConfig,
+        dlm_seed_grid,
+        fig4_grid,
+        iter_sweep,
+        plan_chunks,
+    )
 
+    if args.jobs < 0 or args.chunksize < 0:
+        print("repro sweep: error: --jobs and --chunksize must be >= 0",
+              file=sys.stderr)
+        return 2
+    jobs = args.jobs or (_os.cpu_count() or 1)  # 0 = one per CPU
+    config = SweepConfig(jobs=jobs, chunksize=args.chunksize)
     seeds = args.seeds if args.seeds is not None else [args.seed]
     if args.grid == "fig4":
         cells = fig4_grid(scale=args.scale)
@@ -514,24 +534,26 @@ def _cmd_sweep(args) -> int:
             writes_per_client=64, xfer=64 * 1024, stripes=2,
             num_data_servers=2)
     t0 = time.time()
-    results = run_sweep(cells, jobs=args.jobs)
-    dt = time.time() - t0
     if args.json:
-        for r in results:
+        for r in iter_sweep(cells, config=config):
             print(_json.dumps({"cell": dataclasses.asdict(r.cell),
                                "bandwidth": r.bandwidth,
                                "pio_time": r.pio_time,
                                "sim_time": r.sim_time,
-                               "events": r.events}))
+                               "events": r.events}), flush=True)
         return 0
-    print(f"sweep {args.grid} ({len(cells)} cells, jobs={args.jobs}, "
-          f"{dt:.1f}s wall)")
+    chunksize, chunks = plan_chunks(len(cells), config)
+    plan = (f", chunksize={chunksize} x {chunks} chunks"
+            if jobs > 1 and len(cells) > 1 else "")
+    print(f"sweep {args.grid} ({len(cells)} cells, jobs={jobs}{plan})")
     print(f"  {'dlm':<14} {'pattern':<13} {'xfer':>8} {'seed':>5} "
           f"{'GB/s':>7} {'events':>10}")
-    for r in results:
+    for r in iter_sweep(cells, config=config):
         c = r.cell
         print(f"  {c.dlm:<14} {c.pattern:<13} {c.xfer // 1024:>6}K "
-              f"{c.seed:>5} {r.bandwidth / 1e9:>7.2f} {r.events:>10,}")
+              f"{c.seed:>5} {r.bandwidth / 1e9:>7.2f} {r.events:>10,}",
+              flush=True)
+    print(f"  ({time.time() - t0:.1f}s wall)")
     return 0
 
 

@@ -5,19 +5,28 @@ and returns an :class:`~repro.harness.report.ExperimentResult` whose
 ``render()`` prints the same rows/series the paper reports.  The registry
 in :data:`EXPERIMENTS` maps experiment ids (``fig4`` ... ``fig24_25``,
 ``table3``, ``model``) to their functions; the benchmark suite under
-``benchmarks/`` has one module per entry.
+``benchmarks/`` has one module per entry.  The sweep layer
+(:func:`run_sweep`, :class:`SweepPool`, :func:`iter_sweep`) fans
+independent grid cells across a persistent worker pool with
+byte-identical results.
 """
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.report import ExperimentResult, format_table
 from repro.harness.sweep import (
     SweepCell,
+    SweepConfig,
+    SweepPool,
     SweepResult,
+    adaptive_chunksize,
     dlm_seed_grid,
     fig4_grid,
+    iter_sweep,
+    plan_chunks,
     run_sweep,
 )
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "SweepCell", "SweepResult",
-           "dlm_seed_grid", "fig4_grid", "format_table", "run_experiment",
-           "run_sweep"]
+__all__ = ["EXPERIMENTS", "ExperimentResult", "SweepCell", "SweepConfig",
+           "SweepPool", "SweepResult", "adaptive_chunksize",
+           "dlm_seed_grid", "fig4_grid", "format_table", "iter_sweep",
+           "plan_chunks", "run_experiment", "run_sweep"]

@@ -1,0 +1,174 @@
+"""Unit tests for the persistent-pool sweep layer.
+
+Byte-identity across the chunked/persistent path is proven end-to-end by
+``tests/integration/test_determinism.py``; this module covers the
+execution machinery itself — chunk planning, the base/delta cell
+transfer encoding, the warm cache, validation, ordering, and pool reuse.
+"""
+
+import pytest
+
+from repro.harness.sweep import (
+    SweepCell,
+    SweepConfig,
+    SweepPool,
+    _WORKER_CELL_CACHE,
+    _base_cell,
+    _encode_cells,
+    adaptive_chunksize,
+    dlm_seed_grid,
+    iter_sweep,
+    plan_chunks,
+    run_sweep,
+)
+
+
+def tiny_grid(n_seeds=4):
+    return dlm_seed_grid(
+        ["seqdlm", "dlm-basic"], range(n_seeds), pattern="n1-strided",
+        clients=2, writes_per_client=4, xfer=1024, stripes=1,
+        num_data_servers=1)
+
+
+# ----------------------------------------------------------- chunk planning
+def test_adaptive_chunksize_derives_from_cells_over_jobs():
+    # ceil(n / (jobs * chunks_per_worker)), floored at 1.
+    assert adaptive_chunksize(12, 2) == 3
+    assert adaptive_chunksize(12, 4) == 2
+    assert adaptive_chunksize(12, 2, chunks_per_worker=1) == 6
+    assert adaptive_chunksize(1, 8) == 1
+    assert adaptive_chunksize(0, 4) == 1
+
+
+def test_plan_chunks_honours_explicit_and_adaptive_sizes():
+    assert plan_chunks(12, SweepConfig(jobs=2)) == (3, 4)
+    assert plan_chunks(12, SweepConfig(jobs=2, chunksize=5)) == (5, 3)
+    assert plan_chunks(0, SweepConfig(jobs=2)) == (0, 0)
+
+
+# --------------------------------------------------------------- validation
+@pytest.mark.parametrize("bad", [0, -1, -8])
+def test_jobs_must_be_positive(bad):
+    with pytest.raises(ValueError, match="jobs"):
+        run_sweep(tiny_grid(1), jobs=bad)
+    with pytest.raises(ValueError, match="jobs"):
+        iter_sweep(tiny_grid(1), jobs=bad)  # eagerly, not at first next()
+    with pytest.raises(ValueError, match="jobs"):
+        SweepPool(jobs=bad)
+
+
+def test_sweep_config_validates_every_knob():
+    with pytest.raises(ValueError, match="jobs"):
+        SweepConfig(jobs=0)
+    with pytest.raises(ValueError, match="chunksize"):
+        SweepConfig(chunksize=-1)
+    with pytest.raises(ValueError, match="chunks_per_worker"):
+        SweepConfig(chunks_per_worker=0)
+    with pytest.raises(ValueError, match="maxtasksperchild"):
+        SweepConfig(maxtasksperchild=-2)
+
+
+def test_sweep_pool_rejects_conflicting_worker_counts():
+    with pytest.raises(ValueError, match="conflicting"):
+        SweepPool(jobs=2, config=SweepConfig(jobs=4))
+
+
+# ------------------------------------------------------------ cell transfer
+def test_encode_cells_splits_invariant_base_from_deltas():
+    cells = [SweepCell(dlm=d, seed=s, clients=7, xfer=2048)
+             for d in ("seqdlm", "dlm-basic") for s in (1, 2)]
+    base_bytes, deltas = _encode_cells(cells)
+    import json
+    base = json.loads(base_bytes.decode("utf-8"))
+    # Invariant fields (clients, xfer, pattern, ...) travel once in the
+    # base; only dlm and seed vary, so each delta carries exactly those.
+    assert base["clients"] == 7 and base["xfer"] == 2048
+    assert "dlm" not in base and "seed" not in base
+    assert [dict(d) for d in deltas] == [
+        {"dlm": "seqdlm", "seed": 1}, {"dlm": "seqdlm", "seed": 2},
+        {"dlm": "dlm-basic", "seed": 1}, {"dlm": "dlm-basic", "seed": 2}]
+    # Base + delta reconstructs the exact cell.
+    for cell, delta in zip(cells, deltas):
+        import dataclasses
+        assert dataclasses.replace(
+            SweepCell(**base), **dict(delta)) == cell
+
+
+def test_encode_cells_uniform_grid_ships_empty_deltas():
+    cells = [SweepCell(seed=5)] * 3
+    base_bytes, deltas = _encode_cells(cells)
+    assert deltas == [(), (), ()]
+    assert _base_cell(base_bytes) == cells[0]
+
+
+def test_base_cell_warm_cache_decodes_once():
+    cells = [SweepCell(seed=s) for s in (1, 2)]
+    base_bytes, _ = _encode_cells(cells)
+    _WORKER_CELL_CACHE.clear()
+    first = _base_cell(base_bytes)
+    assert _base_cell(base_bytes) is first  # memoized, not re-decoded
+    assert base_bytes in _WORKER_CELL_CACHE
+
+
+# ------------------------------------------------------- execution ordering
+def test_run_sweep_results_come_back_in_cell_order():
+    cells = tiny_grid()
+    results = run_sweep(cells, jobs=2, chunksize=3)
+    assert [r.cell for r in results] == cells
+
+
+def test_iter_sweep_streams_in_order_and_matches_run_sweep():
+    cells = tiny_grid()
+    streamed = []
+    for r in iter_sweep(cells, jobs=2):
+        streamed.append(r)
+    batch = run_sweep(cells, jobs=1)
+    assert [r.cell for r in streamed] == cells
+    assert [r.metrics_json for r in streamed] == \
+        [r.metrics_json for r in batch]
+
+
+def test_empty_grid_is_a_no_op():
+    assert run_sweep([], jobs=4) == []
+    assert list(iter_sweep([], jobs=4)) == []
+
+
+def test_single_cell_runs_serially_even_with_many_jobs():
+    cells = tiny_grid(1)[:1]
+    (res,) = run_sweep(cells, jobs=8)
+    (ref,) = run_sweep(cells, jobs=1)
+    assert res.metrics_json == ref.metrics_json
+
+
+# ---------------------------------------------------------------- pool reuse
+def test_sweep_pool_is_reusable_across_runs():
+    cells = tiny_grid()
+    reference = [r.metrics_json for r in run_sweep(cells, jobs=1)]
+    with SweepPool(jobs=2) as pool:
+        assert [r.metrics_json for r in pool.run(cells)] == reference
+        # Same workers, second sweep: the per-worker base-cell cache is
+        # warm, and the bytes must not change.
+        assert [r.metrics_json for r in pool.run(cells)] == reference
+        assert pool.jobs == 2
+    # close() is idempotent and the context manager already closed it.
+    pool.close()
+
+
+def test_run_sweep_accepts_an_external_pool():
+    cells = tiny_grid()
+    reference = [r.metrics_json for r in run_sweep(cells, jobs=1)]
+    with SweepPool(jobs=2) as pool:
+        a = run_sweep(cells, pool=pool)
+        b = run_sweep(cells, pool=pool)
+    assert [r.metrics_json for r in a] == reference
+    assert [r.metrics_json for r in b] == reference
+
+
+# ------------------------------------------------------------- round-trips
+def test_sweep_config_round_trips_through_dicts():
+    cfg = SweepConfig(jobs=4, chunksize=3, chunks_per_worker=1,
+                      maxtasksperchild=16)
+    assert SweepConfig.from_dict(cfg.to_dict()) == cfg
+    assert SweepConfig.from_dict(SweepConfig().to_dict()) == SweepConfig()
+    with pytest.raises(ValueError, match="unknown"):
+        SweepConfig.from_dict({"jobz": 2})

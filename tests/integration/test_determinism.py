@@ -131,18 +131,27 @@ def test_metrics_match_seed_kernel_golden(dlm, seed):
 
 
 def test_sweep_parallel_matches_serial_golden():
-    # The parallel runner must hand back byte-identical snapshots: each
-    # cell builds its own Simulator, so process count cannot leak in.
-    from repro.harness import SweepCell, run_sweep
+    # Chunked/persistent-pool sweeps must hand back byte-identical
+    # snapshots for the full DLM x seed grid: each cell builds its own
+    # Simulator, so process count, chunk grouping, adaptive vs explicit
+    # chunk sizes, and pool reuse cannot leak into the bytes.
+    from repro.harness import SweepCell, SweepConfig, SweepPool, run_sweep
 
     cells = [SweepCell(dlm=dlm, seed=seed, pattern="n1-strided",
                        clients=6, writes_per_client=12, xfer=8 * 1024,
                        stripes=2, num_data_servers=2)
-             for dlm in DLMS[:2] for seed in GOLDEN_SEEDS[:2]]
+             for dlm in DLMS for seed in GOLDEN_SEEDS]
     serial = run_sweep(cells, jobs=1)
+    reference = [r.metrics_json for r in serial]
+    # Fresh pool per call, adaptive chunking.
     parallel = run_sweep(cells, jobs=2)
-    assert [r.metrics_json for r in serial] == \
-        [r.metrics_json for r in parallel]
+    assert [r.metrics_json for r in parallel] == reference
+    # Persistent pool reused across calls, explicit (uneven) chunk size.
+    with SweepPool(config=SweepConfig(jobs=2, chunksize=5)) as pool:
+        first = pool.run(cells)
+        again = pool.run(cells)
+    assert [r.metrics_json for r in first] == reference
+    assert [r.metrics_json for r in again] == reference
     # And the sweep path itself must agree with the in-process golden.
     table = json.loads(GOLDEN_PATH.read_text())
     for cell, res in zip(cells, serial):

@@ -22,6 +22,7 @@ from repro import (
     make_dlm_config,
 )
 from repro.faults import ClientOutage, Partition, ServerOutage
+from repro.harness import SweepConfig
 
 
 def roundtrip(cfg):
@@ -41,6 +42,9 @@ def roundtrip(cfg):
     AdmissionConfig(queue_limit=8, policy="shed-oldest",
                     services=("dlm", "io", "meta")),
     LivenessConfig(),
+    SweepConfig(),
+    SweepConfig(jobs=8, chunksize=4, chunks_per_worker=3,
+                maxtasksperchild=32),
     FaultConfig(),
     FaultConfig(drop_rate=0.05, duplicate_rate=0.01,
                 outages=(ServerOutage(0, start=1e-3, duration=1e-2),),

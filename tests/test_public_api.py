@@ -61,10 +61,15 @@ PUBLIC_API = {
         "EXPERIMENTS",
         "ExperimentResult",
         "SweepCell",
+        "SweepConfig",
+        "SweepPool",
         "SweepResult",
+        "adaptive_chunksize",
         "dlm_seed_grid",
         "fig4_grid",
         "format_table",
+        "iter_sweep",
+        "plan_chunks",
         "run_experiment",
         "run_sweep",
     ],

@@ -27,7 +27,7 @@ Package map
                        plus the invariant validator and protocol tracer
 ``repro.pfs``          ccPFS: cache, data servers, metadata, libccPFS API,
                        IO forwarding, burst-buffer tiering, recovery
-``repro.workloads``    IOR / Tile-IO / VPIC-IO / client-kill drivers
+``repro.workloads``    IOR / Tile-IO / VPIC-IO / chaos-kill drivers
 ``repro.traffic``      open-loop traffic engine (seeded arrivals, SLOs)
 ``repro.faults``       seeded fault plans (drops, outages, partitions)
 ``repro.analysis``     the paper's §II-C analytical model
@@ -48,7 +48,8 @@ or drive an open-loop overload run::
 
 from repro.dlm import DLMConfig, make_dlm_config
 from repro.dlm.config import LivenessConfig
-from repro.faults import FaultConfig
+from repro.dlm.replication import ReplicationConfig
+from repro.faults import FaultConfig, SequencerKill
 from repro.harness import EXPERIMENTS, run_experiment
 from repro.net.rpc import AdmissionConfig, RetryPolicy
 from repro.pfs import Cluster, ClusterConfig
@@ -58,17 +59,20 @@ from repro.workloads import (
     ClientKillResult,
     IorConfig,
     IorResult,
+    SequencerKillConfig,
+    SequencerKillResult,
     TileIoConfig,
     TileIoResult,
     VpicConfig,
     VpicResult,
     run_client_kill,
     run_ior,
+    run_sequencer_kill,
     run_tile_io,
     run_vpic,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdmissionConfig",
@@ -82,7 +86,11 @@ __all__ = [
     "IorConfig",
     "IorResult",
     "LivenessConfig",
+    "ReplicationConfig",
     "RetryPolicy",
+    "SequencerKill",
+    "SequencerKillConfig",
+    "SequencerKillResult",
     "TileIoConfig",
     "TileIoResult",
     "TrafficConfig",
@@ -94,6 +102,7 @@ __all__ = [
     "run_client_kill",
     "run_experiment",
     "run_ior",
+    "run_sequencer_kill",
     "run_tile_io",
     "run_traffic",
     "run_vpic",

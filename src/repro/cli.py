@@ -115,8 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the client-liveness scenario instead: "
                               "kill client RANK mid-write (replaces the "
                               "server outage; see docs/faults.md)")
+    chaos_p.add_argument("--kill-server", type=int, default=None,
+                         metavar="INDEX",
+                         help="run the sequencer-failover scenario "
+                              "instead: fail-stop lock server INDEX "
+                              "mid-write and report MTTR (requires the "
+                              "replicated-sequencer HA layer; see "
+                              "docs/ha.md)")
     chaos_p.add_argument("--kill-at", type=float, default=6e-3,
-                         help="kill time for --kill-client (default 6ms)")
+                         help="kill time for --kill-client / "
+                              "--kill-server (default 6ms)")
     chaos_p.add_argument("--heal-after", type=float, default=6e-2,
                          help="blackout length for --kill-client; after "
                               "it the zombie's RPCs get fenced "
@@ -303,17 +311,23 @@ def _cmd_chaos(args) -> int:
     from repro.pfs import ClusterConfig
 
     kill = args.kill_client is not None
+    kill_server = args.kill_server is not None
+    if kill and kill_server:
+        print("repro chaos: error: --kill-client and --kill-server are "
+              "mutually exclusive", file=sys.stderr)
+        return 2
 
     def rate(given, normal):
-        # Unstated rates default to 0 for --kill-client runs: eviction
-        # timeouts sized for the kill scenario would also fire on a
-        # live-but-lossy survivor.
+        # Unstated rates default to 0 for kill runs: eviction timeouts
+        # sized for the kill scenario would also fire on a
+        # live-but-lossy survivor, and the failover SN-floor argument
+        # is exact only when replication records are not dropped.
         if given is not None:
             return given
-        return 0.0 if kill else normal
+        return 0.0 if (kill or kill_server) else normal
 
     outages = ()
-    if not args.no_crash and not kill:
+    if not args.no_crash and not kill and not kill_server:
         outages = (ServerOutage(0, start=args.crash_at,
                                 duration=args.crash_duration),)
     try:
@@ -327,6 +341,8 @@ def _cmd_chaos(args) -> int:
         return 2
     if kill:
         return _cmd_chaos_kill(args, faults)
+    if kill_server:
+        return _cmd_chaos_seqkill(args, faults)
     cluster_cfg = ClusterConfig(
         num_data_servers=args.servers, num_clients=args.clients,
         dlm=args.dlm, stripe_size=4096, page_size=16,
@@ -429,8 +445,14 @@ def _cmd_chaos_kill(args, faults) -> int:
     cluster = result.cluster
     plan = cluster.fault_plan
     if args.json:
+        # The plan JSON goes to stdout either way (it is the replay
+        # artifact), but the exit code still reflects the oracle — a
+        # scripted `--json` run must not mask a failed recovery.
         print(plan.to_json())
-        return 0
+        if not result.verified:
+            print("repro chaos: FAIL: old-or-new oracle violated (torn "
+                  "victim slot or survivor mismatch)", file=sys.stderr)
+        return 0 if result.verified else 1
 
     census = Counter(result.victim_slots.values())
     status = "PASS" if result.verified else "FAIL"
@@ -459,6 +481,81 @@ def _cmd_chaos_kill(args, faults) -> int:
     print("Injected-fault timeline")
     print(plan.render_timeline(limit=args.limit))
     return 1 if not result.verified else 0
+
+
+def _cmd_chaos_seqkill(args, faults) -> int:
+    """``repro chaos --kill-server``: the sequencer-failover scenario."""
+    import json as _json
+
+    from repro.workloads.sequencer_kill import (
+        SequencerKillConfig,
+        run_sequencer_kill,
+    )
+
+    if not 0 <= args.kill_server < args.servers:
+        print(f"repro chaos: error: --kill-server {args.kill_server} out "
+              f"of range for {args.servers} servers", file=sys.stderr)
+        return 2
+    config = SequencerKillConfig(
+        dlm=args.dlm, seed=args.seed, clients=args.clients,
+        servers=args.servers, kill_index=args.kill_server,
+        kill_at=args.kill_at, writes_per_client=args.writes,
+        faults=faults)
+
+    t0 = time.time()
+    result = run_sequencer_kill(config)
+    dt = time.time() - t0
+    cluster = result.cluster
+    plan = cluster.fault_plan
+
+    if args.json:
+        # The MTTR report is the CI artifact; the exit code still
+        # reflects the oracle (unified contract: 0 ok, 1 failed check).
+        print(_json.dumps({
+            "workload": "sequencer-kill",
+            "dlm": args.dlm,
+            "seed": args.seed,
+            "verified": result.verified,
+            "reason": result.reason,
+            "killed_index": result.killed_index,
+            "mttr": result.mttr,
+            "detection_time": result.detection_time,
+            "promotion_time": result.promotion_time,
+            "time_to_first_grant": result.time_to_first_grant,
+            "failover": result.failover,
+            "resilience": result.counters,
+            "plan_signature": plan.signature(),
+        }, sort_keys=True))
+        if not result.verified:
+            print(f"repro chaos: FAIL: {result.reason}", file=sys.stderr)
+        return 0 if result.verified else 1
+
+    def ms(value) -> str:
+        return f"{value * 1e3:.3f} ms" if value is not None else "n/a"
+
+    status = "PASS" if result.verified else "FAIL"
+    print(f"chaos sequencer-kill/{args.dlm} seed={args.seed}: "
+          f"{status} ({dt:.1f}s wall)")
+    if not result.verified:
+        print(f"  {result.reason}")
+    print(f"  killed ds{result.killed_index} at "
+          f"{config.kill_at * 1e3:.1f} ms; MTTR {ms(result.mttr)} "
+          f"(detection {ms(result.detection_time)}, promotion "
+          f"{ms(result.promotion_time)}, first grant after "
+          f"{ms(result.time_to_first_grant)})")
+    reasserted = sum(r.get("locks_reasserted", 0) for r in result.failover)
+    fenced = sum(lc.stale_grants_fenced for lc in cluster.lock_clients)
+    checks = sum(v.checks for v in cluster.validators)
+    print(f"  {reasserted} locks re-asserted; {fenced} stale grants "
+          f"fenced; {checks} lock-invariant checks clean (incl. I7)")
+    print(f"  resilience: {_fmt_counters(cluster)}")
+    print(f"  metrics: {_snapshot_json(result.metrics)}")
+    print(f"  plan signature: {plan.signature()[:16]} "
+          f"(replay with --seed {args.seed})")
+    print()
+    print("Injected-fault timeline")
+    print(plan.render_timeline(limit=args.limit))
+    return 0 if result.verified else 1
 
 
 def _cmd_profile(args) -> int:

@@ -28,10 +28,11 @@ from repro.dlm.config import DLMConfig, ExpansionPolicy, make_dlm_config
 from repro.dlm.client import ClientLock, LockClient
 from repro.dlm.extent import EOF, Extent, ExtentMap, align_extent
 from repro.dlm.lcm import is_compatible
+from repro.dlm.replication import ReplicationConfig, StandbySequencer
 from repro.dlm.server import LockServer
 from repro.dlm.trace import LockTracer, render_timeline
 from repro.dlm.types import LockMode, LockState, severity_lub, can_satisfy
-from repro.dlm.validator import LockValidator, attach_validator
+from repro.dlm.validator import LockValidator, SnLedger, attach_validator
 
 __all__ = [
     "ClientLock",
@@ -46,6 +47,9 @@ __all__ = [
     "LockState",
     "LockTracer",
     "LockValidator",
+    "ReplicationConfig",
+    "SnLedger",
+    "StandbySequencer",
     "attach_validator",
     "render_timeline",
     "align_extent",

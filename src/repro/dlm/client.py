@@ -29,6 +29,7 @@ from repro.dlm.config import DLMConfig, LivenessConfig
 from repro.dlm.extent import Extent
 from repro.dlm.messages import (
     DowngradeMsg,
+    FailoverAnnounceMsg,
     FencedMsg,
     HeartbeatMsg,
     LockGrantMsg,
@@ -155,6 +156,20 @@ class LockClient:
         #: Lock servers this client has ever talked to (sticky, sorted at
         #: iteration for determinism) — heartbeat targets.
         self._known_servers: set = set()
+        # -- high availability (see repro.dlm.replication) -----------------
+        #: Node names of deposed sequencers: grants stamped with one of
+        #: these incumbents are stale — discarded and re-requested from
+        #: the promoted standby.
+        self._deposed: set = set()
+        #: Stale grants from a deposed incumbent this client discarded.
+        self.stale_grants_fenced = 0
+        #: Held locks this client re-asserted to a promoted standby.
+        self.locks_reasserted = 0
+        #: Optional hot-RPC cloning hook, installed by the cluster when
+        #: ``ReplicationConfig.clone_requests`` is on; called as
+        #: ``clone_fn(resource_id, request_msg)`` for every lock request
+        #: this client puts on the wire.
+        self.clone_fn = None
         self._cache: Dict[Hashable, List[ClientLock]] = {}
         # Lock ids are only unique per server; key by (resource, id).
         self._by_id: Dict[tuple, ClientLock] = {}
@@ -216,14 +231,19 @@ class LockClient:
 
         self.stats.requests += 1
         t0 = self.sim.now
-        server = self.server_for(resource_id)
-        self._known_servers.add(server.name)
         nbytes = CTRL_MSG_BYTES + 32 * max(0, len(extents) - 1)
         while True:
+            # Re-resolved every pass (and, via dst_fn, every retry): a
+            # request parked at a sequencer that dies mid-wait must land
+            # its next attempt at the promoted standby.
+            server = self.server_for(resource_id)
+            self._known_servers.add(server.name)
             request = LockRequestMsg(resource_id=resource_id, mode=mode,
                                      extents=tuple(extents),
                                      client_name=self.node.name,
                                      incarnation=self.incarnation)
+            if self.clone_fn is not None:
+                self.clone_fn(resource_id, request)
             if self.retry is None:
                 grant: LockGrantMsg = yield rpc_call(
                     self.node, server, "dlm", request, nbytes=nbytes)
@@ -231,12 +251,19 @@ class LockClient:
                 grant = yield from rpc_call_retry(
                     self.node, server, "dlm", request, nbytes=nbytes,
                     policy=self.retry, rng=self.rng,
-                    on_retry=self._count_request_retry)
+                    on_retry=self._count_request_retry,
+                    dst_fn=lambda rid=resource_id: self.server_for(rid))
             if isinstance(grant, FencedMsg):
                 # Evicted while this request was in flight or queued:
                 # adopt the fresh incarnation and reissue the request.
                 self.stats.fenced_replies += 1
                 self.note_fenced(grant)
+                continue
+            if grant.incumbent and grant.incumbent in self._deposed:
+                # Stale grant from a deposed sequencer (it raced the
+                # failover announce): the promoted standby owns the
+                # resource now — drop the grant and re-request.
+                self.stale_grants_fenced += 1
                 continue
             break
         self.stats.lock_wait_time += self.sim.now - t0
@@ -345,6 +372,9 @@ class LockClient:
     # ------------------------------------------------------------- callbacks
     def _on_callback(self, msg) -> None:
         payload = msg.payload
+        if isinstance(payload, FailoverAnnounceMsg):
+            self._on_failover(payload)
+            return
         if not isinstance(payload, RevokeMsg):  # pragma: no cover
             raise TypeError(f"unexpected callback {payload!r}")
         self.stats.revokes_received += 1
@@ -365,6 +395,36 @@ class LockClient:
                                           incarnation=self.incarnation))
         lock.state = LockState.CANCELING
         self._maybe_cancel(lock)
+
+    def _on_failover(self, msg: FailoverAnnounceMsg) -> None:
+        """React to a failover announce: fence the deposed incumbent and
+        re-assert every held lock to the promoted standby.
+
+        Re-assertion reuses the §IV-C2 recovery records
+        (:class:`LockStateRecord`) over the normal notification path, so
+        under a retry policy it is reliable; the standby holds its wait
+        queues until its re-assertion window closes, which is what makes
+        the re-enqueued waiters deterministic.  Idempotent per announce
+        (duplicates re-send records the server's dedup table absorbs).
+        """
+        knew_failed = msg.failed in self._known_servers
+        self._deposed.add(msg.failed)
+        self._known_servers.discard(msg.failed)
+        incumbent = self.node.fabric.nodes.get(msg.incumbent)
+        if incumbent is None:  # pragma: no cover - wiring error
+            return
+        reasserted = 0
+        for rec in self.gather_lock_states():
+            # Only locks the deposed sequencer owned move; the cluster
+            # flips its routing table before announcing, so the current
+            # resolution *is* the new incumbent for exactly those.
+            if self.server_for(rec.resource_id) is incumbent:
+                self._notify(incumbent, rec)
+                reasserted += 1
+        if knew_failed or reasserted:
+            # Heartbeats move to the standby so it can lease-police us.
+            self._known_servers.add(msg.incumbent)
+        self.locks_reasserted += reasserted
 
     # ---------------------------------------------------------------- cancel
     def _cancel(self, lock: ClientLock) -> Generator:

@@ -13,6 +13,9 @@ senders.  The message set matches Fig. 1/Fig. 6 of the paper:
 ``MsnQueryMsg``     data-srv -> server    min-SN query for cache cleaning
 ``HeartbeatMsg``    client -> server      lease renewal (liveness)
 ``FencedMsg``       server -> client      rejection of a zombie RPC
+``ReplicaMsg``      server -> standby     async SN/grant replication record
+``ProbeMsg``        standby -> server     failure-detector liveness probe
+``FailoverAnnounceMsg`` cluster -> client failover notice: re-assert locks
 
 Every client→server message carries the sender's **incarnation number**;
 a server that evicted the client fences all lower incarnations (replying
@@ -39,6 +42,9 @@ __all__ = [
     "LockStateRecord",
     "HeartbeatMsg",
     "FencedMsg",
+    "ReplicaMsg",
+    "ProbeMsg",
+    "FailoverAnnounceMsg",
 ]
 
 Extents = Tuple[Tuple[int, int], ...]
@@ -64,6 +70,10 @@ class LockGrantMsg:
     state: LockState        # CANCELING == early revocation piggyback
     #: Same-client locks merged into this grant by lock upgrading.
     absorbed_lock_ids: Tuple[int, ...] = ()
+    #: Name of the sequencer node that issued the grant.  Clients use it
+    #: to discard grants from a deposed incumbent after a failover (the
+    #: lock is retried against the new incumbent instead).
+    incumbent: str = ""
 
 
 @dataclass(**DATACLASS_KW)
@@ -135,3 +145,43 @@ class FencedMsg:
     client_name: str
     incarnation: int
     min_incarnation: int
+
+
+@dataclass(**DATACLASS_KW)
+class ReplicaMsg:
+    """Asynchronous replication record: "resource ``resource_id`` has
+    issued SNs up to and including ``sn``".
+
+    The active sequencer fires one per write grant, fire-and-forget, so
+    the standby's watermark always trails the truth by at most the
+    in-flight window.  On promotion the standby resumes each resource at
+    ``watermark + 1`` (combined with the extent-log floor), which keeps
+    SN continuity without any synchronous commit on the grant path."""
+
+    resource_id: Hashable
+    sn: int
+
+
+@dataclass(**DATACLASS_KW)
+class ProbeMsg:
+    """Failure-detector liveness probe (standby -> active ``dlm``
+    service).  A live sequencer echoes it back; silence past the probe
+    timeout counts as a miss."""
+
+    origin: str = ""
+
+
+@dataclass(**DATACLASS_KW)
+class FailoverAnnounceMsg:
+    """Failover notice delivered to every lock client: node ``failed``
+    is deposed, ``incumbent`` is the new sequencer for its resources.
+
+    On receipt a client (a) discards any in-flight or future grant whose
+    ``incumbent`` field names the deposed node, and (b) re-asserts every
+    lock it holds from the deposed node to the new incumbent as
+    :class:`LockStateRecord` notifications (§IV-C2 recovery, reused for
+    failover)."""
+
+    failed: str
+    incumbent: str
+    epoch: int = 0

@@ -1,0 +1,182 @@
+"""Sequencer replication and failover (the HA layer).
+
+The ROADMAP's production-scale open item: a lock-server outage must not
+be fatal to a run.  Each active sequencer gets a **standby** on its own
+node that
+
+* receives asynchronous :class:`~repro.dlm.messages.ReplicaMsg` records
+  — one per write-mode grant, fire-and-forget — and keeps a per-resource
+  **SN watermark** (the highest SN it knows was issued).  Replication is
+  off the grant path, so it costs fan-out bandwidth but no grant
+  latency; the price is an in-flight window the promotion floor must
+  cover (arxiv 1812.10584 measures exactly this replication fan-out
+  trade on cluster file systems);
+* optionally receives **clones** of hot lock RPCs
+  (``clone_requests``), so the tail cost of request cloning can be
+  measured against the replication-only baseline (arxiv 2002.04416);
+* runs a seeded **failure detector**: a probe RPC to the active's
+  ``"dlm"`` service every ``probe_interval``; ``miss_threshold``
+  consecutive timeouts declare the active dead and hand control to the
+  cluster's promotion hook.
+
+Promotion itself is orchestrated by the cluster
+(:meth:`repro.pfs.filesystem.Cluster.promote_standby`): it builds a
+fresh :class:`~repro.dlm.server.LockServer` on the standby node, seeds
+every resource's SN floor from ``max(watermark + 1, extent-log floor)``
+(SN continuity: the floor is ≥ every SN the standby has acknowledged),
+flips the lock-routing table, and announces the failover so clients
+re-assert held locks during the new server's hold-off window.  MTTR is
+reported as detection → promotion → first post-failover grant.
+
+All timing is deterministic: the detector's probe cadence is fixed (no
+jitter) and every failover decision is a pure function of message
+arrival order, so same-seed reruns produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Hashable, Optional
+
+from repro.config import DictConfigMixin
+from repro.dlm.messages import LockRequestMsg, ProbeMsg, ReplicaMsg
+from repro.net.fabric import Message, Node
+from repro.net.rpc import RetryPolicy, RpcTimeoutError, rpc_call_retry
+
+__all__ = ["ReplicationConfig", "StandbySequencer", "REPLICA_MSG_BYTES"]
+
+#: Wire size of one replication record (resource id + SN watermark).
+REPLICA_MSG_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ReplicationConfig(DictConfigMixin):
+    """Sequencer-HA parameters (see :mod:`repro.dlm.replication`).
+
+    Defaults detect a dead sequencer in ~6 ms of silence (3 probes of
+    2 ms each) and hold grants for 10 ms of re-assertion — an MTTR well
+    under the liveness layer's default 20 ms lease, so a failover never
+    cascades into spurious client evictions.
+    """
+
+    #: Probe cadence of the failure detector (seconds).
+    probe_interval: float = 2.0e-3
+    #: Per-probe reply timeout (one attempt per probe).
+    probe_timeout: float = 2.0e-3
+    #: Consecutive probe timeouts that declare the active dead.
+    miss_threshold: int = 3
+    #: Hold-off window after promotion during which the new incumbent
+    #: parks its wait queues while clients re-assert held locks.
+    reassert_timeout: float = 1.0e-2
+    #: Also clone every client lock request to the standby (hot-RPC
+    #: cloning; measures the tail cost of keeping the standby request-
+    #: warm, per the request-cloning reproducibility report).
+    clone_requests: bool = False
+
+    def __post_init__(self):
+        if self.probe_interval <= 0 or self.probe_timeout <= 0:
+            raise ValueError("probe_interval and probe_timeout must be > 0")
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}")
+        if self.reassert_timeout < 0:
+            raise ValueError(
+                f"reassert_timeout must be >= 0, got {self.reassert_timeout}")
+
+
+class StandbySequencer:
+    """The standby half of one replicated sequencer pair.
+
+    Lives on its own node (``sb<i>``), exposes the ``"dlm_repl"``
+    service for replication records and cloned requests, and runs the
+    failure detector against the active.  On detection it calls
+    ``on_failure(self)`` exactly once — the cluster's promotion hook.
+    """
+
+    def __init__(self, node: Node, index: int, active_node: Node,
+                 config: ReplicationConfig,
+                 on_failure: Callable[["StandbySequencer"], None]):
+        self.node = node
+        self.sim = node.sim
+        self.index = index
+        self.active_node = active_node
+        self.config = config
+        self.on_failure = on_failure
+        #: resource_id -> highest SN known issued (from ReplicaMsg).
+        self.watermarks: Dict[Hashable, int] = {}
+        #: Replication records received.
+        self.records = 0
+        #: Cloned lock requests received.
+        self.clones = 0
+        #: Set when the detector declares the active dead.
+        self.suspected_at: Optional[float] = None
+        #: Set by the cluster when this standby is promoted.
+        self.promoted_at: Optional[float] = None
+        self._probe_policy = RetryPolicy(timeout=config.probe_timeout,
+                                         max_retries=0)
+        reg = getattr(self.sim, "metrics", None)
+        #: One-way fabric lag of replication records / cloned requests —
+        #: the p99 of these is the replication/cloning tail cost in the
+        #: MetricsSnapshot.  Registered only on HA clusters, so non-HA
+        #: golden snapshots never see the keys.
+        self._repl_lag = (reg.histogram("failover.replication_lag",
+                                        unit="seconds",
+                                        owner="dlm.replication")
+                          if reg is not None else None)
+        self._clone_lag = (reg.histogram("failover.clone_lag",
+                                         unit="seconds",
+                                         owner="dlm.replication")
+                           if reg is not None else None)
+        node.register_service("dlm_repl", self._on_message)
+        self._detector_proc = self.sim.spawn(
+            self._detector(), name=f"{node.name}-detector")
+
+    # ------------------------------------------------------------ replication
+    def _on_message(self, msg: Message) -> None:
+        payload = msg.payload
+        if isinstance(payload, ReplicaMsg):
+            self.records += 1
+            prev = self.watermarks.get(payload.resource_id, 0)
+            if payload.sn > prev:
+                self.watermarks[payload.resource_id] = payload.sn
+            if self._repl_lag is not None:
+                self._repl_lag.observe(max(0.0, self.sim.now - msg.send_time))
+        elif isinstance(payload, LockRequestMsg):
+            # A cloned hot RPC: the standby only counts and times it —
+            # it holds no lock state until promoted, at which point the
+            # client's normal retry (re-routed by dst_fn) supplies the
+            # authoritative request.
+            self.clones += 1
+            if self._clone_lag is not None:
+                self._clone_lag.observe(max(0.0, self.sim.now - msg.send_time))
+        else:  # pragma: no cover - protocol error
+            raise TypeError(f"unexpected replication payload {payload!r}")
+
+    def sn_floor(self, resource_id: Hashable) -> int:
+        """Safe resume floor for ``resource_id``: one past every SN this
+        standby has acknowledged (0 when it never heard of it)."""
+        wm = self.watermarks.get(resource_id)
+        return wm + 1 if wm is not None else 0
+
+    # -------------------------------------------------------------- detection
+    def _detector(self) -> Generator:
+        """Fixed-cadence probe loop; fires ``on_failure`` after
+        ``miss_threshold`` consecutive unanswered probes."""
+        cfg = self.config
+        misses = 0
+        while self.promoted_at is None:
+            yield cfg.probe_interval
+            if self.promoted_at is not None:
+                return
+            try:
+                yield from rpc_call_retry(
+                    self.node, self.active_node, "dlm",
+                    ProbeMsg(origin=self.node.name),
+                    policy=self._probe_policy)
+                misses = 0
+            except RpcTimeoutError:
+                misses += 1
+                if misses >= cfg.miss_threshold:
+                    self.suspected_at = self.sim.now
+                    self.on_failure(self)
+                    return

@@ -45,6 +45,7 @@ from repro.dlm.messages import (
     LockRequestMsg,
     LockStateRecord,
     MsnQueryMsg,
+    ProbeMsg,
     ReleaseMsg,
     RevokeAckMsg,
     RevokeMsg,
@@ -199,6 +200,25 @@ class LockServer:
         #: computed from live state, so they can never drift).
         self.lock_table_max = 0
         self.waiter_queue_max = 0
+        # -- high availability (see repro.dlm.replication) -----------------
+        #: Fail-stop flag: a killed sequencer never grants, evicts, or
+        #: sends again.  Distinct from ``node.failed`` — the node's other
+        #: services (the co-located data server) stay up.
+        self.dead = False
+        #: Replication hook, called as ``replicate_fn(resource_id, sn)``
+        #: for every write-mode grant (the SN it consumed); the cluster
+        #: wires it to the standby's replication channel.
+        self.replicate_fn = None
+        #: Until this instant ``_process`` grants nothing: a promoted
+        #: standby holds its queues while surviving clients re-assert
+        #: their locks, so re-enqueued waiters cannot jump a still-held
+        #: (but not yet re-reported) lock.
+        self.recovery_hold_until = 0.0
+        #: Simulated time of this server's first grant (a promoted
+        #: standby's value is the end of the MTTR window).
+        self.first_grant_at: Optional[float] = None
+        #: Locks reinstalled via client re-assertion after a failover.
+        self.locks_reasserted = 0
         self.service = RpcService(node, "dlm", self._handle, ops=ops,
                                   cost_fn=self._dispatch_cost,
                                   dedup=dedup, admission=admission)
@@ -240,6 +260,45 @@ class LockServer:
         self._fence.clear()
         self.service.reset_dedup()
 
+    def kill(self) -> None:
+        """Fail-stop this sequencer (HA failover testing).
+
+        The node itself stays up — its data-server service keeps flowing
+        — but the DLM is gone for good: the dispatcher halts, the
+        ``"dlm"`` handler is swapped for a black hole (senders observe
+        silence and time out, exactly the ambiguity a failure detector
+        faces — *not* a synchronous connection-refused), and the epoch
+        bump stops every in-flight revoke watchdog.  Irreversible; the
+        standby is promoted in this server's place.
+        """
+        if self.dead:
+            return
+        self.dead = True
+        self._epoch += 1
+        self.service.halt()
+        node = self.node
+
+        def _blackhole(msg) -> None:
+            node.messages_blackholed += 1
+
+        node.unregister_service("dlm")
+        node.register_service("dlm", _blackhole)
+
+    def begin_recovery_holdoff(self, duration: float) -> None:
+        """Hold all grants for ``duration`` while clients re-assert their
+        locks to this (just-promoted) server, then re-run every wait
+        queue in deterministic (resource-repr) order."""
+        self.recovery_hold_until = self.sim.now + duration
+        self.sim.spawn(self._holdoff_expiry(duration),
+                       name=f"{self.node.name}-holdoff")
+
+    def _holdoff_expiry(self, duration: float):
+        yield float(duration)
+        if self.dead:
+            return
+        for rid in sorted(self._resources, key=repr):
+            self._process(self._resources[rid])
+
     @property
     def lock_table_size(self) -> int:
         """Locks currently granted across all resources."""
@@ -261,7 +320,13 @@ class LockServer:
 
     # ------------------------------------------------------------- dispatch
     def _handle(self, req: Request) -> None:
+        if self.dead:
+            return  # defense in depth: a killed sequencer handles nothing
         payload = req.payload
+        if isinstance(payload, ProbeMsg):
+            # Failure-detector probe: a live sequencer just echoes.
+            req.respond("alive", nbytes=CTRL_MSG_BYTES)
+            return
         client = getattr(payload, "client_name", "") or req.src.name
         inc = getattr(payload, "incarnation", None)
         if inc is not None:
@@ -366,6 +431,7 @@ class LockServer:
 
     def _on_recover_lock(self, rec: LockStateRecord) -> None:
         """Reinstall a client-reported lock during server recovery."""
+        self.locks_reasserted += 1
         res = self._res(rec.resource_id)
         res.granted[rec.lock_id] = ServerLock(
             lock_id=rec.lock_id, resource_id=rec.resource_id,
@@ -454,6 +520,11 @@ class LockServer:
             return absorb, []
 
     def _process(self, res: _Resource) -> None:
+        if self.dead or self.sim.now < self.recovery_hold_until:
+            # Dead sequencers grant nothing; a just-promoted standby
+            # parks its queues until the re-assertion hold-off expires
+            # (the expiry process re-runs every queue).
+            return
         while res.queue:
             pend = res.queue[0]
             msg = pend.msg
@@ -654,10 +725,19 @@ class LockServer:
         res.granted[lock.lock_id] = lock
         self.stats.grants += 1
         self._note_table_size()
+        if self.first_grant_at is None:
+            self.first_grant_at = self.sim.now
+        if self.replicate_fn is not None and is_write_mode(mode):
+            # Asynchronous SN replication: the standby's watermark for
+            # this resource advances to the SN just consumed.  Sent in
+            # the same instant as the grant reply, so a grant the client
+            # may act on is always at least in flight to the standby.
+            self.replicate_fn(res.resource_id, sn)
         pend.req.respond(LockGrantMsg(
             lock_id=lock.lock_id, resource_id=res.resource_id, mode=mode,
             extents=extents, sn=sn, state=state,
-            absorbed_lock_ids=absorbed_ids), nbytes=CTRL_MSG_BYTES)
+            absorbed_lock_ids=absorbed_ids,
+            incumbent=self.node.name), nbytes=CTRL_MSG_BYTES)
 
     # ------------------------------------------------- liveness / eviction
     def is_fenced(self, client: str, incarnation: int) -> bool:
@@ -705,6 +785,8 @@ class LockServer:
         lv = self.liveness
         while True:
             yield lv.check_interval
+            if self.dead:
+                return  # killed sequencer: the standby's monitor takes over
             if self.node.failed:
                 continue  # a crashed server evicts nobody
             now = self.sim.now

@@ -30,6 +30,16 @@ I6. **Eviction permanence per epoch** — a ``(resource, lock_id)`` pair
     the same crash epoch; together with I1/I3 re-checked after the
     post-eviction queue promotion, this is the "no two live grants
     overlap across an eviction" guarantee.
+I7. **SN uniqueness across failover epochs** — cluster-wide, a
+    ``(resource, SN)`` pair is issued by at most one sequencer identity:
+    once any server grants SN *s* for a resource, no *other* server (a
+    promoted standby, a split-brain stale incumbent) may ever grant the
+    same pair.  The same server *name* reissuing the pair in a **later
+    crash epoch** is the one legal exception — §IV-C2 recovery may
+    reissue an SN whose original grant message was lost in flight, since
+    no data ever carried it.  Checked by the cluster-shared
+    :class:`SnLedger`; this is the safety net under the promotion
+    floor's ``max(replication watermark + 1, extent-log floor)`` rule.
 
 The validator is pure observation — it never mutates server state — and
 is cheap enough to leave on in every integration test.  Violations raise
@@ -39,25 +49,59 @@ transition instead of a downstream data corruption.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.dlm.lcm import CompatibilityFn
 from repro.dlm.server import LockServer, _Resource
 from repro.dlm.types import LockState, is_write_mode
 from repro.dlm.extent import overlaps
 
-__all__ = ["LockInvariantViolation", "LockValidator", "attach_validator"]
+__all__ = ["LockInvariantViolation", "LockValidator", "SnLedger",
+           "attach_validator"]
 
 
 class LockInvariantViolation(AssertionError):
     """A lock-protocol safety invariant was broken."""
 
 
+class SnLedger:
+    """Cluster-wide ``(resource, SN) -> issuer`` ledger backing I7.
+
+    Shared by every validator in a cluster (including ones attached to
+    servers promoted mid-run), so a duplicate grant is caught no matter
+    which sequencer identity issues it.
+    """
+
+    def __init__(self):
+        #: ``(resource_id, sn) -> (server_name, crash_epoch)``.
+        self._issued: Dict[Tuple[Hashable, int], Tuple[str, int]] = {}
+
+    def note_grant(self, resource_id: Hashable, sn: int,
+                   server_name: str, epoch: int) -> None:
+        key = (resource_id, sn)
+        prev = self._issued.get(key)
+        if prev is None:
+            self._issued[key] = (server_name, epoch)
+            return
+        prev_name, prev_epoch = prev
+        if prev_name == server_name and prev_epoch != epoch:
+            # Legal §IV-C2 reissue: the same sequencer identity, after a
+            # crash, reissuing an SN whose grant never reached anyone.
+            self._issued[key] = (server_name, epoch)
+            return
+        raise LockInvariantViolation(
+            f"[I7] SN {sn} on {resource_id!r} granted twice: first by "
+            f"{prev_name!r} (epoch {prev_epoch}), again by "
+            f"{server_name!r} (epoch {epoch})")
+
+
 class LockValidator:
     """Wraps a lock server's ``_process`` to validate after every step."""
 
-    def __init__(self, server: LockServer):
+    def __init__(self, server: LockServer,
+                 ledger: Optional[SnLedger] = None):
         self.server = server
+        self.ledger = ledger
         self.lcm: CompatibilityFn = server.config.lcm
         self.checks = 0
         #: Evictions witnessed first-hand; the metrics cross-check test
@@ -142,6 +186,10 @@ class LockValidator:
             seen.add(lock.sn)
             self.max_write_sn_seen[rid] = max(prev, lock.sn)
             self._seen_lock_ids.setdefault(rid, set()).add(lock_id)
+            if self.ledger is not None:
+                self.ledger.note_grant(rid, lock.sn,
+                                       self.server.node.name,
+                                       self.server._epoch)
 
     # ----------------------------------------------------------- validation
     def validate_resource(self, res: _Resource) -> None:
@@ -196,7 +244,14 @@ class LockValidator:
                 raise LockInvariantViolation(
                     f"[I6] evicted lock {lock_id} reappeared on {rid!r}")
 
-        # I4: the queue head must be genuinely blocked.
+        # I4: the queue head must be genuinely blocked.  Suspended
+        # during a post-failover re-assertion hold-off: the new
+        # incumbent deliberately parks grantable requests until every
+        # surviving client has re-asserted (the hold-off expiry
+        # re-processes every queue).
+        if getattr(self.server, "recovery_hold_until", 0.0) > \
+                self.server.sim.now:
+            return
         if res.queue:
             head = res.queue[0].msg
             blocked = any(
@@ -219,5 +274,13 @@ class LockValidator:
 
 
 def attach_validator(cluster) -> List[LockValidator]:
-    """Attach a validator to every lock server of a cluster."""
-    return [LockValidator(ls) for ls in cluster.lock_servers]
+    """Attach a validator to every lock server of a cluster.
+
+    All validators share one :class:`SnLedger` (stored as
+    ``cluster.sn_ledger``) so I7 spans sequencer identities; servers
+    promoted later join the same ledger
+    (:meth:`~repro.pfs.filesystem.Cluster.promote_standby`).
+    """
+    ledger = SnLedger()
+    cluster.sn_ledger = ledger
+    return [LockValidator(ls, ledger=ledger) for ls in cluster.lock_servers]

@@ -13,6 +13,7 @@ from repro.faults.plan import (
     FaultEvent,
     FaultPlan,
     Partition,
+    SequencerKill,
     ServerOutage,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "Partition",
+    "SequencerKill",
     "ServerOutage",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "Partition",
+    "SequencerKill",
     "ServerOutage",
 ]
 
@@ -65,6 +66,26 @@ class ServerOutage(DictConfigMixin):
     server_index: int
     start: float
     duration: float
+
+
+@dataclass(frozen=True)
+class SequencerKill(DictConfigMixin):
+    """A permanent kill of one lock-server (sequencer) node at ``at``.
+
+    Unlike :class:`ServerOutage` (a data-server crash that *recovers*),
+    a sequencer kill is fail-stop: the dead incumbent never comes back,
+    and the cluster's HA layer (see :mod:`repro.dlm.replication`) is
+    expected to detect the silence and promote the standby.  The node
+    keeps black-holing traffic so retrying clients observe timeouts,
+    not errors — exactly the ambiguity a real failure detector faces.
+    """
+
+    server_index: int
+    at: float
+
+    def __post_init__(self):
+        if self.at < 0.0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
 
 
 @dataclass(frozen=True)
@@ -117,6 +138,10 @@ class FaultConfig(DictConfigMixin):
     #: Timed client blackouts/kills (executed by the cluster; the
     #: injector enforces the blackout on the wire).
     client_outages: Tuple[ClientOutage, ...] = ()
+    #: Fail-stop sequencer kills (executed by the cluster; the HA layer
+    #: must detect and fail over — no wire-level RNG draws involved, so
+    #: adding a kill never perturbs the message-fault stream).
+    sequencer_kills: Tuple[SequencerKill, ...] = ()
 
     def __post_init__(self):
         for name in ("drop_rate", "duplicate_rate", "reorder_rate", "delay_rate"):

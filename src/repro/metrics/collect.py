@@ -54,7 +54,7 @@ def resilience_counters(cluster) -> Dict[str, int]:
     def add(key: str, value) -> None:
         out[key] += int(value)
 
-    for ls in cluster.lock_servers:
+    for ls in _lock_servers(cluster):
         add("revoke_retransmits", ls.stats.revoke_retransmits)
         add("heartbeats_accepted", ls.stats.heartbeats)
         add("evictions", ls.stats.evictions)
@@ -80,6 +80,12 @@ def resilience_counters(cluster) -> Dict[str, int]:
     return out
 
 
+def _lock_servers(cluster) -> List:
+    """Active plus retired lock servers (a deposed sequencer's counters
+    still count; pre-HA clusters have no ``all_lock_servers``)."""
+    return list(getattr(cluster, "all_lock_servers", cluster.lock_servers))
+
+
 def _counter(value, unit: str, owner: str) -> Dict[str, Any]:
     return {"type": "counter", "unit": unit, "owner": owner,
             "value": int(value)}
@@ -93,7 +99,7 @@ def _gauge(value, unit: str, owner: str, maximum=None) -> Dict[str, Any]:
 def _services_by_name(cluster) -> Dict[str, List]:
     groups: Dict[str, List] = {}
     services = [cluster.metadata.service]
-    services += [ls.service for ls in cluster.lock_servers]
+    services += [ls.service for ls in _lock_servers(cluster)]
     services += [ds.service for ds in cluster.data_servers]
     for svc in services:
         groups.setdefault(svc.name, []).append(svc)
@@ -198,11 +204,11 @@ def collect_cluster_metrics(cluster) -> MetricsSnapshot:
     m["dlm.revoke_wait_time"] = _gauge(
         agg.get("revoke_wait_time", 0.0), "seconds", owner)
     m["dlm.lock_table_size"] = _gauge(
-        sum(ls.lock_table_size for ls in cluster.lock_servers), "locks",
+        sum(ls.lock_table_size for ls in _lock_servers(cluster)), "locks",
         owner, maximum=max((ls.lock_table_max
-                            for ls in cluster.lock_servers), default=0))
+                            for ls in _lock_servers(cluster)), default=0))
     m["dlm.waiter_queue_max"] = _gauge(
-        max((ls.waiter_queue_max for ls in cluster.lock_servers),
+        max((ls.waiter_queue_max for ls in _lock_servers(cluster)),
             default=0), "requests", owner)
 
     # -- lock clients ------------------------------------------------------
@@ -279,6 +285,34 @@ def collect_cluster_metrics(cluster) -> MetricsSnapshot:
     m["ds.disk.saturation"] = _gauge(
         disk_busy / (len(devices) * elapsed) if elapsed else 0.0,
         "ratio", owner)
+
+    # -- sequencer failover (HA clusters only; see docs/ha.md) -------------
+    # Emitted only when standbys exist: adding zero-filled failover keys
+    # to classic runs would churn the golden byte-identity digests, the
+    # same rule the admission counters follow.
+    standbys = getattr(cluster, "standbys", None)
+    if standbys:
+        owner = "dlm.replication"
+        report = cluster.failover_report()
+        m["failover.promotions"] = _counter(len(report), "events", owner)
+        m["failover.replication_records"] = _counter(
+            sum(sb.records for sb in standbys), "messages", owner)
+        m["failover.request_clones"] = _counter(
+            sum(sb.clones for sb in standbys), "messages", owner)
+        m["failover.locks_reasserted"] = _counter(
+            sum(ls.locks_reasserted for ls in _lock_servers(cluster)),
+            "locks", owner)
+        local_lcs = [ds.local_lock_client for ds in cluster.data_servers
+                     if ds.local_lock_client is not None]
+        m["failover.stale_grants_fenced"] = _counter(
+            sum(lc.stale_grants_fenced
+                for lc in list(cluster.lock_clients) + local_lcs),
+            "grants", owner)
+        for key in ("detection_time", "promotion_time",
+                    "time_to_first_grant", "mttr"):
+            vals = [r[key] for r in report if r[key] is not None]
+            m[f"failover.{key}"] = _gauge(
+                max(vals) if vals else 0.0, "seconds", owner)
 
     # -- the chaos-report resilience set (always full, zero-filled) --------
     for key, value in resilience_counters(cluster).items():

@@ -24,7 +24,7 @@ from typing import Any, Callable, Generator, Optional, Tuple, Union
 
 from repro.config import DictConfigMixin
 from repro.net.fabric import Fabric, Message, Node, UnknownServiceError
-from repro.sim.core import Event, Simulator
+from repro.sim.core import Event, Interrupt, SimulationError, Simulator
 from repro.sim.resources import Store
 
 __all__ = ["RpcError", "RpcTimeoutError", "RetryPolicy", "AdmissionConfig",
@@ -260,9 +260,26 @@ class RpcService:
         self._dedup_ttl = dedup_ttl
         if dedup:
             self.enable_dedup(dedup_capacity, dedup_ttl)
+        self.halted = False
         node.register_service(name, self._enqueue)
         self._dispatcher = self.sim.spawn(self._dispatch(),
                                           name=f"{node.name}/{name}")
+
+    def halt(self) -> None:
+        """Permanently stop the dispatcher (fail-stop node kill).
+
+        Queued and future messages are never dispatched again; the
+        service's counters are left intact for post-mortem metrics.
+        Idempotent, and safe whether the dispatcher is idle on the inbox
+        or mid-dispatch charging service time.
+        """
+        if self.halted:
+            return
+        self.halted = True
+        try:
+            self._dispatcher.interrupt("halt")
+        except SimulationError:
+            pass  # already terminated (simulation winding down)
 
     def _enqueue(self, msg: Message) -> None:
         adm = self.admission
@@ -363,6 +380,12 @@ class RpcService:
             self._dedup.move_to_end(key)
 
     def _dispatch(self) -> Generator:
+        try:
+            yield from self._dispatch_loop()
+        except Interrupt:
+            return  # halted: a killed sequencer dispatches nothing more
+
+    def _dispatch_loop(self) -> Generator:
         sim = self.sim
         while True:
             msg = yield self.inbox.get()
@@ -426,7 +449,8 @@ def rpc_call_retry(src: Node, dst: Node, service: str, payload: Any,
                    nbytes: int = CTRL_MSG_BYTES,
                    policy: Optional[RetryPolicy] = None,
                    rng=None,
-                   on_retry: Optional[Callable[[int], None]] = None
+                   on_retry: Optional[Callable[[int], None]] = None,
+                   dst_fn: Optional[Callable[[], Node]] = None
                    ) -> Generator:
     """Issue an RPC with timeouts, exponential backoff and retries.
 
@@ -447,6 +471,12 @@ def rpc_call_retry(src: Node, dst: Node, service: str, payload: Any,
     ``retry_after`` hint (±``policy.jitter``) before resending the same
     ``req_id``; each rejection consumes one attempt, so a persistently
     overloaded server eventually surfaces as :class:`RpcTimeoutError`.
+
+    With ``dst_fn`` the destination is re-resolved before *every*
+    attempt (``dst`` is then only a fallback).  This is the failover
+    hook: a client whose lock request is parked at a sequencer that
+    dies mid-wait re-routes its next retry to the promoted standby
+    instead of resending into the dead node forever.
     """
     policy = policy or RetryPolicy()
     fabric: Fabric = src.fabric
@@ -458,6 +488,8 @@ def rpc_call_retry(src: Node, dst: Node, service: str, payload: Any,
     for attempt in range(attempts):
         if attempt and on_retry is not None:
             on_retry(attempt)
+        if dst_fn is not None:
+            dst = dst_fn()
         msg = Message(src=src, dst=dst, service=service, payload=payload,
                       nbytes=nbytes, req_id=req_id)
         try:

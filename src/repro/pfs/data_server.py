@@ -22,7 +22,13 @@ from repro.dlm.extent import EOF
 from repro.dlm.messages import FencedMsg, MsnQueryMsg
 from repro.dlm.types import LockMode
 from repro.net.fabric import Node
-from repro.net.rpc import CTRL_MSG_BYTES, Request, RpcService, rpc_call
+from repro.net.rpc import (
+    CTRL_MSG_BYTES,
+    Request,
+    RpcService,
+    rpc_call,
+    rpc_call_retry,
+)
 from repro.pfs.content import (
     CONTENT_CHECKSUM,
     CONTENT_FULL,
@@ -131,6 +137,16 @@ class DataServer:
         #: ``fence_floor``): maps ``(client_name, incarnation)`` to the
         #: minimum acceptable incarnation when fenced, else None.
         self.fence_fn = None
+        #: Installed by the cluster when sequencer replication is on:
+        #: maps a stripe key to the node currently running its DLM (the
+        #: standby after a failover).  None keeps the classic co-located
+        #: local RPC.
+        self.dlm_node_fn = None
+        #: Retry policy + rng for mSN queries when ``dlm_node_fn`` is set
+        #: — a query in flight to a dying sequencer must time out and be
+        #: re-routed to the promoted standby, not hang the cleaner.
+        self.msn_retry = None
+        self.msn_rng = None
 
     # -------------------------------------------------------------- dispatch
     def _handle(self, req: Request):
@@ -217,9 +233,19 @@ class DataServer:
     # -------------------------------------------------- extent-cache hooks
     def _query_msn(self, stripe_key: Hashable, extents) -> Generator:
         """Local RPC to the co-located DLM service (stripe and lock
-        resource share an identifier and a node, Fig. 13)."""
-        reply = yield rpc_call(self.node, self.node, "dlm",
-                               MsnQueryMsg(stripe_key, extents))
+        resource share an identifier and a node, Fig. 13).  With an HA
+        cluster (``dlm_node_fn`` installed) the query instead retries
+        against whichever node currently runs the stripe's sequencer, so
+        cache cleaning survives a failover."""
+        if self.dlm_node_fn is None:
+            reply = yield rpc_call(self.node, self.node, "dlm",
+                                   MsnQueryMsg(stripe_key, extents))
+            return reply
+        reply = yield from rpc_call_retry(
+            self.node, self.dlm_node_fn(stripe_key), "dlm",
+            MsnQueryMsg(stripe_key, extents),
+            policy=self.msn_retry, rng=self.msn_rng,
+            dst_fn=lambda: self.dlm_node_fn(stripe_key))
         return reply
 
     def _force_sync(self, stripe_key: Hashable) -> Generator:

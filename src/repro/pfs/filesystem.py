@@ -24,15 +24,22 @@ from typing import Dict, Generator, Hashable, List, Optional, Union
 from repro.config import DictConfigMixin
 from repro.dlm.client import LockClient
 from repro.dlm.config import DLMConfig, LivenessConfig, make_dlm_config
+from repro.dlm.messages import FailoverAnnounceMsg, ReplicaMsg
+from repro.dlm.replication import (
+    REPLICA_MSG_BYTES,
+    ReplicationConfig,
+    StandbySequencer,
+)
 from repro.faults import (
     ClientOutage,
     FaultConfig,
     FaultInjector,
     FaultPlan,
+    SequencerKill,
     ServerOutage,
 )
 from repro.net.fabric import Fabric, NetworkConfig, Node
-from repro.net.rpc import AdmissionConfig, RetryPolicy
+from repro.net.rpc import AdmissionConfig, CTRL_MSG_BYTES, RetryPolicy, one_way
 from repro.pfs.client import CcpfsClient
 from repro.pfs.data_server import DataServer
 from repro.pfs.extent_cache import ServerExtentCache
@@ -138,6 +145,12 @@ class ClusterConfig(DictConfigMixin):
     #: and every compute client heartbeats; data servers' local lock
     #: clients do not heartbeat and stay lease-exempt.
     liveness: Optional[LivenessConfig] = None
+    #: Sequencer high availability (see :mod:`repro.dlm.replication` and
+    #: ``docs/ha.md``): one standby per lock server receiving async SN
+    #: replication records, a probe-based failure detector, and standby
+    #: promotion with client lock re-assertion.  Requires ``retry`` —
+    #: failover rides the client retry loop's per-attempt re-routing.
+    replication: Optional[ReplicationConfig] = None
 
     seed: int = 0
 
@@ -208,11 +221,20 @@ class Cluster:
             raise ValueError(
                 "ClusterConfig.admission requires ClusterConfig.retry: "
                 "admission rejections are resent by the client retry loop")
+        if config.replication is not None and retry is None:
+            raise ValueError(
+                "ClusterConfig.replication requires ClusterConfig.retry: "
+                "failover rides the client retry loop's per-attempt "
+                "destination re-resolution")
 
         def _adm(service_name: str) -> Optional[AdmissionConfig]:
             if admission is not None and service_name in admission.services:
                 return admission
             return None
+
+        # Promotion rebuilds a LockServer mid-run; keep the knobs it needs.
+        self._dlm_admission = _adm("dlm")
+        self._resilient = resilient
 
         # Metadata node.
         self.metadata_node = self.fabric.add_node("meta")
@@ -228,6 +250,12 @@ class Cluster:
         self.server_nodes: List[Node] = []
         self.data_servers: List[DataServer] = []
         self.lock_servers: List[LockServer] = []
+        #: Per-index node currently running the stripe's DLM service.
+        #: Starts as the data-server node itself; a failover flips one
+        #: entry to the promoted standby's node.  All lock routing
+        #: (clients, data servers' local lock clients, mSN queries) goes
+        #: through :meth:`dlm_node_for` so a flip re-routes everyone.
+        self.dlm_nodes: List[Node] = []
         for i in range(config.num_data_servers):
             node = self.fabric.add_node(f"ds{i}")
             device = StorageDevice(self.sim,
@@ -255,14 +283,49 @@ class Cluster:
             ls.on_evict = (lambda client, reason, reclaimed, idx=i:
                            self._on_client_evicted(idx, client, reason,
                                                    reclaimed))
-            # The data server's forced-sync path needs a local lock client.
+            # The data server's forced-sync path needs a local lock
+            # client.  It gets a retry policy only on HA clusters, where
+            # "local" stops being true after a failover and its requests
+            # must chase the promoted standby like everyone else's.
             ds.local_lock_client = LockClient(
-                node, self.dlm_config, server_for=self.server_node_for)
+                node, self.dlm_config, server_for=self.dlm_node_for,
+                retry=retry if config.replication is not None else None,
+                rng=(self.rng.stream(f"retry/{node.name}/dlm-local")
+                     if config.replication is not None else None))
             if config.start_cleaner:
                 ecache.start_cleaner()
             self.server_nodes.append(node)
             self.data_servers.append(ds)
             self.lock_servers.append(ls)
+            self.dlm_nodes.append(node)
+
+        # Sequencer HA: one standby node per lock server, fed by async
+        # replication records off the grant path; mSN queries become
+        # re-routable RPCs so cache cleaning survives a failover.
+        self.standbys: List[StandbySequencer] = []
+        #: Deposed lock servers, oldest first (their stats still count).
+        self.retired_lock_servers: List[LockServer] = []
+        #: One dict per completed failover (see :meth:`failover_report`).
+        self.failover_records: List[dict] = []
+        #: Post-failover incumbent per record (internal, index-aligned).
+        self._failover_servers: List[LockServer] = []
+        self.seq_kill_times: Dict[int, float] = {}
+        if config.replication is not None:
+            for i, snode in enumerate(self.server_nodes):
+                sb_node = self.fabric.add_node(f"sb{i}")
+                sb = StandbySequencer(sb_node, i, snode, config.replication,
+                                      self.promote_standby)
+                self.standbys.append(sb)
+
+                def _replicate(rid, sn, _src=snode, _dst=sb_node):
+                    one_way(_src, _dst, "dlm_repl", ReplicaMsg(rid, sn),
+                            nbytes=REPLICA_MSG_BYTES)
+
+                self.lock_servers[i].replicate_fn = _replicate
+                ds = self.data_servers[i]
+                ds.dlm_node_fn = self.dlm_node_for
+                ds.msn_retry = retry
+                ds.msn_rng = self.rng.stream(f"retry/{snode.name}/msn")
 
         # Client nodes.
         self.client_nodes: List[Node] = []
@@ -271,10 +334,19 @@ class Cluster:
         for i in range(config.num_clients):
             node = self.fabric.add_node(f"client{i}")
             lc = LockClient(node, self.dlm_config,
-                            server_for=self.server_node_for,
+                            server_for=self.dlm_node_for,
                             retry=retry,
                             rng=self.rng.stream(f"retry/{node.name}"),
                             liveness=config.liveness)
+            if (config.replication is not None
+                    and config.replication.clone_requests):
+
+                def _clone(rid, request, _src=node):
+                    sb = self.standbys[self.server_index_for(rid)]
+                    one_way(_src, sb.node, "dlm_repl", request,
+                            nbytes=CTRL_MSG_BYTES)
+
+                lc.clone_fn = _clone
             cache = ClientCache(self.sim,
                                 content_mode=config.resolved_content_mode(),
                                 min_dirty=config.min_dirty,
@@ -314,6 +386,9 @@ class Cluster:
             for n, outage in enumerate(config.faults.client_outages):
                 self.sim.spawn(self._client_outage_driver(outage),
                                name=f"client-outage-{n}")
+            for n, kill in enumerate(config.faults.sequencer_kills):
+                self.sim.spawn(self._sequencer_kill_driver(kill),
+                               name=f"seq-kill-{n}")
 
     # ------------------------------------------------------------- placement
     def server_index_for(self, stripe_key: Hashable) -> int:
@@ -321,6 +396,11 @@ class Cluster:
 
     def server_node_for(self, stripe_key: Hashable) -> Node:
         return self.server_nodes[self.server_index_for(stripe_key)]
+
+    def dlm_node_for(self, stripe_key: Hashable) -> Node:
+        """Node currently running the stripe's DLM (the promoted standby
+        after a failover; identical to :meth:`server_node_for` before)."""
+        return self.dlm_nodes[self.server_index_for(stripe_key)]
 
     def data_server_for(self, stripe_key: Hashable) -> DataServer:
         return self.data_servers[self.server_index_for(stripe_key)]
@@ -470,10 +550,130 @@ class Cluster:
                 detail=f"{reason}; reclaimed={len(reclaimed)}")
         self.data_servers[server_index].extent_cache.kick()
 
+    # ----------------------------------------------------- sequencer failover
+    def _sequencer_kill_driver(self, kill: SequencerKill) -> Generator:
+        yield float(kill.at)
+        self.kill_sequencer(kill.server_index)
+
+    def kill_sequencer(self, index: int) -> None:
+        """Fail-stop the lock server on ``ds<index>`` (the DLM service
+        only — the co-located IO service keeps running).  Without
+        replication the stripe's locks are simply gone; with it the
+        standby's detector notices the silence and promotes."""
+        name = self.server_nodes[index].name
+        self.seq_kill_times[index] = self.sim.now
+        self.lock_servers[index].kill()
+        if self.fault_plan is not None:
+            self.fault_plan.record(self.sim.now, "sequencer-kill", name,
+                                   name, "dlm")
+
+    def promote_standby(self, standby: StandbySequencer) -> None:
+        """Failure-detector callback: promote ``standby`` to incumbent.
+
+        SN continuity: the new sequencer's per-resource floor is
+        ``max(standby watermark + 1, extent-log floor)`` — at least one
+        past every SN the standby acknowledged and every SN durably
+        applied, so no SN is ever issued twice across the failover
+        (validator invariant I7).  Clients learn of the new incumbent
+        via a FailoverAnnounceMsg, re-assert their held locks during the
+        hold-off window, and fence any late grant signed by the deposed
+        server.
+        """
+        index = standby.index
+        old = self.lock_servers[index]
+        standby.promoted_at = self.sim.now
+        # Shoot the suspected node first: under message faults the
+        # detector can fire on a live-but-unreachable sequencer, and two
+        # incumbents issuing SNs would be fatal.  (No-op if truly dead.)
+        old.kill()
+        node = standby.node
+        ds = self.data_servers[index]
+        from repro.dlm.server import LockServer  # local import: layering
+        new = LockServer(node, self.dlm_config, ops=self.config.dlm_ops,
+                         retry=self.config.retry,
+                         rng=self.rng.stream(f"retry/{node.name}"),
+                         dedup=self._resilient,
+                         liveness=self.config.liveness,
+                         admission=self._dlm_admission)
+        for rid in sorted(standby.watermarks, key=repr):
+            new.bump_next_sn(rid, standby.sn_floor(rid))
+        if ds.extent_log is not None:
+            for key in ds.extent_log.stripe_keys():
+                new.bump_next_sn(key, ds.extent_log.max_sn(key) + 1)
+        ds.fence_fn = new.fence_floor
+        new.on_evict = (lambda client, reason, reclaimed, idx=index:
+                        self._on_client_evicted(idx, client, reason,
+                                                reclaimed))
+        if self.config.validate_locks:
+            from repro.dlm.validator import LockValidator
+            self.validators.append(
+                LockValidator(new, ledger=getattr(self, "sn_ledger", None)))
+        # Flip the routing table before announcing, so a re-assertion
+        # arriving instantly still finds the incumbent authoritative.
+        self.retired_lock_servers.append(old)
+        self.lock_servers[index] = new
+        self.dlm_nodes[index] = node
+        new.begin_recovery_holdoff(self.config.replication.reassert_timeout)
+        ann = FailoverAnnounceMsg(failed=old.node.name, incumbent=node.name,
+                                  epoch=len(self.retired_lock_servers))
+        for cn in self.client_nodes:
+            one_way(node, cn, "dlm_cb", ann, nbytes=CTRL_MSG_BYTES)
+        for sn in self.server_nodes:
+            one_way(node, sn, "dlm_cb", ann, nbytes=CTRL_MSG_BYTES)
+        if self.fault_plan is not None:
+            self.fault_plan.record(self.sim.now, "promote", node.name,
+                                   old.node.name, "dlm",
+                                   detail=f"standby for ds{index}")
+        self.failover_records.append({
+            "index": index,
+            "failed": old.node.name,
+            "incumbent": node.name,
+            "killed_at": self.seq_kill_times.get(index),
+            "detected_at": standby.suspected_at,
+            "promoted_at": standby.promoted_at,
+        })
+        self._failover_servers.append(new)
+
+    def failover_report(self) -> List[dict]:
+        """One dict per completed failover with the MTTR decomposition:
+        detection (kill → suspected), promotion (suspected → promoted,
+        ~0 since promotion is synchronous in the detector callback),
+        time-to-first-grant (promoted → first post-failover grant, which
+        includes the re-assertion hold-off), and ``mttr`` (kill → first
+        post-failover grant).  Times are None when the corresponding
+        event has not happened (e.g. no grant issued yet)."""
+        report = []
+        for rec, server in zip(self.failover_records,
+                               self._failover_servers):
+            out = dict(rec)
+            out["first_grant_at"] = server.first_grant_at
+            out["locks_reasserted"] = server.locks_reasserted
+            killed = out["killed_at"]
+            detected = out["detected_at"]
+            out["detection_time"] = (detected - killed
+                                     if killed is not None
+                                     and detected is not None else None)
+            out["promotion_time"] = (out["promoted_at"] - detected
+                                     if detected is not None else None)
+            if killed is not None and server.first_grant_at is not None:
+                out["time_to_first_grant"] = (server.first_grant_at
+                                              - out["promoted_at"])
+                out["mttr"] = server.first_grant_at - killed
+            else:
+                out["time_to_first_grant"] = None
+                out["mttr"] = None
+            report.append(out)
+        return report
+
     # ------------------------------------------------------------ aggregates
+    @property
+    def all_lock_servers(self):
+        """Active plus retired lock servers — the full population for
+        stats aggregation (a deposed sequencer's counters still count)."""
+        return self.lock_servers + self.retired_lock_servers
     def total_lock_server_stats(self) -> dict:
         agg: Dict[str, float] = {}
-        for ls in self.lock_servers:
+        for ls in self.all_lock_servers:
             for k, v in vars(ls.stats).items():
                 agg[k] = agg.get(k, 0) + v
         return agg
@@ -503,6 +703,6 @@ class Cluster:
     def liveness_events(self):
         """All lock servers' lease/eviction timelines, merged and
         time-sorted (the ``repro chaos`` eviction timeline)."""
-        events = [ev for ls in self.lock_servers for ev in ls.liveness_log]
+        events = [ev for ls in self.all_lock_servers for ev in ls.liveness_log]
         events.sort(key=lambda ev: ev.time)
         return events

@@ -10,6 +10,9 @@
 * :mod:`repro.workloads.vpic` — VPIC-IO via the h5bench phases (§V-E).
 * :mod:`repro.workloads.client_kill` — the kill-a-client-mid-write
   liveness scenario (docs/faults.md) with its old-or-new oracle.
+* :mod:`repro.workloads.sequencer_kill` — the kill-the-sequencer
+  failover scenario (docs/ha.md) with its exact all-pattern oracle and
+  MTTR report.
 """
 
 from repro.workloads.patterns import (
@@ -23,6 +26,11 @@ from repro.workloads.client_kill import (
     run_client_kill,
 )
 from repro.workloads.ior import IorConfig, IorResult, run_ior
+from repro.workloads.sequencer_kill import (
+    SequencerKillConfig,
+    SequencerKillResult,
+    run_sequencer_kill,
+)
 from repro.workloads.tile_io import TileIoConfig, TileIoResult, run_tile_io
 from repro.workloads.vpic import VpicConfig, VpicResult, run_vpic
 
@@ -31,6 +39,8 @@ __all__ = [
     "ClientKillResult",
     "IorConfig",
     "IorResult",
+    "SequencerKillConfig",
+    "SequencerKillResult",
     "TileIoConfig",
     "TileIoResult",
     "VpicConfig",
@@ -40,6 +50,7 @@ __all__ = [
     "n_n_offsets",
     "run_client_kill",
     "run_ior",
+    "run_sequencer_kill",
     "run_tile_io",
     "run_vpic",
 ]

@@ -1,0 +1,236 @@
+"""Unit tests for the sequencer-HA layer (repro.dlm.replication):
+replication records and SN watermarks, the seeded failure detector,
+fail-stop kill semantics, promotion with SN continuity, lock
+re-assertion, and the failover.* metrics surface."""
+
+import pytest
+
+from repro.dlm import LockMode, ReplicationConfig
+from repro.net import RetryPolicy
+from repro.pfs import Cluster, ClusterConfig
+
+RETRY = RetryPolicy(timeout=3e-3, backoff=2.0, max_timeout=5e-2,
+                    max_retries=40, jitter=0.2)
+
+
+def ha_cluster(**over):
+    kw = dict(num_clients=2, num_data_servers=1, dlm="seqdlm",
+              stripe_size=1024, page_size=16, seed=7, content_mode="full",
+              extent_log=True, validate_locks=True, retry=RETRY,
+              replication=ReplicationConfig())
+    kw.update(over)
+    return Cluster(ClusterConfig(**kw))
+
+
+def writer(cluster, rank, path="/f", nwrites=8, pace=1e-3):
+    """Paced strided 64-byte slot writer (keeps locks live mid-run)."""
+    c = cluster.clients[rank]
+    fh = yield from c.open(path)
+    for i in range(nwrites):
+        yield float(pace)
+        off = (i * cluster.config.num_clients + rank) * 64
+        yield from c.write(fh, off, data=bytes([rank + 1]) * 64)
+    yield from c.fsync(fh)
+    return "finished"
+
+
+# --------------------------------------------------------------- config
+def test_replication_config_validates_fields():
+    with pytest.raises(ValueError, match="probe_interval"):
+        ReplicationConfig(probe_interval=0.0)
+    with pytest.raises(ValueError, match="probe_timeout"):
+        ReplicationConfig(probe_timeout=-1e-3)
+    with pytest.raises(ValueError, match="miss_threshold"):
+        ReplicationConfig(miss_threshold=0)
+    with pytest.raises(ValueError, match="reassert_timeout"):
+        ReplicationConfig(reassert_timeout=-1.0)
+
+
+def test_replication_requires_retry_policy():
+    """Failover rides the client retry loop; an HA cluster without a
+    retry policy could never reach the promoted standby."""
+    with pytest.raises(ValueError, match="retry"):
+        Cluster(ClusterConfig(replication=ReplicationConfig()))
+
+
+# ---------------------------------------------------------- replication
+def test_standby_tracks_sn_watermarks():
+    cluster = ha_cluster()
+    meta = cluster.create_file("/f")
+    cluster.run_clients([writer(cluster, r) for r in range(2)])
+    sb = cluster.standbys[0]
+    assert sb.records > 0
+    assert sb.suspected_at is None and sb.promoted_at is None
+    key = (meta.fid, 0)
+    assert sb.watermarks.get(key, 0) >= 1
+    # The floor is one past everything acknowledged; unknown resources
+    # impose no floor at all.
+    assert sb.sn_floor(key) == sb.watermarks[key] + 1
+    assert sb.sn_floor(("no-such-file", 9)) == 0
+
+
+def test_healthy_sequencer_is_never_suspected():
+    cluster = ha_cluster()
+    cluster.create_file("/f")
+    cluster.run_clients([writer(cluster, r) for r in range(2)])
+    cluster.sim.run(until=cluster.sim.now + 5e-2)  # many probe rounds
+    assert all(sb.suspected_at is None for sb in cluster.standbys)
+    assert cluster.failover_records == []
+    assert cluster.retired_lock_servers == []
+
+
+def test_clone_requests_are_counted():
+    cluster = ha_cluster(
+        replication=ReplicationConfig(clone_requests=True))
+    cluster.create_file("/f")
+    cluster.run_clients([writer(cluster, r) for r in range(2)])
+    assert cluster.standbys[0].clones > 0
+
+
+# ----------------------------------------------------------------- kill
+def test_kill_blackholes_dlm_but_keeps_the_node_up():
+    cluster = ha_cluster()
+    old = cluster.lock_servers[0]
+    node = old.node
+    cluster.kill_sequencer(0)
+    cluster.kill_sequencer(0)  # idempotent
+    assert old.dead is True
+    assert node.failed is False  # co-located IO service keeps flowing
+    assert "io" in node._handlers
+    # The detector's probes now vanish into the black hole (silence, not
+    # connection-refused) until promotion stops them.
+    cluster.sim.run(until=cluster.sim.now + 5e-2)
+    assert node.messages_blackholed > 0
+
+
+def test_detector_fires_and_standby_is_promoted():
+    cluster = ha_cluster()
+    cluster.create_file("/f")
+    old = cluster.lock_servers[0]
+    cluster.kill_sequencer(0)
+    cluster.sim.run(until=cluster.sim.now + 5e-2)
+    sb = cluster.standbys[0]
+    assert sb.suspected_at is not None
+    assert sb.promoted_at is not None
+    cfg = cluster.config.replication
+    # Detection needs at least miss_threshold probe rounds of silence.
+    assert sb.suspected_at - cluster.seq_kill_times[0] >= \
+        cfg.miss_threshold * cfg.probe_interval
+    # Routing flipped to the standby node; the old server is retired.
+    assert cluster.lock_servers[0] is not old
+    assert cluster.dlm_nodes[0] is sb.node
+    assert cluster.retired_lock_servers == [old]
+    assert old in cluster.all_lock_servers
+
+
+# ------------------------------------------------------------ promotion
+def test_promotion_seeds_sn_floors_from_the_watermarks():
+    cluster = ha_cluster()
+    meta = cluster.create_file("/f")
+    cluster.run_clients([writer(cluster, r) for r in range(2)])
+    sb = cluster.standbys[0]
+    floors = {rid: sb.sn_floor(rid) for rid in sb.watermarks}
+    assert floors  # the run really replicated something
+    cluster.kill_sequencer(0)
+    cluster.sim.run(until=cluster.sim.now + 5e-2)
+    new = cluster.lock_servers[0]
+    for rid, floor in floors.items():
+        assert new._res(rid).next_sn >= floor
+    # The extent log contributes its own floor (§IV-C2).
+    log = cluster.data_servers[0].extent_log
+    key = (meta.fid, 0)
+    if log is not None and log.max_sn(key):
+        assert new._res(key).next_sn >= log.max_sn(key) + 1
+
+
+def test_held_locks_are_reasserted_to_the_new_incumbent():
+    cluster = ha_cluster()
+    meta = cluster.create_file("/f")
+    key = (meta.fid, 0)
+    lc = cluster.lock_clients[0]
+    held = {}
+
+    def holder():
+        lock = yield from lc.lock(key, ((0, 64),), LockMode.NBW, True)
+        held["lock"] = lock
+        cluster.kill_sequencer(0)
+        yield 5e-2  # detection + hold-off; the lock stays held throughout
+
+    cluster.run_clients([holder()])
+    new = cluster.lock_servers[0]
+    assert new.locks_reasserted >= 1
+    reinstalled = new._res(key).granted.get(held["lock"].lock_id)
+    assert reinstalled is not None
+    assert reinstalled.sn == held["lock"].sn  # same SN, not a reissue
+    assert new._res(key).next_sn > held["lock"].sn
+
+
+def test_failover_is_invisible_to_writers():
+    """Writers crossing the kill all finish and every byte reads back —
+    the transparency contract the chaos scenario checks at scale."""
+    cluster = ha_cluster()
+    cluster.create_file("/f")
+
+    def kill_late():
+        yield 4e-3
+        cluster.kill_sequencer(0)
+
+    cluster.sim.spawn(kill_late(), name="killer")
+    outcomes = cluster.run_clients(
+        [writer(cluster, r, nwrites=12) for r in range(2)])
+    cluster.sim.run(until=cluster.sim.now + 5e-2)
+    assert outcomes == ["finished", "finished"]
+    image = cluster.read_back("/f")
+    for rank in range(2):
+        for i in range(12):
+            off = (i * 2 + rank) * 64
+            assert image[off:off + 64] == bytes([rank + 1]) * 64
+    assert len(cluster.failover_records) == 1
+
+
+def test_failover_report_decomposes_mttr():
+    cluster = ha_cluster()
+    cluster.create_file("/f")
+
+    def kill_late():
+        yield 4e-3
+        cluster.kill_sequencer(0)
+
+    cluster.sim.spawn(kill_late(), name="killer")
+    cluster.run_clients([writer(cluster, r, nwrites=12) for r in range(2)])
+    cluster.sim.run(until=cluster.sim.now + 5e-2)
+    (rec,) = cluster.failover_report()
+    assert rec["index"] == 0
+    assert rec["failed"] == "ds0" and rec["incumbent"] == "sb0"
+    assert rec["detection_time"] > 0
+    assert rec["promotion_time"] >= 0
+    assert rec["time_to_first_grant"] is not None
+    assert rec["mttr"] == pytest.approx(
+        rec["first_grant_at"] - rec["killed_at"])
+    assert rec["mttr"] >= rec["detection_time"]
+    assert rec["locks_reasserted"] >= 1
+
+
+# -------------------------------------------------------------- metrics
+def test_failover_metrics_only_on_ha_clusters():
+    plain = Cluster(ClusterConfig(num_clients=1, seed=7))
+    names = plain.metrics_snapshot().to_dict()["metrics"]
+    assert not [k for k in names if k.startswith("failover.")]
+
+    cluster = ha_cluster()
+    cluster.create_file("/f")
+
+    def kill_late():
+        yield 4e-3
+        cluster.kill_sequencer(0)
+
+    cluster.sim.spawn(kill_late(), name="killer")
+    cluster.run_clients([writer(cluster, r, nwrites=12) for r in range(2)])
+    cluster.sim.run(until=cluster.sim.now + 5e-2)
+    metrics = cluster.metrics_snapshot().to_dict()["metrics"]
+    assert metrics["failover.promotions"]["value"] == 1
+    assert metrics["failover.replication_records"]["value"] > 0
+    assert metrics["failover.locks_reasserted"]["value"] >= 1
+    assert metrics["failover.mttr"]["value"] > 0
+    assert metrics["failover.detection_time"]["value"] > 0
+    assert metrics["failover.replication_lag"]["count"] > 0

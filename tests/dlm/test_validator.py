@@ -7,6 +7,7 @@ from repro.dlm.server import ServerLock
 from repro.dlm.validator import (
     LockInvariantViolation,
     LockValidator,
+    SnLedger,
     attach_validator,
 )
 from tests.dlm.test_protocol import Rig, run
@@ -220,6 +221,71 @@ def test_detach_restores_original_process():
     validator.detach()
     assert rig.server._process == orig_process  # bound-method equality
     assert rig.server._evict == orig_evict
+
+
+# ------------------------------------------------- I7: cross-failover SNs
+def test_i7_detects_cross_server_sn_reissue():
+    """The headline failover hazard: a promoted standby whose SN floor
+    is too low reissues an SN the deposed incumbent already granted."""
+    ledger = SnLedger()
+    ledger.note_grant("r", 5, "ds0", 0)
+    with pytest.raises(LockInvariantViolation, match=r"\[I7\]"):
+        ledger.note_grant("r", 5, "sb0", 0)
+
+
+def test_i7_detects_same_epoch_duplicate():
+    ledger = SnLedger()
+    ledger.note_grant("r", 5, "ds0", 0)
+    with pytest.raises(LockInvariantViolation, match=r"\[I7\]"):
+        ledger.note_grant("r", 5, "ds0", 0)
+
+
+def test_i7_allows_same_server_reissue_across_crash_epochs():
+    """§IV-C2: the same sequencer identity, restarted after a crash,
+    may reissue an SN whose original grant message was lost in flight —
+    no data ever carried it.  A *different* identity never may."""
+    ledger = SnLedger()
+    ledger.note_grant("r", 5, "ds0", 0)
+    ledger.note_grant("r", 5, "ds0", 1)  # legal reissue, no raise
+    with pytest.raises(LockInvariantViolation, match=r"\[I7\]"):
+        ledger.note_grant("r", 5, "sb0", 2)
+
+
+def test_i7_distinct_sns_and_resources_never_collide():
+    ledger = SnLedger()
+    ledger.note_grant("r", 5, "ds0", 0)
+    ledger.note_grant("r", 6, "ds0", 0)
+    ledger.note_grant("q", 5, "ds1", 0)  # same SN, different resource
+
+
+def test_i7_violating_trace_through_validator():
+    """Feed a real protocol trace through two validators sharing one
+    ledger: the second sequencer granting the same (resource, SN) as the
+    first must trip I7 on the grant transition itself."""
+    ledger = SnLedger()
+    rig_a = Rig(dlm="seqdlm", clients=1)
+    rig_b = Rig(dlm="seqdlm", clients=1)
+    LockValidator(rig_a.server, ledger=ledger)
+    LockValidator(rig_b.server, ledger=ledger)
+
+    def taker(rig):
+        lock = yield from rig.clients[0].lock("r", ((0, 100),), NBW, True)
+        rig.clients[0].unlock(lock)
+
+    run(rig_a, taker(rig_a))  # grants ("r", 1) under identity "server"
+    # Same identity name, same epoch, same (resource, SN): a duplicate,
+    # caught on the grant transition inside the server's dispatch.
+    rig_b.sim.spawn(taker(rig_b))
+    with pytest.raises(LockInvariantViolation, match=r"\[I7\]"):
+        rig_b.sim.run()
+
+
+def test_attach_validator_shares_one_sn_ledger():
+    from tests.integration.conftest import small_cluster
+    cluster = small_cluster(dlm="seqdlm", clients=2, servers=2)
+    validators = attach_validator(cluster)
+    assert cluster.sn_ledger is not None
+    assert all(v.ledger is cluster.sn_ledger for v in validators)
 
 
 def test_attach_validator_covers_whole_cluster():

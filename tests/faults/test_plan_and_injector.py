@@ -9,6 +9,7 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     Partition,
+    SequencerKill,
     ServerOutage,
 )
 from repro.net import Fabric, Message, NetworkConfig
@@ -156,6 +157,131 @@ def test_local_sends_bypass_injection():
     sim.run()
     assert got == ["x"]
     assert fab.fault_injector.messages_seen == 0
+
+
+def batch_send(sim, fab, a, b, batches):
+    """Send timed batches a -> b; returns payloads delivered, in order."""
+    got = []
+    b.register_service("svc", lambda m: got.append(m.payload))
+
+    def driver():
+        last = 0.0
+        for t, payloads in batches:
+            if t > last:
+                yield sim.timeout(t - last)
+                last = t
+            for p in payloads:
+                fab.send(Message(src=a, dst=b, service="svc", payload=p,
+                                 nbytes=64))
+
+    sim.spawn(driver())
+    sim.run()
+    return got
+
+
+# --------------------------------------- overlapping windows (edge cases)
+def test_partition_window_boundaries_on_the_wire():
+    """Start-inclusive, end-exclusive — checked at the fabric, not just
+    on the plan query."""
+    plan = FaultPlan(FaultConfig(partitions=(Partition(1.0, 2.0, ("a",)),)))
+    sim, fab, a, b = make_fabric(plan)
+    got = batch_send(sim, fab, a, b,
+                     [(1.0, ["at-start"]), (2.0, ["at-end"])])
+    assert got == ["at-end"]
+    assert plan.counts == {"partition-drop": 1}
+
+
+def test_overlapping_partitions_record_one_drop_per_message():
+    """Two partition windows covering the same cut at once: the first
+    active window claims the drop — exactly one event per message."""
+    plan = FaultPlan(FaultConfig(partitions=(
+        Partition(1.0, 3.0, ("a",)),
+        Partition(2.0, 4.0, ("a",), ("b",)))))
+    sim, fab, a, b = make_fabric(plan)
+    got = batch_send(sim, fab, a, b,
+                     [(2.5, ["both"]), (3.5, ["second-only"]), (4.5, ["x"])])
+    assert got == ["x"]
+    assert plan.counts == {"partition-drop": 2}
+    both, second = plan.timeline
+    assert both.detail == "window [1, 3)"  # first match wins
+    assert second.detail == "window [2, 4)"
+
+
+def test_partition_drops_consume_no_rng_draws():
+    """A message doomed by a partition never samples the fault RNG, so a
+    run whose middle batch is cut matches a run that never sent it —
+    window timing can't smear the drop/duplicate stream."""
+    def run(cfg, send_middle, seed=7):
+        plan = FaultPlan(cfg, seed=seed)
+        sim, fab, a, b = make_fabric(plan)
+        batches = [(0.0, [f"pre{i}" for i in range(5)])]
+        if send_middle:
+            batches.append((1.5, [f"mid{i}" for i in range(5)]))
+        batches.append((2.5, [f"post{i}" for i in range(10)]))
+        return plan, batch_send(sim, fab, a, b, batches)
+
+    cut = Partition(1.0, 2.0, ("a",))
+    pa, ga = run(FaultConfig(drop_rate=0.5, partitions=(cut,)), True)
+    pb, gb = run(FaultConfig(drop_rate=0.5), False)
+    assert pa.counts["partition-drop"] == 5
+    assert not any(p.startswith("mid") for p in ga)
+    for prefix in ("pre", "post"):
+        assert [p for p in ga if p.startswith(prefix)] == \
+            [p for p in gb if p.startswith(prefix)]
+
+
+def test_src_down_outage_overlapping_partition():
+    """A blacked-out sender inside a partition window: the NIC drop wins
+    (one src-down-drop per message, never a second partition event) and,
+    like the partition drop, consumes no RNG draws."""
+    def run(fail_middle, send_middle=True):
+        plan = FaultPlan(FaultConfig(
+            drop_rate=0.5, partitions=(Partition(1.0, 2.0, ("a",)),)),
+            seed=11)
+        sim, fab, a, b = make_fabric(plan)
+        got = []
+        b.register_service("svc", lambda m: got.append(m.payload))
+
+        def driver():
+            for i in range(5):
+                fab.send(Message(src=a, dst=b, service="svc",
+                                 payload=f"pre{i}", nbytes=64))
+            yield sim.timeout(1.5)
+            if fail_middle:
+                a.failed = True
+            if send_middle:
+                for i in range(5):
+                    fab.send(Message(src=a, dst=b, service="svc",
+                                     payload=f"mid{i}", nbytes=64))
+            a.failed = False
+            yield sim.timeout(1.0)
+            for i in range(10):
+                fab.send(Message(src=a, dst=b, service="svc",
+                                 payload=f"post{i}", nbytes=64))
+
+        sim.spawn(driver())
+        sim.run()
+        return plan, got
+
+    pa, ga = run(fail_middle=True)
+    pb, gb = run(fail_middle=False, send_middle=False)
+    assert pa.counts["src-down-drop"] == 5
+    assert "partition-drop" not in pa.counts  # outage preempts the cut
+    for prefix in ("pre", "post"):
+        assert [p for p in ga if p.startswith(prefix)] == \
+            [p for p in gb if p.startswith(prefix)]
+
+
+def test_sequencer_kill_validates_and_stays_off_the_wire():
+    """A sequencer kill is cluster-driven: it adds no per-message RNG
+    draws (message_faults_enabled stays False) and round-trips through
+    the config wire format."""
+    with pytest.raises(ValueError, match="at must be >= 0"):
+        SequencerKill(0, at=-1.0)
+    cfg = FaultConfig(sequencer_kills=(SequencerKill(0, at=5e-3),))
+    assert not cfg.message_faults_enabled
+    back = FaultConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+    assert back == cfg
 
 
 def test_same_seed_same_draw_sequence():

@@ -15,13 +15,16 @@ from repro import (
     FaultConfig,
     IorConfig,
     LivenessConfig,
+    ReplicationConfig,
     RetryPolicy,
+    SequencerKillConfig,
     TileIoConfig,
     TrafficConfig,
     VpicConfig,
     make_dlm_config,
 )
-from repro.faults import ClientOutage, Partition, ServerOutage
+from repro.faults import (ClientOutage, Partition, SequencerKill,
+                          ServerOutage)
 from repro.harness import SweepConfig
 
 
@@ -42,6 +45,9 @@ def roundtrip(cfg):
     AdmissionConfig(queue_limit=8, policy="shed-oldest",
                     services=("dlm", "io", "meta")),
     LivenessConfig(),
+    ReplicationConfig(),
+    ReplicationConfig(probe_interval=1e-3, miss_threshold=5,
+                      clone_requests=True),
     SweepConfig(),
     SweepConfig(jobs=8, chunksize=4, chunks_per_worker=3,
                 maxtasksperchild=32),
@@ -51,7 +57,9 @@ def roundtrip(cfg):
                 client_outages=(ClientOutage(1, start=2e-3,
                                              duration=1e-2),),
                 partitions=(Partition(start=0.0, end=5e-3,
-                                      group_a=("client0",)),)),
+                                      group_a=("client0",)),),
+                sequencer_kills=(SequencerKill(server_index=0,
+                                               at=6e-3),)),
 ], ids=lambda c: type(c).__name__)
 def test_simple_configs_round_trip(cfg):
     roundtrip(cfg)
@@ -74,11 +82,14 @@ def test_cluster_config_round_trips_with_nested_configs():
         retry=RetryPolicy(timeout=2e-3),
         admission=AdmissionConfig(queue_limit=32),
         faults=FaultConfig(drop_rate=0.02),
-        liveness=LivenessConfig())
+        liveness=LivenessConfig(),
+        replication=ReplicationConfig(miss_threshold=4))
     back = roundtrip(cfg)
     assert isinstance(back.retry, RetryPolicy)
     assert isinstance(back.admission, AdmissionConfig)
     assert back.admission.queue_limit == 32
+    assert isinstance(back.replication, ReplicationConfig)
+    assert back.replication.miss_threshold == 4
 
 
 @pytest.mark.parametrize("cfg", [
@@ -86,6 +97,8 @@ def test_cluster_config_round_trips_with_nested_configs():
     TileIoConfig(tile_rows=2, tile_cols=2),
     VpicConfig(),
     ClientKillConfig(victim=1, kill_at=5e-3),
+    SequencerKillConfig(kill_index=0, kill_at=7e-3,
+                        replication=ReplicationConfig(clone_requests=True)),
     TrafficConfig(arrival="ramp", rate=5000.0,
                   arrival_overrides={"end_factor": 3.0}),
 ], ids=lambda c: type(c).__name__)

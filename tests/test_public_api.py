@@ -25,7 +25,11 @@ PUBLIC_API = {
         "IorConfig",
         "IorResult",
         "LivenessConfig",
+        "ReplicationConfig",
         "RetryPolicy",
+        "SequencerKill",
+        "SequencerKillConfig",
+        "SequencerKillResult",
         "TileIoConfig",
         "TileIoResult",
         "TrafficConfig",
@@ -37,6 +41,7 @@ PUBLIC_API = {
         "run_client_kill",
         "run_experiment",
         "run_ior",
+        "run_sequencer_kill",
         "run_tile_io",
         "run_traffic",
         "run_vpic",
@@ -55,6 +60,7 @@ PUBLIC_API = {
         "FaultInjector",
         "FaultPlan",
         "Partition",
+        "SequencerKill",
         "ServerOutage",
     ],
     "repro.harness": [
@@ -124,6 +130,8 @@ PUBLIC_API = {
         "ClientKillResult",
         "IorConfig",
         "IorResult",
+        "SequencerKillConfig",
+        "SequencerKillResult",
         "TileIoConfig",
         "TileIoResult",
         "VpicConfig",
@@ -133,6 +141,7 @@ PUBLIC_API = {
         "n_n_offsets",
         "run_client_kill",
         "run_ior",
+        "run_sequencer_kill",
         "run_tile_io",
         "run_vpic",
     ],

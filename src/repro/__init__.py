@@ -49,6 +49,7 @@ or drive an open-loop overload run::
 from repro.dlm import DLMConfig, make_dlm_config
 from repro.dlm.config import LivenessConfig
 from repro.dlm.replication import ReplicationConfig
+from repro.dlm.sharding import ShardConfig, ShardMigration
 from repro.faults import FaultConfig, SequencerKill
 from repro.harness import EXPERIMENTS, run_experiment
 from repro.net.rpc import AdmissionConfig, RetryPolicy
@@ -72,7 +73,7 @@ from repro.workloads import (
     run_vpic,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AdmissionConfig",
@@ -91,6 +92,8 @@ __all__ = [
     "SequencerKill",
     "SequencerKillConfig",
     "SequencerKillResult",
+    "ShardConfig",
+    "ShardMigration",
     "TileIoConfig",
     "TileIoResult",
     "TrafficConfig",

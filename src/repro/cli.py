@@ -8,12 +8,15 @@ Usage (also via ``python -m repro``)::
     python -m repro run all                   # everything, in order
     python -m repro model --size 1048576      # evaluate Equation 1/2
     python -m repro traffic --rate 20000      # open-loop overload run
+    python -m repro shard-info --num-shards 8 # inspect shard placement
 
 The run-style subcommands (``chaos``, ``profile``, ``sweep``,
 ``traffic``) share ``--seed`` / ``--json`` with one meaning: the seed
 is the determinism handle (same seed, same bytes) and ``--json`` emits
-machine-readable output.  Exit codes are uniform — 0 success, 1 failed
-check, 2 usage error — so the CLI is scriptable.
+machine-readable output (``shard-info`` is seedless — the map is a pure
+function of its flags — but keeps the same ``--json`` contract).  Exit
+codes are uniform across all subcommands — 0 success, 1 failed check,
+2 usage error — so the CLI is scriptable.
 """
 
 from __future__ import annotations
@@ -84,8 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a workload under a seeded fault plan and verify "
              "data safety (see docs/faults.md)")
     _add_common_flags(chaos_p,
-                      json_help="dump the seeded fault plan as JSON "
-                                "instead of the human-readable report")
+                      json_help="machine-readable output instead of the "
+                                "human-readable report: the seeded fault "
+                                "plan as JSON (with --kill-server, the "
+                                "MTTR report instead); the exit code "
+                                "still reflects the data-safety oracle")
     chaos_p.add_argument("--workload", default="ior",
                          choices=("ior", "tile-io"))
     chaos_p.add_argument("--dlm", default="seqdlm",
@@ -137,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="transfer size in bytes (ior)")
     chaos_p.add_argument("--limit", type=int, default=40,
                          help="max rows of each printed timeline")
+    chaos_p.add_argument("--shards", type=int, default=1,
+                         help="shard the lock namespace over this many "
+                              "sequencer groups (default 1 = classic "
+                              "co-located placement; see "
+                              "docs/sharding.md)")
+    chaos_p.add_argument("--migrate", action="append", default=None,
+                         metavar="SHARD:TO:AT",
+                         help="schedule a mid-run shard migration "
+                              "(repeatable): shard SHARD moves to lock "
+                              "server TO at simulated time AT; requires "
+                              "--shards > 1")
 
     prof_p = sub.add_parser(
         "profile",
@@ -176,8 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--scale", default="small",
                          choices=("small", "paper"))
     _add_common_flags(sweep_p,
-                      json_help="print one JSON object per cell instead "
-                                "of the table")
+                      json_help="stream one JSON object per cell "
+                                "(NDJSON, in cell order) instead of the "
+                                "header + table rows")
     sweep_p.add_argument("--seeds", type=int, nargs="+", default=None,
                          help="seed list for --grid dlms "
                               "(default: just --seed)")
@@ -221,6 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
     traffic_p.add_argument("--client-queue-limit", type=int, default=256,
                            help="per-client work queue bound; arrivals "
                                 "past it are dropped")
+
+    shard_p = sub.add_parser(
+        "shard-info",
+        help="print the deterministic shard map (shard -> lock server) "
+             "for a given shard/server count and placement policy "
+             "(see docs/sharding.md)")
+    shard_p.add_argument("--num-shards", type=int, default=4,
+                         help="size of the shard namespace")
+    shard_p.add_argument("--servers", type=int, default=2,
+                         help="lock servers the shards spread over")
+    shard_p.add_argument("--placement", default="hash",
+                         choices=("hash", "range"),
+                         help="initial shard -> server placement policy")
+    shard_p.add_argument("--resource", default=None, metavar="FID:STRIPE",
+                         help="also resolve one (fid, stripe) resource id "
+                              "to its shard and owning server")
+    shard_p.add_argument("--max-skew", type=int, default=None,
+                         help="balance check: fail (exit 1) when the "
+                              "shard-count gap between the most- and "
+                              "least-loaded server exceeds this")
+    shard_p.add_argument("--json", action="store_true",
+                         help="emit the map as one JSON object (sorted "
+                              "keys, byte-identical across reruns)")
     return parser
 
 
@@ -339,6 +380,33 @@ def _cmd_chaos(args) -> int:
     except ValueError as exc:
         print(f"repro chaos: error: {exc}", file=sys.stderr)
         return 2
+
+    sharding = None
+    if args.shards < 1:
+        print(f"repro chaos: error: --shards must be >= 1, got "
+              f"{args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1 or args.migrate:
+        if kill or kill_server:
+            print("repro chaos: error: --shards/--migrate only apply to "
+                  "the plain fault run (not --kill-client/--kill-server)",
+                  file=sys.stderr)
+            return 2
+        from repro.dlm.sharding import ShardConfig, ShardMigration
+        try:
+            migrations = tuple(_parse_migration(ShardMigration, spec)
+                               for spec in (args.migrate or ()))
+            sharding = ShardConfig(num_shards=args.shards,
+                                   migrations=migrations)
+            for mig in migrations:
+                if not 0 <= mig.to_server < args.servers:
+                    raise ValueError(
+                        f"--migrate target server {mig.to_server} out of "
+                        f"range for --servers {args.servers}")
+        except ValueError as exc:
+            print(f"repro chaos: error: {exc}", file=sys.stderr)
+            return 2
+
     if kill:
         return _cmd_chaos_kill(args, faults)
     if kill_server:
@@ -347,7 +415,7 @@ def _cmd_chaos(args) -> int:
         num_data_servers=args.servers, num_clients=args.clients,
         dlm=args.dlm, stripe_size=4096, page_size=16,
         extent_log=True, validate_locks=True,
-        faults=faults, seed=args.seed,
+        faults=faults, seed=args.seed, sharding=sharding,
         retry=RetryPolicy(timeout=3e-3, backoff=2.0, max_timeout=5e-2,
                           max_retries=40, jitter=0.2))
 
@@ -391,6 +459,13 @@ def _cmd_chaos(args) -> int:
           f"PASS ({dt:.1f}s wall)")
     print(f"  read-back verified; {checks} lock-invariant checks clean")
     print(f"  injected: {plan.counts or '(nothing)'}")
+    if sharding is not None:
+        c = result.cluster
+        moved = sum(r["locks_moved"] for r in c.shard_migration_records)
+        print(f"  sharding: {sharding.num_shards} shards, "
+              f"epoch {c.shard_map.epoch}, "
+              f"{len(c.shard_migration_records)} migrations, "
+              f"{moved} locks moved")
     print(f"  resilience: {_fmt_counters(result.cluster)}")
     print(f"  metrics: {_snapshot_json(result.metrics)}")
     print(f"  plan signature: {plan.signature()[:16]} "
@@ -402,6 +477,18 @@ def _cmd_chaos(args) -> int:
     print("Lock-protocol swimlane (first events)")
     print(render_timeline(result.trace_events[:args.limit]))
     return 0
+
+
+def _parse_migration(cls, spec: str):
+    """Parse a ``--migrate SHARD:TO:AT`` spec into a ShardMigration."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError(f"--migrate expects SHARD:TO:AT, got {spec!r}")
+    try:
+        return cls(shard=int(parts[0]), to_server=int(parts[1]),
+                   at=float(parts[2]))
+    except ValueError:
+        raise ValueError(f"--migrate expects int:int:float, got {spec!r}")
 
 
 def _fmt_counters(cluster) -> str:
@@ -697,6 +784,62 @@ def _cmd_traffic(args) -> int:
     return 0
 
 
+def _cmd_shard_info(args) -> int:
+    """``repro shard-info``: print the deterministic shard map."""
+    import json
+
+    from repro.dlm.sharding import ShardMap
+
+    if args.num_shards < 1 or args.servers < 1:
+        print("repro shard-info: error: --num-shards and --servers must "
+              "be >= 1", file=sys.stderr)
+        return 2
+    smap = ShardMap(args.num_shards, args.servers, args.placement)
+    counts = [len(smap.shards_of_server(i)) for i in range(args.servers)]
+    skew = max(counts) - min(counts)
+
+    resolved = None
+    if args.resource is not None:
+        parts = args.resource.split(":")
+        try:
+            if len(parts) != 2:
+                raise ValueError
+            rid = (int(parts[0]), int(parts[1]))
+        except ValueError:
+            print(f"repro shard-info: error: --resource expects "
+                  f"FID:STRIPE, got {args.resource!r}", file=sys.stderr)
+            return 2
+        shard = smap.shard_of(rid)
+        resolved = {"resource": list(rid), "shard": shard,
+                    "owner": smap.owner_index_of_shard(shard)}
+
+    if args.json:
+        out = {"num_shards": args.num_shards, "servers": args.servers,
+               "placement": args.placement, "epoch": smap.epoch,
+               "owners": list(smap.owners),
+               "shards_per_server": counts, "skew": skew}
+        if resolved is not None:
+            out["resolved"] = resolved
+        print(json.dumps(out, sort_keys=True, separators=(",", ":")))
+    else:
+        print(f"shard map: {args.num_shards} shards over {args.servers} "
+              f"lock servers ({args.placement} placement, "
+              f"epoch {smap.epoch})")
+        for shard, owner in enumerate(smap.owners):
+            print(f"  shard {shard:>3} -> ds{owner}")
+        per = "  ".join(f"ds{i}={n}" for i, n in enumerate(counts))
+        print(f"  per-server: {per}  (skew {skew})")
+        if resolved is not None:
+            print(f"  resource {tuple(resolved['resource'])} -> "
+                  f"shard {resolved['shard']} -> "
+                  f"ds{resolved['owner']}")
+    if args.max_skew is not None and skew > args.max_skew:
+        print(f"repro shard-info: FAIL: shard skew {skew} exceeds "
+              f"--max-skew {args.max_skew}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -714,4 +857,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "traffic":
         return _cmd_traffic(args)
+    if args.command == "shard-info":
+        return _cmd_shard_info(args)
     return 2  # pragma: no cover

@@ -30,12 +30,25 @@ from repro.dlm.extent import EOF, Extent, ExtentMap, align_extent
 from repro.dlm.lcm import is_compatible
 from repro.dlm.replication import ReplicationConfig, StandbySequencer
 from repro.dlm.server import LockServer
+from repro.dlm.sharding import (
+    CompactSnTable,
+    ShardConfig,
+    ShardMap,
+    ShardMigration,
+    shard_of,
+)
 from repro.dlm.trace import LockTracer, render_timeline
 from repro.dlm.types import LockMode, LockState, severity_lub, can_satisfy
-from repro.dlm.validator import LockValidator, SnLedger, attach_validator
+from repro.dlm.validator import (
+    LockValidator,
+    ShardLedger,
+    SnLedger,
+    attach_validator,
+)
 
 __all__ = [
     "ClientLock",
+    "CompactSnTable",
     "DLMConfig",
     "EOF",
     "Extent",
@@ -48,6 +61,10 @@ __all__ = [
     "LockTracer",
     "LockValidator",
     "ReplicationConfig",
+    "ShardConfig",
+    "ShardLedger",
+    "ShardMap",
+    "ShardMigration",
     "SnLedger",
     "StandbySequencer",
     "attach_validator",
@@ -57,4 +74,5 @@ __all__ = [
     "is_compatible",
     "make_dlm_config",
     "severity_lub",
+    "shard_of",
 ]

@@ -22,6 +22,7 @@ over *when* to flush, ccPFS decides *what*.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, Hashable, List, Optional, Tuple
 
@@ -38,6 +39,8 @@ from repro.dlm.messages import (
     ReleaseMsg,
     RevokeAckMsg,
     RevokeMsg,
+    ShardAnnounceMsg,
+    WrongShardMsg,
 )
 from repro.dlm.types import LockMode, LockState, can_satisfy
 from repro.net.fabric import Node, UnknownServiceError
@@ -105,6 +108,10 @@ class LockClientStats:
     fenced_replies: int = 0
     #: Times this client adopted a fresh incarnation after eviction.
     rejoins: int = 0
+    # -- lock-namespace sharding ---------------------------------------
+    #: WrongShardMsg rejections received (stale shard map or a request
+    #: racing a migration); each one triggers refresh-and-retry.
+    wrong_shard_replies: int = 0
 
 
 #: Hook type: given a lock, flush its dirty data; generator completing when
@@ -170,6 +177,20 @@ class LockClient:
         #: ``clone_fn(resource_id, request_msg)`` for every lock request
         #: this client puts on the wire.
         self.clone_fn = None
+        # -- lock-namespace sharding (see repro.dlm.sharding) --------------
+        #: This client's cached shard map (sharded clusters only); the
+        #: cluster also routes ``server_for`` through it.
+        self.shard_cache = None
+        #: Refresh generator installed by the cluster: called with the
+        #: WrongShardMsg after a shard-fencing rejection, fetches the
+        #: current map from the directory into :attr:`shard_cache`.
+        #: None (data servers' local clients route through the
+        #: authoritative map) just re-resolves and retries.
+        self.shard_refresh_fn = None
+        #: Idempotency tokens for logical lock requests (sharded
+        #: clusters): one per lock() call, stable across wrong-shard
+        #: re-routes so a migrated grant can answer a resend.
+        self._request_tokens = itertools.count(1)
         self._cache: Dict[Hashable, List[ClientLock]] = {}
         # Lock ids are only unique per server; key by (resource, id).
         self._by_id: Dict[tuple, ClientLock] = {}
@@ -232,6 +253,13 @@ class LockClient:
         self.stats.requests += 1
         t0 = self.sim.now
         nbytes = CTRL_MSG_BYTES + 32 * max(0, len(extents) - 1)
+        # One token for the whole logical request: every pass below
+        # (fenced reissue, wrong-shard re-route) re-sends under a fresh
+        # RPC id but the same token, so a server holding the grant whose
+        # reply was lost answers idempotently instead of re-queueing.
+        token = (next(self._request_tokens)
+                 if self.shard_cache is not None or
+                 self.shard_refresh_fn is not None else None)
         while True:
             # Re-resolved every pass (and, via dst_fn, every retry): a
             # request parked at a sequencer that dies mid-wait must land
@@ -241,7 +269,8 @@ class LockClient:
             request = LockRequestMsg(resource_id=resource_id, mode=mode,
                                      extents=tuple(extents),
                                      client_name=self.node.name,
-                                     incarnation=self.incarnation)
+                                     incarnation=self.incarnation,
+                                     token=token)
             if self.clone_fn is not None:
                 self.clone_fn(resource_id, request)
             if self.retry is None:
@@ -258,6 +287,12 @@ class LockClient:
                 # adopt the fresh incarnation and reissue the request.
                 self.stats.fenced_replies += 1
                 self.note_fenced(grant)
+                continue
+            if isinstance(grant, WrongShardMsg):
+                # Shard fencing: the server no longer owns the slice.
+                # Refresh the cached map from the directory and re-send
+                # (the next pass re-resolves ``server_for``).
+                yield from self._shard_refresh(grant)
                 continue
             if grant.incumbent and grant.incumbent in self._deposed:
                 # Stale grant from a deposed sequencer (it raced the
@@ -288,6 +323,22 @@ class LockClient:
     def _count_request_retry(self, _attempt: int) -> None:
         self.stats.request_retries += 1
 
+    def _shard_refresh(self, reject: WrongShardMsg) -> Generator:
+        """React to a shard-fencing rejection: refresh the cached map.
+
+        Compute clients fetch the authoritative map from the directory
+        (``shard_refresh_fn``, a reliable RPC).  Clients routed through
+        the authoritative map directly (a data server's local client)
+        have nothing to refresh — during a migration's drain window both
+        old and new owner reject, and each retry costs a full RPC round
+        trip, so the loop is paced by wire time until the epoch bump
+        commits."""
+        self.stats.wrong_shard_replies += 1
+        if self.shard_refresh_fn is not None:
+            yield from self.shard_refresh_fn(reject)
+        else:
+            yield 0.0
+
     # -------------------------------------------------------- notifications
     def _notify(self, server: Node, payload) -> None:
         """Send a protocol notification (ack / downgrade / release).
@@ -305,22 +356,38 @@ class LockClient:
                            name=f"{self.node.name}-notify")
 
     def _reliable_notify(self, server: Node, payload) -> Generator:
-        try:
-            reply = yield from rpc_call_retry(self.node, server, "dlm",
-                                              payload,
-                                              nbytes=CTRL_MSG_BYTES,
-                                              policy=self.retry, rng=self.rng)
-        except (RpcTimeoutError, UnknownServiceError):
-            # The server is gone for good (or restarted): its recovery
-            # path regathers lock state from clients, so this
-            # notification is obsolete rather than lost.
-            self.stats.notify_failures += 1
+        while True:
+            try:
+                reply = yield from rpc_call_retry(self.node, server, "dlm",
+                                                  payload,
+                                                  nbytes=CTRL_MSG_BYTES,
+                                                  policy=self.retry,
+                                                  rng=self.rng)
+            except (RpcTimeoutError, UnknownServiceError):
+                # The server is gone for good (or restarted): its recovery
+                # path regathers lock state from clients, so this
+                # notification is obsolete rather than lost.
+                self.stats.notify_failures += 1
+                return
+            if isinstance(reply, FencedMsg):
+                # The server evicted us before this notification landed;
+                # the state it refers to was already reclaimed.
+                self.stats.fenced_replies += 1
+                self.note_fenced(reply)
+                return
+            if isinstance(reply, WrongShardMsg):
+                # The lock migrated while this notification was in
+                # flight: refresh the map and deliver it to the shard's
+                # new owner (acks/releases must reach whoever holds the
+                # lock table now — a dropped release would wedge every
+                # waiter behind the dead lock).
+                yield from self._shard_refresh(reply)
+                rid = getattr(payload, "resource_id", None)
+                if rid is None:
+                    return
+                server = self.server_for(rid)
+                continue
             return
-        if isinstance(reply, FencedMsg):
-            # The server evicted us before this notification landed; the
-            # state it refers to was already reclaimed.
-            self.stats.fenced_replies += 1
-            self.note_fenced(reply)
 
     def _cache_lookup(self, resource_id, extents, mode) -> Optional[ClientLock]:
         for cl in self._cache.get(resource_id, ()):
@@ -374,6 +441,13 @@ class LockClient:
         payload = msg.payload
         if isinstance(payload, FailoverAnnounceMsg):
             self._on_failover(payload)
+            return
+        if isinstance(payload, ShardAnnounceMsg):
+            # Post-migration map broadcast (best-effort; a lost announce
+            # is healed by WrongShardMsg fencing on the next request).
+            if self.shard_cache is not None:
+                self.shard_cache.update(payload.epoch, payload.owners,
+                                        source="announce")
             return
         if not isinstance(payload, RevokeMsg):  # pragma: no cover
             raise TypeError(f"unexpected callback {payload!r}")

@@ -16,6 +16,11 @@ senders.  The message set matches Fig. 1/Fig. 6 of the paper:
 ``ReplicaMsg``      server -> standby     async SN/grant replication record
 ``ProbeMsg``        standby -> server     failure-detector liveness probe
 ``FailoverAnnounceMsg`` cluster -> client failover notice: re-assert locks
+``WrongShardMsg``   server -> client      shard-fencing rejection (stale map)
+``ShardLookupMsg``  client -> directory   shard-map fetch request
+``ShardMapMsg``     directory -> client   shard-map fetch reply
+``ShardAnnounceMsg`` cluster -> client    post-migration map broadcast
+``ShardTransferMsg`` server -> server     migration payload (locks + floors)
 
 Every client→server message carries the sender's **incarnation number**;
 a server that evicted the client fences all lower incarnations (replying
@@ -45,6 +50,11 @@ __all__ = [
     "ReplicaMsg",
     "ProbeMsg",
     "FailoverAnnounceMsg",
+    "WrongShardMsg",
+    "ShardLookupMsg",
+    "ShardMapMsg",
+    "ShardAnnounceMsg",
+    "ShardTransferMsg",
 ]
 
 Extents = Tuple[Tuple[int, int], ...]
@@ -58,6 +68,13 @@ class LockRequestMsg:
     extents: Extents
     client_name: str
     incarnation: int = 0
+    #: Per-client idempotency token, stable across every resend of the
+    #: same logical request (including wrong-shard re-routes, which use
+    #: fresh RPC ids).  A sharded server stores it on the grant so that
+    #: after a migration — where the old owner's dedup cache is lost —
+    #: the new owner can recognize the duplicate and re-send the grant
+    #: instead of queueing the request behind its own lock.
+    token: Optional[int] = None
 
 
 @dataclass(**DATACLASS_KW)
@@ -123,6 +140,9 @@ class LockStateRecord:
     client_name: str = ""
     has_dirty: bool = False
     incarnation: int = 0
+    #: Idempotency token of the request this lock answered (sharded
+    #: clusters; travels with the lock through migrations).
+    token: Optional[int] = None
 
 
 @dataclass(**DATACLASS_KW)
@@ -185,3 +205,65 @@ class FailoverAnnounceMsg:
     failed: str
     incumbent: str
     epoch: int = 0
+
+
+@dataclass(**DATACLASS_KW)
+class WrongShardMsg:
+    """Epoch-stamped shard-fencing rejection (see docs/sharding.md).
+
+    A lock server that does not own the shard of ``resource_id`` replies
+    with this instead of acting, no matter how the request reached it —
+    a stale client map entry can therefore never extract a grant (or a
+    state mutation) from a server that no longer owns the slice.  The
+    reply carries the rejecting server's view of the map (``epoch`` and
+    an ``owner`` hint); clients refresh their cached map from the
+    directory and re-send through the normal retry path."""
+
+    resource_id: Hashable
+    shard: int
+    epoch: int
+    owner: str = ""
+
+
+@dataclass(**DATACLASS_KW)
+class ShardLookupMsg:
+    """Shard-map fetch: ask the directory service for the current map.
+    ``resource_id`` is advisory (diagnostics); the reply is always the
+    whole map, which is small (one owner index per shard)."""
+
+    resource_id: Optional[Hashable] = None
+
+
+@dataclass(**DATACLASS_KW)
+class ShardMapMsg:
+    """Directory reply: the authoritative shard map at ``epoch``.
+    ``owners[shard]`` is the lock-server index owning that shard."""
+
+    epoch: int
+    owners: Tuple[int, ...]
+
+
+@dataclass(**DATACLASS_KW)
+class ShardAnnounceMsg:
+    """Post-migration broadcast of the new map (fire-and-forget; a lost
+    announce is healed lazily by :class:`WrongShardMsg` fencing)."""
+
+    epoch: int
+    owners: Tuple[int, ...]
+
+
+@dataclass(**DATACLASS_KW)
+class ShardTransferMsg:
+    """Shard-migration payload, old owner -> new owner (reliable RPC).
+
+    ``locks`` reuses the §IV-C2 :class:`LockStateRecord` wire format;
+    ``floors`` carries every ``(resource, next_sn)`` floor of the shard
+    (granted resources *and* idle ones parked in the compact floor
+    table) so the new owner can never reissue an SN; ``revokes`` are the
+    in-flight revocation callbacks — ``(lock_id, sent_at, resource_id,
+    client_name)`` — whose acks must land at the new owner."""
+
+    shard: int
+    locks: Tuple[LockStateRecord, ...] = ()
+    floors: Tuple[Tuple[Hashable, int], ...] = ()
+    revokes: Tuple[Tuple[int, float, Hashable, str], ...] = ()

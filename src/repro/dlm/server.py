@@ -49,6 +49,7 @@ from repro.dlm.messages import (
     ReleaseMsg,
     RevokeAckMsg,
     RevokeMsg,
+    ShardTransferMsg,
 )
 from repro.dlm.types import LockMode, LockState, is_write_mode, severity_lub
 from repro.net.fabric import Node
@@ -78,6 +79,9 @@ class ServerLock:
     revoke_sent: bool = False
     #: Incarnation of the holder at grant time (liveness/fencing).
     incarnation: int = 0
+    #: Idempotency token of the request this lock answered (sharded
+    #: clusters only; see ``LockRequestMsg.token``).
+    token: Optional[int] = None
 
     def overlaps_extents(self, extents) -> bool:
         mine = self.extents
@@ -134,6 +138,16 @@ class LockServerStats:
     locks_reclaimed: int = 0
     #: RPCs from fenced (pre-eviction) client incarnations rejected.
     fenced_rejections: int = 0
+    # -- lock-namespace sharding (see repro.dlm.sharding) -----------------
+    #: Requests for shards this server does not own, bounced with an
+    #: epoch-stamped WrongShardMsg (stale client maps, migration drains).
+    shard_rejections: int = 0
+    #: Locks installed here by an inbound shard migration.
+    shard_locks_migrated_in: int = 0
+    #: Duplicate requests answered from an already-granted lock after a
+    #: migration (the original grant reply was lost with the old owner's
+    #: dedup table, so the new owner re-sends the grant idempotently).
+    shard_regrants: int = 0
 
 
 @dataclass(frozen=True)
@@ -219,6 +233,20 @@ class LockServer:
         self.first_grant_at: Optional[float] = None
         #: Locks reinstalled via client re-assertion after a failover.
         self.locks_reasserted = 0
+        # -- lock-namespace sharding (see repro.dlm.sharding) --------------
+        #: Ownership check installed by a sharded cluster: maps a
+        #: resource id to None (owned here) or a ready-to-send
+        #: WrongShardMsg.  Every resource-addressed request is checked
+        #: before dispatch, so a stale shard map can never extract a
+        #: grant or a state mutation from the wrong server.
+        self.shard_guard = None
+        #: CompactSnTable holding the next-SN floors of idle resources
+        #: (sharded clusters only); consulted when a resource goes live.
+        self.sn_floors = None
+        #: When True, a resource whose grants and queue have drained is
+        #: collapsed to one packed floor entry (memory frugality for
+        #: 10^5-resource runs).
+        self.frugal_gc = False
         self.service = RpcService(node, "dlm", self._handle, ops=ops,
                                   cost_fn=self._dispatch_cost,
                                   dedup=dedup, admission=admission)
@@ -242,7 +270,25 @@ class LockServer:
         res = self._resources.get(resource_id)
         if res is None:
             res = self._resources[resource_id] = _Resource(resource_id)
+            if self.sn_floors is not None:
+                # The resource was idle and frugally collapsed: restore
+                # its sequencer floor so no SN is ever reissued.
+                floor = self.sn_floors.pop(resource_id)
+                if floor is not None:
+                    res.next_sn = floor
         return res
+
+    def _maybe_gc(self, res: _Resource) -> None:
+        """Frugal mode: collapse a fully idle resource (no grants, no
+        waiters) to one packed floor entry in :attr:`sn_floors`."""
+        if (not self.frugal_gc or self.sn_floors is None
+                or res.granted or res.queue):
+            return
+        if self._resources.get(res.resource_id) is not res:
+            return
+        if res.next_sn > 1:
+            self.sn_floors.set(res.resource_id, res.next_sn)
+        del self._resources[res.resource_id]
 
     def reset_state(self) -> None:
         """Drop all volatile lock state (crash simulation, §IV-C2)."""
@@ -258,6 +304,10 @@ class LockServer:
         self._leases.clear()
         self._incarnations.clear()
         self._fence.clear()
+        if self.sn_floors is not None:
+            # The floor table is volatile like the lock table it mirrors;
+            # recovery re-floors from the extent log and re-assertions.
+            self.sn_floors.clear()
         self.service.reset_dedup()
 
     def kill(self) -> None:
@@ -327,6 +377,25 @@ class LockServer:
             # Failure-detector probe: a live sequencer just echoes.
             req.respond("alive", nbytes=CTRL_MSG_BYTES)
             return
+        if isinstance(payload, ShardTransferMsg):
+            # Migration install is addressed to the *incoming* owner and
+            # must precede the ownership check (the epoch bump that makes
+            # this server the owner of record happens after the install
+            # is acked; see Cluster.migrate_shard).
+            self._on_shard_transfer(payload, req)
+            return
+        if self.shard_guard is not None:
+            rid = getattr(payload, "resource_id", None)
+            if rid is not None:
+                reject = self.shard_guard(rid)
+                if reject is not None:
+                    # Shard fencing: this server does not own the slice
+                    # (stale client map, or a migration drain window).
+                    # Reject with the current epoch before touching any
+                    # state; the client refreshes its map and re-sends.
+                    self.stats.shard_rejections += 1
+                    req.respond(reject, nbytes=CTRL_MSG_BYTES)
+                    return
         client = getattr(payload, "client_name", "") or req.src.name
         inc = getattr(payload, "incarnation", None)
         if inc is not None:
@@ -379,10 +448,48 @@ class LockServer:
     def _on_lock_request(self, msg: LockRequestMsg, req: Request) -> None:
         self.stats.requests += 1
         res = self._res(msg.resource_id)
+        if self.shard_guard is not None:
+            # Migration breaks the usual at-most-once story: a grant
+            # issued by the old owner whose reply was lost cannot be
+            # replayed from this server's dedup table, and the client's
+            # wrong-shard re-route arrives under a fresh request id.
+            # Queueing it would deadlock the request behind the
+            # client's own (unacknowledged) granted lock, so answer
+            # idempotently from the migrated grant instead.
+            dup = self._find_covering_grant(res, msg)
+            if dup is not None:
+                self.stats.shard_regrants += 1
+                req.respond(LockGrantMsg(
+                    lock_id=dup.lock_id, resource_id=res.resource_id,
+                    mode=dup.mode, extents=dup.extents, sn=dup.sn,
+                    state=dup.state, absorbed_lock_ids=(),
+                    incumbent=self.node.name), nbytes=CTRL_MSG_BYTES)
+                return
         res.queue.append(_Pending(msg, req, self.sim.now))
         if len(res.queue) > self.waiter_queue_max:
             self.waiter_queue_max = len(res.queue)
         self._process(res)
+
+    @staticmethod
+    def _find_covering_grant(res: _Resource,
+                             msg: LockRequestMsg) -> Optional[ServerLock]:
+        """The granted lock that already answered this exact logical
+        request, identified by the client's idempotency token — i.e.
+        ``msg`` is a resend whose original grant reply was lost (sharded
+        clusters only; see ``_on_lock_request``).  Token equality is
+        deliberately the *only* criterion beyond client identity:
+        matching on mode/extent coverage instead would also catch a
+        genuinely new request covered by a lock the client is in the
+        middle of releasing, and re-granting that one lets two writers
+        overlap."""
+        if msg.token is None:
+            return None
+        for g in res.granted.values():
+            if (g.token == msg.token
+                    and g.client_name == msg.client_name
+                    and g.incarnation == msg.incarnation):
+                return g
+        return None
 
     def _on_revoke_ack(self, msg: RevokeAckMsg) -> None:
         entry = self._revoke_sent_at.pop(msg.lock_id, None)
@@ -410,6 +517,7 @@ class LockServer:
         if res.granted.pop(msg.lock_id, None) is not None:
             self.stats.releases += 1
         self._process(res)
+        self._maybe_gc(res)
 
     def _on_msn_query(self, msg: MsnQueryMsg, req: Request) -> None:
         """Minimum SN of unreleased write locks overlapping the extents
@@ -421,6 +529,7 @@ class LockServer:
                if is_write_mode(g.mode) and g.overlaps_extents(msg.extents)]
         msn = min(sns) - 1 if sns else res.next_sn - 1
         req.respond(msn)
+        self._maybe_gc(res)
 
     def bump_next_sn(self, resource_id: Hashable, floor: int) -> None:
         """Recovery aid (§IV-C2): the extent log proves SNs below
@@ -438,12 +547,90 @@ class LockServer:
             client_name=rec.client_name, mode=rec.mode, extents=rec.extents,
             sn=rec.sn, state=rec.state,
             revoke_sent=rec.state is LockState.CANCELING,
-            incarnation=rec.incarnation)
+            incarnation=rec.incarnation, token=rec.token)
         res.next_sn = max(res.next_sn, rec.sn + 1)
         self._note_table_size()
         # Keep lock ids unique after recovery.
         self._lock_ids = itertools.count(
             max(rec.lock_id + 1, next(self._lock_ids)))
+
+    # ------------------------------------------------------------- sharding
+    def extract_shard(self, belongs, reject_fn):
+        """Old-owner side of a shard migration (drain step).
+
+        Atomically (in simulated time) removes every resource whose id
+        satisfies ``belongs``: granted locks become §IV-C2
+        :class:`LockStateRecord` wire records, queued waiters are
+        bounced with ``reject_fn(resource_id)`` (they re-request once
+        the new owner commits), unacked revocation entries travel along
+        so their acks land at the new owner, and idle floors parked in
+        :attr:`sn_floors` move too.  Returns ``(floors, locks, revokes,
+        waiters_bounced)``."""
+        floors: List[Tuple[Hashable, int]] = []
+        locks: List[LockStateRecord] = []
+        revokes: List[Tuple[int, float, Hashable, str]] = []
+        bounced = 0
+        doomed = sorted((r for r in self._resources if belongs(r)), key=repr)
+        for rid in doomed:
+            res = self._resources.pop(rid)
+            if res.next_sn > 1:
+                floors.append((rid, res.next_sn))
+            for lock_id in sorted(res.granted):
+                g = res.granted[lock_id]
+                locks.append(LockStateRecord(
+                    lock_id=g.lock_id, resource_id=g.resource_id,
+                    mode=g.mode, extents=g.extents, sn=g.sn, state=g.state,
+                    client_name=g.client_name, incarnation=g.incarnation,
+                    token=g.token))
+                entry = self._revoke_sent_at.pop(g.lock_id, None)
+                if entry is not None:
+                    revokes.append((g.lock_id, entry[0], entry[1], entry[2]))
+            # Emptying the dict (not just dropping the resource) stops
+            # any in-flight revoke watchdog holding a reference to it.
+            res.granted.clear()
+            for pend in list(res.queue):
+                pend.req.respond(reject_fn(rid), nbytes=CTRL_MSG_BYTES)
+                bounced += 1
+            res.queue.clear()
+        if self.sn_floors is not None:
+            floors.extend(self.sn_floors.extract(belongs))
+        return floors, locks, revokes, bounced
+
+    def _on_shard_transfer(self, msg: ShardTransferMsg, req: Request) -> None:
+        """New-owner side of a shard migration (install step).
+
+        Floors first — no grant issued after this instant can reuse a
+        transferred SN — then the locks (via the recovery install path:
+        they are *not* new grants, so the validator's before-set already
+        contains them), then the in-flight revocation entries, whose
+        watchdogs re-arm here.  The reply acks the whole install; the
+        sender retries until it lands (dedup absorbs duplicates)."""
+        for rid, floor in msg.floors:
+            self.bump_next_sn(rid, floor)
+        revoke_ids = {entry[0] for entry in msg.revokes}
+        for rec in msg.locks:
+            res = self._res(rec.resource_id)
+            res.granted[rec.lock_id] = ServerLock(
+                lock_id=rec.lock_id, resource_id=rec.resource_id,
+                client_name=rec.client_name, mode=rec.mode,
+                extents=rec.extents, sn=rec.sn, state=rec.state,
+                revoke_sent=(rec.state is LockState.CANCELING
+                             or rec.lock_id in revoke_ids),
+                incarnation=rec.incarnation, token=rec.token)
+            res.next_sn = max(res.next_sn, rec.sn + 1)
+            self._lock_ids = itertools.count(
+                max(rec.lock_id + 1, next(self._lock_ids)))
+            self.stats.shard_locks_migrated_in += 1
+        for lock_id, sent_at, rid, client in msg.revokes:
+            self._revoke_sent_at[lock_id] = (sent_at, rid, client)
+            if self.retry is not None:
+                res = self._res(rid)
+                lock = res.granted.get(lock_id)
+                if lock is not None and lock.state is LockState.GRANTED:
+                    self.sim.spawn(self._revoke_watchdog(res, lock),
+                                   name=f"revoke-wd-{lock_id}")
+        self._note_table_size()
+        req.respond("ok", nbytes=CTRL_MSG_BYTES)
 
     # ------------------------------------------------------------ the queue
     def _conflicts(self, res: _Resource, msg: LockRequestMsg) -> List[ServerLock]:
@@ -721,7 +908,7 @@ class LockServer:
             lock_id=next(self._lock_ids), resource_id=res.resource_id,
             client_name=msg.client_name, mode=mode, extents=extents, sn=sn,
             state=state, revoke_sent=state is LockState.CANCELING,
-            incarnation=msg.incarnation)
+            incarnation=msg.incarnation, token=msg.token)
         res.granted[lock.lock_id] = lock
         self.stats.grants += 1
         self._note_table_size()
@@ -846,6 +1033,7 @@ class LockServer:
             self.on_evict(client, reason, list(reclaimed))
         for res in touched:
             self._process(res)
+            self._maybe_gc(res)
 
     def _log(self, kind: str, client: str, detail: str = "") -> None:
         self.liveness_log.append(

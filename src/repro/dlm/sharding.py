@@ -1,0 +1,416 @@
+"""Sharding the lock namespace across sequencer groups.
+
+The paper runs one sequencer per resource hash-placed onto the data
+servers; this module goes beyond it (ROADMAP: "million-user scale") by
+making lock-namespace placement an explicit, *migratable* mapping:
+
+* :class:`ShardConfig` — ``num_shards`` and a placement policy
+  (``"hash"`` or ``"range"`` over the 32-bit :func:`stable_hash` space),
+  plus optional seeded mid-run :class:`ShardMigration` events.
+* :class:`ShardMap` — the authoritative, epoch-stamped
+  ``shard -> lock-server index`` table owned by the cluster.  Every
+  migration bumps the epoch.
+* :class:`DirectoryService` — a ``"shard_dir"`` RPC service (on the
+  metadata node) answering shard-map lookups with the current map.
+* :class:`ShardMapCache` — a client's possibly-stale copy of the map.
+  Staleness is harmless by construction: a server that does not own a
+  shard answers every request for it with an epoch-stamped
+  :class:`~repro.dlm.messages.WrongShardMsg` instead of acting, and the
+  client refreshes from the directory and re-sends (docs/sharding.md).
+* :class:`CompactSnTable` — memory-frugal storage for the ``next_sn``
+  floors of *idle* resources: packed sorted ``array('q')`` key/value
+  arrays (16 bytes per resource) instead of a live ``_Resource`` object
+  each, which is what lets a 10^5-file run fit in one process
+  (``ext_shard_scale``).
+
+With ``num_shards=1`` nothing here is instantiated and the cluster is
+byte-identical to the classic single-sequencer path.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.config import DictConfigMixin
+from repro.dlm.messages import ShardMapMsg
+from repro.net.rpc import CTRL_MSG_BYTES, Request, RpcService
+
+__all__ = [
+    "PLACEMENTS",
+    "ShardConfig",
+    "ShardMigration",
+    "ShardMap",
+    "ShardMapCache",
+    "DirectoryService",
+    "CompactSnTable",
+    "stable_hash",
+    "shard_of",
+]
+
+#: Supported shard-placement policies.
+PLACEMENTS = ("hash", "range")
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic 32-bit placement hash (FNV-1a over the stringified
+    key parts; Python's builtin ``hash`` is randomized per process)."""
+    h = 0x811C9DC5
+    for part in (key if isinstance(key, tuple) else (key,)):
+        for b in str(part).encode():
+            h = ((h ^ b) * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+def shard_of(resource_id: Hashable, num_shards: int,
+             placement: str = "hash") -> int:
+    """Shard index of ``resource_id`` under the given placement.
+
+    ``"hash"`` takes the stable hash modulo ``num_shards`` (maximally
+    scattered); ``"range"`` divides the 32-bit hash space into
+    ``num_shards`` contiguous slices (hash-adjacent resources stay
+    together, the classic range-partitioned directory layout)."""
+    if num_shards <= 1:
+        return 0
+    h = stable_hash(resource_id)
+    if placement == "range":
+        return min((h * num_shards) >> 32, num_shards - 1)
+    return h % num_shards
+
+
+@dataclass(frozen=True)
+class ShardMigration(DictConfigMixin):
+    """One seeded, timed shard move: at simulated time ``at``, shard
+    ``shard`` migrates to lock server ``to_server`` (drain -> transfer
+    -> epoch bump -> announce; see ``Cluster.migrate_shard``)."""
+
+    shard: int
+    to_server: int
+    at: float
+
+    def __post_init__(self):
+        if self.shard < 0:
+            raise ValueError(f"ShardMigration.shard must be >= 0, "
+                             f"got {self.shard}")
+        if self.to_server < 0:
+            raise ValueError(f"ShardMigration.to_server must be >= 0, "
+                             f"got {self.to_server}")
+        if self.at < 0:
+            raise ValueError(f"ShardMigration.at must be >= 0, "
+                             f"got {self.at}")
+
+
+@dataclass
+class ShardConfig(DictConfigMixin):
+    """Lock-namespace sharding knobs (``ClusterConfig.sharding``).
+
+    ``num_shards=1`` (the default) is fully degenerate: no directory
+    service, no shard metrics, no extra RNG streams — byte-identical to
+    an unsharded cluster.  ``num_shards > 1`` requires
+    ``ClusterConfig.retry`` (wrong-shard rejections are resent by the
+    client retry loop, exactly like admission rejections)."""
+
+    num_shards: int = 1
+    #: Placement policy: ``"hash"`` or ``"range"`` (see :func:`shard_of`).
+    placement: str = "hash"
+    #: Seeded mid-run migrations, driven from the simulator clock.
+    migrations: Tuple[ShardMigration, ...] = ()
+    #: Dispatch rate of the directory service (lookups are trivial).
+    directory_ops: float = 1_000_000.0
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError(
+                f"ShardConfig.num_shards must be >= 1, got {self.num_shards}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"ShardConfig.placement must be one of {PLACEMENTS}, "
+                f"got {self.placement!r}")
+        self.migrations = tuple(self.migrations)
+        for mig in self.migrations:
+            if mig.shard >= self.num_shards:
+                raise ValueError(
+                    f"ShardMigration.shard {mig.shard} out of range for "
+                    f"num_shards={self.num_shards}")
+        if self.migrations and self.num_shards == 1:
+            raise ValueError(
+                "ShardConfig.migrations requires num_shards > 1")
+
+
+class ShardMap:
+    """The authoritative epoch-stamped ``shard -> server index`` map.
+
+    Initial placement assigns shard ``s`` to server ``s % num_servers``
+    (round-robin, so shards spread evenly no matter the counts); every
+    :meth:`set_owner` bumps the epoch and appends to ``history`` (the
+    owner-of-record trail invariant I8 checks against).
+    """
+
+    def __init__(self, num_shards: int, num_servers: int,
+                 placement: str = "hash"):
+        if num_servers < 1:
+            raise ValueError("ShardMap needs at least one server")
+        self.num_shards = num_shards
+        self.num_servers = num_servers
+        self.placement = placement
+        self.epoch = 0
+        self.owners: List[int] = [s % num_servers for s in range(num_shards)]
+        #: ``[(epoch, owners tuple), ...]`` — one entry per epoch.
+        self.history: List[Tuple[int, Tuple[int, ...]]] = [
+            (0, tuple(self.owners))]
+
+    def shard_of(self, resource_id: Hashable) -> int:
+        return shard_of(resource_id, self.num_shards, self.placement)
+
+    def owner_index_of_shard(self, shard: int) -> int:
+        return self.owners[shard]
+
+    def owner_index_of(self, resource_id: Hashable) -> int:
+        return self.owners[self.shard_of(resource_id)]
+
+    def set_owner(self, shard: int, server_index: int) -> int:
+        """Commit a migration: new owner, epoch + 1.  Returns the new
+        epoch."""
+        if not 0 <= server_index < self.num_servers:
+            raise ValueError(f"server index {server_index} out of range")
+        self.owners[shard] = server_index
+        self.epoch += 1
+        self.history.append((self.epoch, tuple(self.owners)))
+        return self.epoch
+
+    def snapshot(self) -> Tuple[int, Tuple[int, ...]]:
+        return self.epoch, tuple(self.owners)
+
+    def shards_of_server(self, server_index: int) -> List[int]:
+        return [s for s, o in enumerate(self.owners) if o == server_index]
+
+
+class ShardMapCache:
+    """A client's cached (possibly stale) copy of the shard map.
+
+    Bootstrapped from the epoch-0 map at cluster build (no RPCs on the
+    happy path); refreshed from the directory after a
+    :class:`~repro.dlm.messages.WrongShardMsg` rejection and
+    opportunistically by :class:`~repro.dlm.messages.ShardAnnounceMsg`
+    broadcasts.  ``poison`` deliberately corrupts one entry — the
+    stale-cache fencing tests use it to prove a poisoned map can only
+    cost a refresh round trip, never a mis-routed grant."""
+
+    def __init__(self, shard_map: ShardMap):
+        self.num_shards = shard_map.num_shards
+        self.placement = shard_map.placement
+        self.epoch, owners = shard_map.snapshot()
+        self.owners: List[int] = list(owners)
+        self.lookups = 0
+        self.refreshes = 0
+        self.announce_updates = 0
+        self.stale_updates_ignored = 0
+
+    def shard_of(self, resource_id: Hashable) -> int:
+        return shard_of(resource_id, self.num_shards, self.placement)
+
+    def owner_index_of(self, resource_id: Hashable) -> int:
+        self.lookups += 1
+        return self.owners[self.shard_of(resource_id)]
+
+    def update(self, epoch: int, owners, source: str = "directory") -> bool:
+        """Adopt a newer map; stale (lower-epoch) updates are ignored.
+        Returns True when the cache changed its view."""
+        if epoch < self.epoch:
+            self.stale_updates_ignored += 1
+            return False
+        adopted = epoch > self.epoch or list(owners) != self.owners
+        self.epoch = epoch
+        self.owners = list(owners)
+        if source == "announce":
+            self.announce_updates += 1
+        else:
+            self.refreshes += 1
+        return adopted
+
+    def poison(self, shard: int, owner_index: int) -> None:
+        """Test hook: corrupt one entry without touching the epoch."""
+        self.owners[shard] = owner_index
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a directory refresh."""
+        if not self.lookups:
+            return 1.0
+        return max(0.0, 1.0 - self.refreshes / self.lookups)
+
+
+class DirectoryService:
+    """The shard-lookup RPC service (``"shard_dir"``).
+
+    Lives on the metadata node; answers every
+    :class:`~repro.dlm.messages.ShardLookupMsg` with the whole current
+    map (a :class:`~repro.dlm.messages.ShardMapMsg`).  The map is tiny —
+    one small int per shard — so there is no per-shard reply variant to
+    keep consistent."""
+
+    def __init__(self, node, shard_map: ShardMap,
+                 ops: float = 1_000_000.0, dedup: bool = False):
+        self.node = node
+        self.shard_map = shard_map
+        self.lookups = 0
+        self.service = RpcService(node, "shard_dir", self._handle, ops=ops,
+                                  dedup=dedup)
+
+    def _handle(self, req: Request) -> None:
+        self.lookups += 1
+        epoch, owners = self.shard_map.snapshot()
+        req.respond(ShardMapMsg(epoch=epoch, owners=owners),
+                    nbytes=CTRL_MSG_BYTES + 4 * len(owners))
+
+
+# ---------------------------------------------------------------- SN floors
+def _pack_key(resource_id: Hashable) -> Optional[int]:
+    """Pack a ``(fid, stripe)`` resource id into one 63-bit int, or None
+    when the id does not fit the packed form (fallback dict is used)."""
+    if (isinstance(resource_id, tuple) and len(resource_id) == 2
+            and type(resource_id[0]) is int and type(resource_id[1]) is int):
+        fid, stripe = resource_id
+        if 0 <= fid < (1 << 31) and 0 <= stripe < (1 << 32):
+            return (fid << 32) | stripe
+    return None
+
+
+def _unpack_key(key: int) -> Tuple[int, int]:
+    return key >> 32, key & 0xFFFFFFFF
+
+
+class CompactSnTable:
+    """Memory-frugal ``resource -> next_sn`` floor storage.
+
+    A granted-and-then-fully-released resource must keep its sequencer
+    floor forever (SNs are never reissued), but a live ``_Resource``
+    object — dict, deque, bookkeeping — costs ~500 bytes.  This table
+    stores the floor of each *idle* resource in two parallel sorted
+    ``array('q')`` columns (16 bytes per entry) keyed by the packed
+    ``(fid, stripe)`` id, with a small unsorted overflow dict that is
+    merged into the arrays once it grows past ``merge_threshold``.
+    Non-``(int, int)`` resource ids fall back to a plain dict.
+
+    ``pop`` removes the floor (the resource is going live again and the
+    floor moves back into its ``_Resource``), so the table only ever
+    holds idle resources.
+    """
+
+    def __init__(self, merge_threshold: int = 1024):
+        self._keys = array("q")
+        self._vals = array("q")
+        self._pending: Dict[int, int] = {}
+        self._fallback: Dict[Hashable, int] = {}
+        self._merge_threshold = merge_threshold
+
+    def __len__(self) -> int:
+        return (len(self._keys) + len(self._pending)
+                + len(self._fallback))
+
+    def clear(self) -> None:
+        """Drop every floor (crash simulation: the table is volatile,
+        like the lock table it mirrors)."""
+        self._keys = array("q")
+        self._vals = array("q")
+        self._pending.clear()
+        self._fallback.clear()
+
+    def set(self, resource_id: Hashable, next_sn: int) -> None:
+        key = _pack_key(resource_id)
+        if key is None:
+            self._fallback[resource_id] = next_sn
+            return
+        idx = bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            self._vals[idx] = next_sn
+            return
+        self._pending[key] = next_sn
+        if len(self._pending) >= self._merge_threshold:
+            self._merge()
+
+    def get(self, resource_id: Hashable) -> Optional[int]:
+        key = _pack_key(resource_id)
+        if key is None:
+            return self._fallback.get(resource_id)
+        sn = self._pending.get(key)
+        if sn is not None:
+            return sn
+        idx = bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return self._vals[idx]
+        return None
+
+    def pop(self, resource_id: Hashable) -> Optional[int]:
+        key = _pack_key(resource_id)
+        if key is None:
+            return self._fallback.pop(resource_id, None)
+        sn = self._pending.pop(key, None)
+        if sn is not None:
+            return sn
+        idx = bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            sn = self._vals[idx]
+            del self._keys[idx]
+            del self._vals[idx]
+            return sn
+        return None
+
+    def _merge(self) -> None:
+        if not self._pending:
+            return
+        merged_keys = array("q")
+        merged_vals = array("q")
+        new = sorted(self._pending.items())
+        old_keys, old_vals = self._keys, self._vals
+        i = j = 0
+        while i < len(old_keys) and j < len(new):
+            if old_keys[i] <= new[j][0]:
+                merged_keys.append(old_keys[i])
+                merged_vals.append(old_vals[i])
+                i += 1
+            else:
+                merged_keys.append(new[j][0])
+                merged_vals.append(new[j][1])
+                j += 1
+        for k in range(i, len(old_keys)):
+            merged_keys.append(old_keys[k])
+            merged_vals.append(old_vals[k])
+        for k in range(j, len(new)):
+            merged_keys.append(new[k][0])
+            merged_vals.append(new[k][1])
+        self._keys, self._vals = merged_keys, merged_vals
+        self._pending.clear()
+
+    def extract(self, belongs: Callable[[Hashable], bool]
+                ) -> List[Tuple[Hashable, int]]:
+        """Remove and return every ``(resource_id, next_sn)`` whose id
+        satisfies ``belongs`` (shard migration: the floors move with the
+        shard).  Packed ids come back as the ``(fid, stripe)`` tuples
+        they were stored under."""
+        self._merge()
+        out: List[Tuple[Hashable, int]] = []
+        keep_keys = array("q")
+        keep_vals = array("q")
+        for key, val in zip(self._keys, self._vals):
+            rid = _unpack_key(key)
+            if belongs(rid):
+                out.append((rid, val))
+            else:
+                keep_keys.append(key)
+                keep_vals.append(val)
+        self._keys, self._vals = keep_keys, keep_vals
+        for rid in [r for r in self._fallback if belongs(r)]:
+            out.append((rid, self._fallback.pop(rid)))
+        out.sort(key=lambda kv: repr(kv[0]))
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate packed-storage footprint (the metric the
+        ``ext_shard_scale`` experiment reports)."""
+        return (self._keys.itemsize * len(self._keys)
+                + self._vals.itemsize * len(self._vals)
+                + 64 * len(self._pending) + 64 * len(self._fallback))

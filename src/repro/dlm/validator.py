@@ -40,6 +40,15 @@ I7. **SN uniqueness across failover epochs** — cluster-wide, a
     no data ever carried it.  Checked by the cluster-shared
     :class:`SnLedger`; this is the safety net under the promotion
     floor's ``max(replication watermark + 1, extent-log floor)`` rule.
+I8. **Shard ownership of record** — on a sharded cluster
+    (:mod:`repro.dlm.sharding`), every grant (read or write) must be
+    issued by the lock server that the authoritative shard map names as
+    the owner of the resource's shard *at the epoch of the grant*.  A
+    stale client map, a migration drain window, or a lost announce may
+    delay a request, but a server that is not the owner of record can
+    never produce a grant — the shard guard bounces the request before
+    it touches the lock table.  Checked by the cluster-shared
+    :class:`ShardLedger`.
 
 The validator is pure observation — it never mutates server state — and
 is cheap enough to leave on in every integration test.  Violations raise
@@ -56,8 +65,8 @@ from repro.dlm.server import LockServer, _Resource
 from repro.dlm.types import LockState, is_write_mode
 from repro.dlm.extent import overlaps
 
-__all__ = ["LockInvariantViolation", "LockValidator", "SnLedger",
-           "attach_validator"]
+__all__ = ["LockInvariantViolation", "LockValidator", "ShardLedger",
+           "SnLedger", "attach_validator"]
 
 
 class LockInvariantViolation(AssertionError):
@@ -95,13 +104,42 @@ class SnLedger:
             f"{server_name!r} (epoch {epoch})")
 
 
+class ShardLedger:
+    """Cluster-wide shard-ownership check backing I8.
+
+    ``owner_fn`` maps a resource id to the name of the node the
+    *authoritative* shard map currently names as owner; ``epoch_fn``
+    returns the map epoch (for the violation message).  Because the
+    check runs synchronously inside ``_process``, "currently" is exactly
+    the epoch at which the grant was issued — a migration commits its
+    epoch bump and ownership flip in the same instant, so the guard and
+    this ledger can never disagree transiently.
+    """
+
+    def __init__(self, owner_fn, epoch_fn):
+        self.owner_fn = owner_fn
+        self.epoch_fn = epoch_fn
+        self.checked = 0
+
+    def note_grant(self, resource_id: Hashable, server_name: str) -> None:
+        self.checked += 1
+        owner = self.owner_fn(resource_id)
+        if owner != server_name:
+            raise LockInvariantViolation(
+                f"[I8] grant on {resource_id!r} issued by {server_name!r} "
+                f"but owner of record (epoch {self.epoch_fn()}) is "
+                f"{owner!r}")
+
+
 class LockValidator:
     """Wraps a lock server's ``_process`` to validate after every step."""
 
     def __init__(self, server: LockServer,
-                 ledger: Optional[SnLedger] = None):
+                 ledger: Optional[SnLedger] = None,
+                 shard_ledger: Optional[ShardLedger] = None):
         self.server = server
         self.ledger = ledger
+        self.shard_ledger = shard_ledger
         self.lcm: CompatibilityFn = server.config.lcm
         self.checks = 0
         #: Evictions witnessed first-hand; the metrics cross-check test
@@ -171,6 +209,10 @@ class LockValidator:
         for lock_id, lock in res.granted.items():
             if lock_id in before_ids:
                 continue
+            # I8 applies to every new grant, read or write: a non-owner
+            # must never issue anything.
+            if self.shard_ledger is not None:
+                self.shard_ledger.note_grant(rid, self.server.node.name)
             if not is_write_mode(lock.mode):
                 continue
             # I2: unique, monotonically increasing write SNs.
@@ -280,7 +322,18 @@ def attach_validator(cluster) -> List[LockValidator]:
     ``cluster.sn_ledger``) so I7 spans sequencer identities; servers
     promoted later join the same ledger
     (:meth:`~repro.pfs.filesystem.Cluster.promote_standby`).
+
+    On a sharded cluster (``cluster.shard_map`` set) they additionally
+    share one :class:`ShardLedger` (stored as ``cluster.shard_ledger``)
+    checking I8 against the authoritative map.
     """
     ledger = SnLedger()
     cluster.sn_ledger = ledger
-    return [LockValidator(ls, ledger=ledger) for ls in cluster.lock_servers]
+    shard_ledger = None
+    if getattr(cluster, "shard_map", None) is not None:
+        shard_ledger = ShardLedger(
+            owner_fn=lambda rid: cluster.dlm_node_for(rid).name,
+            epoch_fn=lambda: cluster.shard_map.epoch)
+        cluster.shard_ledger = shard_ledger
+    return [LockValidator(ls, ledger=ledger, shard_ledger=shard_ledger)
+            for ls in cluster.lock_servers]

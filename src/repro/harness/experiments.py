@@ -591,6 +591,7 @@ from repro.harness.extensions import (  # noqa: E402
     ext_lockahead,
     ext_overload,
     ext_read_phase,
+    ext_shard_scale,
 )
 
 EXPERIMENTS = {
@@ -613,6 +614,7 @@ EXPERIMENTS = {
     "ext_lockahead": ext_lockahead,
     "ext_client_liveness": ext_client_liveness,
     "ext_overload": ext_overload,
+    "ext_shard_scale": ext_shard_scale,
 }
 
 

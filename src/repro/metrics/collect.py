@@ -314,6 +314,61 @@ def collect_cluster_metrics(cluster) -> MetricsSnapshot:
             m[f"failover.{key}"] = _gauge(
                 max(vals) if vals else 0.0, "seconds", owner)
 
+    # -- lock-namespace sharding (sharded clusters only) -------------------
+    # Same gating rule as the failover block: emitting zero-filled shard
+    # keys on classic runs would churn the golden byte-identity digests.
+    smap = getattr(cluster, "shard_map", None)
+    if smap is not None:
+        owner = "dlm.sharding"
+        m["shard.num_shards"] = _gauge(smap.num_shards, "shards", owner)
+        m["shard.epoch"] = _gauge(smap.epoch, "epochs", owner)
+        m["shard.migrations"] = _counter(
+            len(cluster.shard_migration_records), "events", owner)
+        m["shard.locks_migrated"] = _counter(
+            sum(ls.stats.shard_locks_migrated_in
+                for ls in _lock_servers(cluster)), "locks", owner)
+        m["shard.rejections"] = _counter(
+            sum(ls.stats.shard_rejections for ls in _lock_servers(cluster)),
+            "requests", owner)
+        m["shard.regrants"] = _counter(
+            sum(ls.stats.shard_regrants for ls in _lock_servers(cluster)),
+            "requests", owner)
+        local_lcs = [ds.local_lock_client for ds in cluster.data_servers
+                     if ds.local_lock_client is not None]
+        m["shard.wrong_shard_replies"] = _counter(
+            sum(lc.stats.wrong_shard_replies
+                for lc in list(cluster.lock_clients) + local_lcs),
+            "replies", owner)
+        caches = [lc.shard_cache for lc in cluster.lock_clients
+                  if lc.shard_cache is not None]
+        lookups = sum(c.lookups for c in caches)
+        refreshes = sum(c.refreshes for c in caches)
+        m["shard.cache_lookups"] = _counter(lookups, "lookups", owner)
+        m["shard.cache_refreshes"] = _counter(refreshes, "lookups", owner)
+        m["shard.cache_announce_updates"] = _counter(
+            sum(c.announce_updates for c in caches), "updates", owner)
+        m["shard.cache_hit_rate"] = _gauge(
+            max(0.0, 1.0 - refreshes / lookups) if lookups else 1.0,
+            "ratio", owner)
+        directory = getattr(cluster, "shard_directory", None)
+        m["shard.dir_lookups"] = _counter(
+            directory.lookups if directory is not None else 0,
+            "lookups", owner)
+        m["shard.sn_floor_entries"] = _gauge(
+            sum(len(ls.sn_floors) for ls in cluster.lock_servers
+                if ls.sn_floors is not None), "resources", owner)
+        m["shard.sn_floor_bytes"] = _gauge(
+            sum(ls.sn_floors.nbytes for ls in cluster.lock_servers
+                if ls.sn_floors is not None), "bytes", owner)
+        sizes = cluster.shard_table_sizes()
+        if smap.num_shards <= 64:
+            for s, count in sorted(sizes.items()):
+                m[f"shard.table_locks.{s:02d}"] = _gauge(
+                    count, "resources", owner)
+        else:
+            m["shard.table_locks_max"] = _gauge(
+                max(sizes.values(), default=0), "resources", owner)
+
     # -- the chaos-report resilience set (always full, zero-filled) --------
     for key, value in resilience_counters(cluster).items():
         m[f"resilience.{key}"] = _counter(value, "events", "resilience")

@@ -19,7 +19,7 @@ from typing import Dict, Generator, Hashable, List, Optional, Tuple
 
 from repro._compat import DATACLASS_KW
 from repro.dlm.extent import EOF
-from repro.dlm.messages import FencedMsg, MsnQueryMsg
+from repro.dlm.messages import FencedMsg, MsnQueryMsg, WrongShardMsg
 from repro.dlm.types import LockMode
 from repro.net.fabric import Node
 from repro.net.rpc import (
@@ -241,12 +241,19 @@ class DataServer:
             reply = yield rpc_call(self.node, self.node, "dlm",
                                    MsnQueryMsg(stripe_key, extents))
             return reply
-        reply = yield from rpc_call_retry(
-            self.node, self.dlm_node_fn(stripe_key), "dlm",
-            MsnQueryMsg(stripe_key, extents),
-            policy=self.msn_retry, rng=self.msn_rng,
-            dst_fn=lambda: self.dlm_node_fn(stripe_key))
-        return reply
+        while True:
+            reply = yield from rpc_call_retry(
+                self.node, self.dlm_node_fn(stripe_key), "dlm",
+                MsnQueryMsg(stripe_key, extents),
+                policy=self.msn_retry, rng=self.msn_rng,
+                dst_fn=lambda: self.dlm_node_fn(stripe_key))
+            if isinstance(reply, WrongShardMsg):
+                # The query raced a shard migration's drain window (the
+                # authoritative map re-resolves after the epoch bump);
+                # each pass costs a full RPC round trip, so the loop is
+                # wire-paced until the migration commits.
+                continue
+            return reply
 
     def _force_sync(self, stripe_key: Hashable) -> Generator:
         """Acquire (and drop) a whole-range read lock to drain every

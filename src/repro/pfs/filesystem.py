@@ -24,11 +24,26 @@ from typing import Dict, Generator, Hashable, List, Optional, Union
 from repro.config import DictConfigMixin
 from repro.dlm.client import LockClient
 from repro.dlm.config import DLMConfig, LivenessConfig, make_dlm_config
-from repro.dlm.messages import FailoverAnnounceMsg, ReplicaMsg
+from repro.dlm.messages import (
+    FailoverAnnounceMsg,
+    ReplicaMsg,
+    ShardAnnounceMsg,
+    ShardLookupMsg,
+    ShardTransferMsg,
+    WrongShardMsg,
+)
 from repro.dlm.replication import (
     REPLICA_MSG_BYTES,
     ReplicationConfig,
     StandbySequencer,
+)
+from repro.dlm.sharding import (
+    CompactSnTable,
+    DirectoryService,
+    ShardConfig,
+    ShardMap,
+    ShardMapCache,
+    stable_hash,
 )
 from repro.faults import (
     ClientOutage,
@@ -39,7 +54,13 @@ from repro.faults import (
     ServerOutage,
 )
 from repro.net.fabric import Fabric, NetworkConfig, Node
-from repro.net.rpc import AdmissionConfig, CTRL_MSG_BYTES, RetryPolicy, one_way
+from repro.net.rpc import (
+    AdmissionConfig,
+    CTRL_MSG_BYTES,
+    RetryPolicy,
+    one_way,
+    rpc_call_retry,
+)
 from repro.pfs.client import CcpfsClient
 from repro.pfs.data_server import DataServer
 from repro.pfs.extent_cache import ServerExtentCache
@@ -151,6 +172,15 @@ class ClusterConfig(DictConfigMixin):
     #: promotion with client lock re-assertion.  Requires ``retry`` —
     #: failover rides the client retry loop's per-attempt re-routing.
     replication: Optional[ReplicationConfig] = None
+    #: Lock-namespace sharding (see :mod:`repro.dlm.sharding` and
+    #: ``docs/sharding.md``): the ``(file, extent)`` resource space is
+    #: split into ``num_shards`` slices each owned by one lock server,
+    #: with a directory service on the metadata node, client-side map
+    #: caches fenced by epoch-stamped wrong-shard rejections, and
+    #: optional seeded mid-run shard migrations.  ``num_shards > 1``
+    #: requires ``retry``; ``num_shards = 1`` (or None) keeps the
+    #: classic single-sequencer path byte-identical.
+    sharding: Optional[ShardConfig] = None
 
     seed: int = 0
 
@@ -176,13 +206,10 @@ class ClusterConfig(DictConfigMixin):
         return resolve_content_mode(track, self.content_mode)
 
 
-def _stable_hash(key: Hashable) -> int:
-    """Deterministic placement hash (Python's str hash is randomized)."""
-    h = 0x811C9DC5
-    for part in (key if isinstance(key, tuple) else (key,)):
-        for b in str(part).encode():
-            h = ((h ^ b) * 0x01000193) & 0xFFFFFFFF
-    return h
+#: Deterministic placement hash.  The canonical implementation moved to
+#: :mod:`repro.dlm.sharding` (shard placement uses the same hash space);
+#: the old private name stays for existing callers and tests.
+_stable_hash = stable_hash
 
 
 class Cluster:
@@ -226,6 +253,22 @@ class Cluster:
                 "ClusterConfig.replication requires ClusterConfig.retry: "
                 "failover rides the client retry loop's per-attempt "
                 "destination re-resolution")
+        sharding = config.sharding
+        #: True only when sharding is actually on; ``num_shards=1`` keeps
+        #: every legacy code path (and its byte-identical snapshots).
+        self._sharded = sharding is not None and sharding.num_shards > 1
+        if self._sharded and retry is None:
+            raise ValueError(
+                "ClusterConfig.sharding with num_shards > 1 requires "
+                "ClusterConfig.retry: wrong-shard rejections are resent "
+                "by the client retry loop")
+        if self._sharded:
+            for mig in sharding.migrations:
+                if mig.to_server >= config.num_data_servers:
+                    raise ValueError(
+                        f"ShardMigration.to_server {mig.to_server} out of "
+                        f"range for num_data_servers="
+                        f"{config.num_data_servers}")
 
         def _adm(service_name: str) -> Optional[AdmissionConfig]:
             if admission is not None and service_name in admission.services:
@@ -244,6 +287,28 @@ class Cluster:
             admission=_adm("meta"))
         if resilient:
             self.metadata.service.enable_dedup()
+
+        #: Authoritative shard map + directory service (sharded clusters
+        #: only; ``None`` keeps the classic FID-hash lock placement).
+        self.shard_map: Optional[ShardMap] = None
+        self.shard_directory: Optional[DirectoryService] = None
+        #: One dict per committed shard migration (``shard.*`` metrics).
+        self.shard_migration_records: List[dict] = []
+        #: Per-server set of currently-served shards.  A shard leaves the
+        #: old owner's set at drain time and joins the new owner's only
+        #: at commit, so during the drain window *nobody* serves it and
+        #: every request bounces — safe, and wire-paced (each bounce
+        #: costs the client a full RPC round trip).
+        self._owned_shards: List[set] = []
+        if self._sharded:
+            self.shard_map = ShardMap(sharding.num_shards,
+                                      config.num_data_servers,
+                                      sharding.placement)
+            self.shard_directory = DirectoryService(
+                self.metadata_node, self.shard_map,
+                ops=sharding.directory_ops, dedup=resilient)
+            self._owned_shards = [set(self.shard_map.shards_of_server(i))
+                                  for i in range(config.num_data_servers)]
 
         # Data-server nodes: device + IO service + DLM service.
         from repro.dlm.server import LockServer  # local import: layering
@@ -283,15 +348,22 @@ class Cluster:
             ls.on_evict = (lambda client, reason, reclaimed, idx=i:
                            self._on_client_evicted(idx, client, reason,
                                                    reclaimed))
+            if self._sharded:
+                ls.shard_guard = self._make_shard_guard(i)
+                ls.sn_floors = CompactSnTable()
+                ls.frugal_gc = True
             # The data server's forced-sync path needs a local lock
-            # client.  It gets a retry policy only on HA clusters, where
-            # "local" stops being true after a failover and its requests
-            # must chase the promoted standby like everyone else's.
+            # client.  It gets a retry policy only on HA or sharded
+            # clusters, where "local" stops being true (after a failover,
+            # or because the stripe's lock shard lives elsewhere) and its
+            # requests must chase the authoritative owner like everyone
+            # else's.
+            local_remote = config.replication is not None or self._sharded
             ds.local_lock_client = LockClient(
                 node, self.dlm_config, server_for=self.dlm_node_for,
-                retry=retry if config.replication is not None else None,
+                retry=retry if local_remote else None,
                 rng=(self.rng.stream(f"retry/{node.name}/dlm-local")
-                     if config.replication is not None else None))
+                     if local_remote else None))
             if config.start_cleaner:
                 ecache.start_cleaner()
             self.server_nodes.append(node)
@@ -327,22 +399,46 @@ class Cluster:
                 ds.msn_retry = retry
                 ds.msn_rng = self.rng.stream(f"retry/{snode.name}/msn")
 
+        if self._sharded and config.replication is None:
+            # Sharded lock ownership breaks the stripe/DLM co-location
+            # assumption: a data server's mSN queries must chase the
+            # stripe's *lock owner*, which may be any node (and may move
+            # mid-run).  The HA block above already wires this when
+            # replication is on.
+            for snode, ds in zip(self.server_nodes, self.data_servers):
+                ds.dlm_node_fn = self.dlm_node_for
+                ds.msn_retry = retry
+                ds.msn_rng = self.rng.stream(f"retry/{snode.name}/msn")
+
         # Client nodes.
         self.client_nodes: List[Node] = []
         self.clients: List[CcpfsClient] = []
         self.lock_clients: List[LockClient] = []
         for i in range(config.num_clients):
             node = self.fabric.add_node(f"client{i}")
+            server_for = self.dlm_node_for
+            shard_cache = None
+            if self._sharded:
+                # Compute clients route by their own (possibly stale)
+                # cached map; wrong-shard bounces trigger a directory
+                # refresh via ``shard_refresh_fn``.
+                shard_cache = ShardMapCache(self.shard_map)
+                server_for = (lambda rid, _c=shard_cache:
+                              self.dlm_nodes[_c.owner_index_of(rid)])
             lc = LockClient(node, self.dlm_config,
-                            server_for=self.dlm_node_for,
+                            server_for=server_for,
                             retry=retry,
                             rng=self.rng.stream(f"retry/{node.name}"),
                             liveness=config.liveness)
+            if shard_cache is not None:
+                lc.shard_cache = shard_cache
+                lc.shard_refresh_fn = self._make_shard_refresh(node,
+                                                               shard_cache)
             if (config.replication is not None
                     and config.replication.clone_requests):
 
                 def _clone(rid, request, _src=node):
-                    sb = self.standbys[self.server_index_for(rid)]
+                    sb = self.standbys[self.lock_server_index_for(rid)]
                     one_way(_src, sb.node, "dlm_repl", request,
                             nbytes=CTRL_MSG_BYTES)
 
@@ -390,6 +486,11 @@ class Cluster:
                 self.sim.spawn(self._sequencer_kill_driver(kill),
                                name=f"seq-kill-{n}")
 
+        if self._sharded:
+            for n, mig in enumerate(sharding.migrations):
+                self.sim.spawn(self._shard_migration_driver(mig),
+                               name=f"shard-migration-{n}")
+
     # ------------------------------------------------------------- placement
     def server_index_for(self, stripe_key: Hashable) -> int:
         return _stable_hash(stripe_key) % len(self.server_nodes)
@@ -397,16 +498,25 @@ class Cluster:
     def server_node_for(self, stripe_key: Hashable) -> Node:
         return self.server_nodes[self.server_index_for(stripe_key)]
 
+    def lock_server_index_for(self, resource_id: Hashable) -> int:
+        """Index of the lock server *authoritatively* owning the
+        resource's lock state: the shard map on sharded clusters, the
+        classic FID-hash co-located placement otherwise."""
+        if self.shard_map is not None:
+            return self.shard_map.owner_index_of(resource_id)
+        return self.server_index_for(resource_id)
+
     def dlm_node_for(self, stripe_key: Hashable) -> Node:
         """Node currently running the stripe's DLM (the promoted standby
-        after a failover; identical to :meth:`server_node_for` before)."""
-        return self.dlm_nodes[self.server_index_for(stripe_key)]
+        after a failover, the shard owner on a sharded cluster; identical
+        to :meth:`server_node_for` otherwise)."""
+        return self.dlm_nodes[self.lock_server_index_for(stripe_key)]
 
     def data_server_for(self, stripe_key: Hashable) -> DataServer:
         return self.data_servers[self.server_index_for(stripe_key)]
 
     def lock_server_for(self, stripe_key: Hashable):
-        return self.lock_servers[self.server_index_for(stripe_key)]
+        return self.lock_servers[self.lock_server_index_for(stripe_key)]
 
     # ------------------------------------------------------------ conveniences
     def create_file(self, path: str, stripe_count: int = 1,
@@ -490,8 +600,14 @@ class Cluster:
             if lc.node.failed:
                 continue  # a blacked-out client cannot answer the gather
             for rec in lc.gather_lock_states():
-                if self.server_node_for(rec.resource_id) is node:
-                    server._on_recover_lock(rec)
+                if self._sharded:
+                    # Sharded ownership: gather only what this server's
+                    # shards cover (migrated resources belong elsewhere).
+                    if self.lock_server_for(rec.resource_id) is not server:
+                        continue
+                elif self.server_node_for(rec.resource_id) is not node:
+                    continue
+                server._on_recover_lock(rec)
         yield 0.0
 
     # ----------------------------------------------------- client liveness
@@ -550,6 +666,155 @@ class Cluster:
                 detail=f"{reason}; reclaimed={len(reclaimed)}")
         self.data_servers[server_index].extent_cache.kick()
 
+    # -------------------------------------------------------------- sharding
+    def _make_shard_guard(self, index: int):
+        """Server-side ownership guard for lock server ``index``: maps a
+        resource id to ``None`` (serve it) or a ready-to-send
+        :class:`~repro.dlm.messages.WrongShardMsg` (bounce it).  Checked
+        before any resource-addressed request touches lock state, so a
+        non-owner can never grant, queue or release anything."""
+        smap = self.shard_map
+        owned = self._owned_shards[index]
+
+        def guard(resource_id):
+            shard = smap.shard_of(resource_id)
+            if shard in owned:
+                return None
+            owner = self.dlm_nodes[smap.owner_index_of_shard(shard)]
+            return WrongShardMsg(resource_id, shard, smap.epoch,
+                                 owner=owner.name)
+
+        return guard
+
+    def _make_shard_refresh(self, node: Node, cache: ShardMapCache):
+        """Client-side refresh-and-retry: after a wrong-shard bounce, ask
+        the directory for the current map before the next attempt."""
+        rng = self.rng.stream(f"retry/{node.name}/shard")
+
+        def refresh(reject) -> Generator:
+            reply = yield from rpc_call_retry(
+                node, self.metadata_node, "shard_dir", ShardLookupMsg(),
+                policy=self.config.retry, rng=rng)
+            cache.update(reply.epoch, reply.owners, source="directory")
+
+        return refresh
+
+    def migrate_shard(self, shard: int, to_index: int) -> Generator:
+        """Move ``shard`` to lock server ``to_index``: drain → transfer
+        → epoch bump → announce (docs/sharding.md).
+
+        Between drain and commit *nobody* owns the shard: both servers
+        bounce its requests with epoch-stamped wrong-shard replies and
+        clients refresh-and-retry, each pass costing a full RPC round
+        trip (no zero-delay livelock).  The lock-table transfer rides
+        ``rpc_call_retry`` + server-side dedup, so it survives the chaos
+        matrix's drop/dup/reorder/delay faults.  The commit flips the
+        owner of record and bumps the epoch in the same simulated
+        instant; the follow-up announce broadcast is best-effort — a
+        lost announce only costs a stale client one extra bounce plus a
+        directory refresh, never a mis-routed grant (invariant I8)."""
+        smap = self.shard_map
+        if smap is None:
+            raise RuntimeError("cluster is not sharded")
+        from_index = smap.owner_index_of_shard(shard)
+        if to_index == from_index:
+            return
+        src = self.lock_servers[from_index]
+        to_name = self.dlm_nodes[to_index].name
+        started = self.sim.now
+
+        # 1. Drain: the old owner stops serving the shard right now.
+        self._owned_shards[from_index].discard(shard)
+
+        def belongs(rid):
+            return smap.shard_of(rid) == shard
+
+        def reject(rid):
+            # Bounced waiters get the *new* owner as the routing hint.
+            return WrongShardMsg(rid, shard, smap.epoch, owner=to_name)
+
+        floors, locks, revokes, bounced = src.extract_shard(belongs, reject)
+
+        # §IV-C2, reused for migration: if the old owner crashed inside
+        # the drain window its in-memory table is gone, and shipping the
+        # shard floorless would let the new owner reissue SNs (I7) or
+        # grant over locks surviving clients still hold (I1/I3).  The
+        # durable extent logs and the clients themselves outlive the
+        # crash, so merge both into the transfer; with a healthy source
+        # this is a no-op because the in-memory floors and lock table
+        # always dominate the recovered state.
+        floor_map = dict(floors)
+        order = [rid for rid, _ in floors]
+        for ds in self.data_servers:
+            if ds.extent_log is None:
+                continue
+            for key in ds.extent_log.stripe_keys():
+                if not belongs(key):
+                    continue
+                durable = ds.extent_log.max_sn(key) + 1
+                if durable > floor_map.get(key, 0):
+                    if key not in floor_map:
+                        order.append(key)
+                    floor_map[key] = durable
+        floors = [(rid, floor_map[rid]) for rid in order]
+        known = {(rec.client_name, rec.lock_id) for rec in locks}
+        for lc in self.lock_clients:
+            if lc.node.failed:
+                continue  # a blacked-out client cannot answer the gather
+            for rec in lc.gather_lock_states():
+                if belongs(rec.resource_id) and \
+                        (rec.client_name, rec.lock_id) not in known:
+                    locks.append(rec)
+
+        # 2. Transfer: reliable install at the new owner (retry + dedup).
+        msg = ShardTransferMsg(shard=shard, locks=tuple(locks),
+                               floors=tuple(floors), revokes=tuple(revokes))
+        nbytes = (CTRL_MSG_BYTES + 64 * len(locks) + 16 * len(floors)
+                  + 32 * len(revokes))
+        yield from rpc_call_retry(
+            self.metadata_node, self.dlm_nodes[to_index], "dlm", msg,
+            nbytes=nbytes, policy=self.config.retry,
+            rng=self.rng.stream(f"retry/shard-migration/{shard}"))
+
+        # 3. Commit: owner of record + epoch flip in the same instant.
+        epoch = smap.set_owner(shard, to_index)
+        self._owned_shards[to_index].add(shard)
+
+        # 4. Announce: best-effort broadcast of the new map.
+        _, owners = smap.snapshot()
+        ann = ShardAnnounceMsg(epoch=epoch, owners=owners)
+        for cn in self.client_nodes:
+            one_way(self.metadata_node, cn, "dlm_cb", ann,
+                    nbytes=CTRL_MSG_BYTES + 4 * len(owners))
+        if self.fault_plan is not None:
+            self.fault_plan.record(
+                self.sim.now, "shard-migrate", self.metadata_node.name,
+                to_name, "dlm",
+                detail=f"shard {shard} -> {to_name}; locks={len(locks)}")
+        self.shard_migration_records.append({
+            "shard": shard,
+            "from": self.server_nodes[from_index].name,
+            "to": to_name,
+            "epoch": epoch,
+            "started_at": started,
+            "committed_at": self.sim.now,
+            "locks_moved": len(locks),
+            "floors_moved": len(floors),
+            "waiters_bounced": bounced,
+        })
+
+    def _shard_migration_driver(self, mig) -> Generator:
+        yield float(mig.at)
+        yield from self.migrate_shard(mig.shard, mig.to_server)
+
+    def shard_table_sizes(self) -> Dict[int, int]:
+        """Live lock-table resource count per shard (``shard.*`` gauges)."""
+        sizes = {s: 0 for s in range(self.shard_map.num_shards)}
+        for ls in self.lock_servers:
+            for rid in ls._resources:
+                sizes[self.shard_map.shard_of(rid)] += 1
+        return sizes
+
     # ----------------------------------------------------- sequencer failover
     def _sequencer_kill_driver(self, kill: SequencerKill) -> Generator:
         yield float(kill.at)
@@ -595,6 +860,15 @@ class Cluster:
                          dedup=self._resilient,
                          liveness=self.config.liveness,
                          admission=self._dlm_admission)
+        if self._sharded:
+            # The promoted incumbent inherits the index's live shard set
+            # (the guard closure reads it through the cluster) and gets a
+            # fresh frugal floor table — the deposed server's idle floors
+            # were volatile; the watermark/extent-log floors below
+            # restore everything that provably got out.
+            new.shard_guard = self._make_shard_guard(index)
+            new.sn_floors = CompactSnTable()
+            new.frugal_gc = True
         for rid in sorted(standby.watermarks, key=repr):
             new.bump_next_sn(rid, standby.sn_floor(rid))
         if ds.extent_log is not None:
@@ -607,7 +881,9 @@ class Cluster:
         if self.config.validate_locks:
             from repro.dlm.validator import LockValidator
             self.validators.append(
-                LockValidator(new, ledger=getattr(self, "sn_ledger", None)))
+                LockValidator(new, ledger=getattr(self, "sn_ledger", None),
+                              shard_ledger=getattr(self, "shard_ledger",
+                                                   None)))
         # Flip the routing table before announcing, so a re-assertion
         # arriving instantly still finds the incumbent authoritative.
         self.retired_lock_servers.append(old)

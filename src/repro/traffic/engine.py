@@ -64,6 +64,11 @@ class TrafficConfig(DictConfigMixin):
     #: Fraction of requests that read instead of write.
     read_fraction: float = 0.0
     stripes: int = 1
+    #: Distinct files the user population spreads over (request's file is
+    #: ``user % num_files``).  1 keeps the classic single shared file;
+    #: large values (the ``ext_shard_scale`` experiment runs 10^5) spread
+    #: the lock namespace wide enough to exercise sharded placement.
+    num_files: int = 1
     #: Bound on each client node's pending-work queue; arrivals beyond
     #: it are dropped (counted, not queued).
     client_queue_limit: int = 256
@@ -91,6 +96,8 @@ class TrafficConfig(DictConfigMixin):
             raise ValueError("client_queue_limit must be >= 1")
         if self.workers_per_client < 1:
             raise ValueError("workers_per_client must be >= 1")
+        if self.num_files < 1:
+            raise ValueError("num_files must be >= 1")
 
     def cluster_config(self) -> ClusterConfig:
         cfg = self.cluster or ClusterConfig()
@@ -166,8 +173,12 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
     service = reg.histogram("traffic.service_time", unit="seconds",
                             owner="traffic")
 
-    cluster.create_file("/traffic", stripe_count=config.stripes)
-    #: Users fold onto this many distinct xfer-aligned offsets, so the
+    if config.num_files == 1:
+        cluster.create_file("/traffic", stripe_count=config.stripes)
+    else:
+        for i in range(config.num_files):
+            cluster.create_file(f"/traffic{i}", stripe_count=config.stripes)
+    #: Users fold onto this many distinct xfer-aligned offsets, so each
     #: file stays bounded and users contend for overlapping lock ranges.
     span = max(1, (config.stripes * cfg.stripe_size) // config.xfer)
 
@@ -204,8 +215,14 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
 
     def worker(idx: int):
         c = cluster.clients[idx]
-        fh = yield from c.open("/traffic")
         q = queues[idx]
+        # Classic single-file runs pre-open the shared file (the original
+        # code path, event-for-event); multi-file runs open lazily per
+        # file — opening 10^5 handles up front per worker would swamp the
+        # metadata service before the first arrival.
+        handles: Dict[int, object] = {}
+        if config.num_files == 1:
+            handles[0] = yield from c.open("/traffic")
         while True:
             item = yield q.get()
             if item is _DONE:
@@ -213,6 +230,11 @@ def run_traffic(config: TrafficConfig) -> TrafficResult:
             arrived, user, is_read = item
             started = sim.now
             queue_wait.observe(started - arrived)
+            fidx = user % config.num_files
+            fh = handles.get(fidx)
+            if fh is None:
+                fh = yield from c.open(f"/traffic{fidx}")
+                handles[fidx] = fh
             # Decorrelate the slot from the user -> client mapping
             # (plain ``user % span`` would give each client a disjoint
             # slot set, so no two clients would ever contend).

@@ -1,0 +1,309 @@
+"""Unit tests for the sharding building blocks (repro.dlm.sharding):
+placement hashing, the epoch-stamped shard map, the client cache with
+its fencing semantics, the compact SN-floor table, and the cluster-level
+migration/fencing machinery on a tiny live cluster."""
+
+import pytest
+
+from repro.dlm.sharding import (
+    PLACEMENTS,
+    CompactSnTable,
+    ShardConfig,
+    ShardMap,
+    ShardMapCache,
+    ShardMigration,
+    shard_of,
+    stable_hash,
+)
+from repro.net import RetryPolicy
+from repro.pfs import Cluster, ClusterConfig
+
+RETRY = RetryPolicy(timeout=3e-3, backoff=2.0, max_timeout=5e-2,
+                    max_retries=40, jitter=0.2)
+
+
+def sharded_config(num_shards=4, servers=2, clients=2, seed=7,
+                   migrations=()):
+    return ClusterConfig(
+        num_data_servers=servers, num_clients=clients, dlm="seqdlm",
+        stripe_size=1024, page_size=16, validate_locks=True,
+        content_mode="full", retry=RETRY, seed=seed,
+        sharding=ShardConfig(num_shards=num_shards,
+                             migrations=tuple(migrations)))
+
+
+# ------------------------------------------------------------- placement
+def test_stable_hash_is_deterministic_and_32bit():
+    assert stable_hash((1, 0)) == stable_hash((1, 0))
+    assert 0 <= stable_hash((1, 0)) < (1 << 32)
+    assert stable_hash((1, 0)) != stable_hash((1, 1))
+    assert stable_hash("res") == stable_hash(("res",))
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+def test_shard_of_in_range_and_deterministic(placement):
+    for fid in range(20):
+        for stripe in range(4):
+            s = shard_of((fid, stripe), 8, placement)
+            assert 0 <= s < 8
+            assert s == shard_of((fid, stripe), 8, placement)
+
+
+def test_shard_of_degenerates_to_zero():
+    assert shard_of((5, 3), 1) == 0
+    assert shard_of((5, 3), 1, "range") == 0
+
+
+def test_range_placement_partitions_hash_space():
+    # Range placement must be monotone in the hash: sort some ids by
+    # hash and check their shard indices never decrease.
+    ids = [(fid, s) for fid in range(50) for s in range(2)]
+    ids.sort(key=stable_hash)
+    shards = [shard_of(rid, 4, "range") for rid in ids]
+    assert shards == sorted(shards)
+    assert set(shards) <= set(range(4))
+
+
+# -------------------------------------------------------------- ShardMap
+def test_shard_map_round_robin_initial_placement():
+    smap = ShardMap(6, 2)
+    assert smap.owners == [0, 1, 0, 1, 0, 1]
+    assert smap.epoch == 0
+    assert smap.shards_of_server(0) == [0, 2, 4]
+    assert smap.shards_of_server(1) == [1, 3, 5]
+
+
+def test_shard_map_set_owner_bumps_epoch_and_history():
+    smap = ShardMap(4, 2)
+    assert smap.set_owner(1, 0) == 1
+    assert smap.epoch == 1
+    assert smap.owner_index_of_shard(1) == 0
+    assert smap.history == [(0, (0, 1, 0, 1)), (1, (0, 0, 0, 1))]
+    with pytest.raises(ValueError):
+        smap.set_owner(0, 9)
+
+
+def test_shard_map_owner_of_resource_follows_migration():
+    smap = ShardMap(4, 2)
+    rid = (1, 0)
+    shard = smap.shard_of(rid)
+    before = smap.owner_index_of(rid)
+    smap.set_owner(shard, 1 - before)
+    assert smap.owner_index_of(rid) == 1 - before
+
+
+# ----------------------------------------------------------- ShardConfig
+def test_shard_config_validation():
+    with pytest.raises(ValueError, match="num_shards"):
+        ShardConfig(num_shards=0)
+    with pytest.raises(ValueError, match="placement"):
+        ShardConfig(num_shards=2, placement="modulo")
+    with pytest.raises(ValueError, match="out of range"):
+        ShardConfig(num_shards=2,
+                    migrations=(ShardMigration(shard=5, to_server=0,
+                                               at=1e-3),))
+    with pytest.raises(ValueError, match="num_shards > 1"):
+        ShardConfig(num_shards=1,
+                    migrations=(ShardMigration(shard=0, to_server=0,
+                                               at=1e-3),))
+    with pytest.raises(ValueError):
+        ShardMigration(shard=-1, to_server=0, at=0.0)
+
+
+def test_sharded_cluster_requires_retry():
+    with pytest.raises(ValueError, match="retry"):
+        Cluster(ClusterConfig(num_data_servers=2,
+                              sharding=ShardConfig(num_shards=2)))
+
+
+# --------------------------------------------------------- ShardMapCache
+def test_cache_ignores_stale_updates_and_counts_sources():
+    smap = ShardMap(4, 2)
+    cache = ShardMapCache(smap)
+    assert cache.update(2, [1, 1, 1, 1], source="directory") is True
+    assert cache.refreshes == 1
+    # A stale (lower-epoch) announce must be ignored.
+    assert cache.update(1, [0, 0, 0, 0], source="announce") is False
+    assert cache.stale_updates_ignored == 1
+    assert cache.owners == [1, 1, 1, 1]
+    assert cache.update(3, [0, 1, 0, 1], source="announce") is True
+    assert cache.announce_updates == 1
+
+
+def test_cache_poison_and_hit_rate():
+    smap = ShardMap(4, 2)
+    cache = ShardMapCache(smap)
+    assert cache.hit_rate == 1.0  # no lookups yet
+    rid = (1, 0)
+    true_owner = smap.owner_index_of(rid)
+    cache.poison(cache.shard_of(rid), 1 - true_owner)
+    assert cache.owner_index_of(rid) == 1 - true_owner  # mis-routes
+    epoch, owners = smap.snapshot()
+    cache.update(epoch, owners)  # refresh heals the poisoned entry
+    assert cache.owner_index_of(rid) == true_owner
+    assert cache.lookups == 2 and cache.refreshes == 1
+    assert cache.hit_rate == 0.5
+
+
+# -------------------------------------------------------- CompactSnTable
+def test_compact_table_set_get_pop_roundtrip():
+    t = CompactSnTable()
+    t.set((1, 0), 7)
+    t.set((1, 1), 9)
+    t.set((1, 0), 8)  # overwrite in pending
+    assert t.get((1, 0)) == 8
+    assert t.get((1, 1)) == 9
+    assert t.get((2, 0)) is None
+    assert len(t) == 2
+    assert t.pop((1, 0)) == 8
+    assert t.get((1, 0)) is None
+    assert t.pop((1, 0)) is None
+    assert len(t) == 1
+
+
+def test_compact_table_merges_past_threshold():
+    t = CompactSnTable(merge_threshold=8)
+    for fid in range(100):
+        t.set((fid, 0), fid + 1)
+    assert len(t) == 100
+    assert len(t._pending) < 8  # merged into the packed arrays
+    for fid in range(100):
+        assert t.get((fid, 0)) == fid + 1
+    # Overwrite after the merge lands in the sorted column, not pending.
+    t.set((50, 0), 999)
+    assert t.get((50, 0)) == 999
+    assert t.pop((50, 0)) == 999
+    assert t.get((50, 0)) is None
+
+
+def test_compact_table_fallback_for_odd_ids():
+    t = CompactSnTable()
+    t.set("meta-resource", 3)
+    t.set((1, 0), 5)
+    assert t.get("meta-resource") == 3
+    assert len(t) == 2
+    assert t.pop("meta-resource") == 3
+    assert len(t) == 1
+
+
+def test_compact_table_extract_partitions_by_predicate():
+    t = CompactSnTable(merge_threshold=4)
+    for fid in range(10):
+        t.set((fid, 0), fid)
+    t.set("odd", 42)
+    out = t.extract(lambda rid: rid == "odd"
+                    or (isinstance(rid, tuple) and rid[0] % 2 == 0))
+    assert dict(out) == {(0, 0): 0, (2, 0): 2, (4, 0): 4, (6, 0): 6,
+                         (8, 0): 8, "odd": 42}
+    assert len(t) == 5
+    for fid in (1, 3, 5, 7, 9):
+        assert t.get((fid, 0)) == fid
+
+
+def test_compact_table_nbytes_is_frugal():
+    t = CompactSnTable(merge_threshold=64)
+    for fid in range(10_000):
+        t.set((fid, 0), fid)
+    # Packed storage: ~16 bytes per idle resource, far under a live
+    # _Resource object (~500 bytes each).
+    assert t.nbytes < 10_000 * 32
+    t.clear()
+    assert len(t) == 0 and t.nbytes == 0
+
+
+# -------------------------------------------- live-cluster fencing checks
+def _run_two_writers(cluster, path="/f"):
+    cluster.create_file(path, stripe_count=2)
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open(path)
+        for i in range(8):
+            off = (i * 2 + rank) * 256
+            yield from c.write(fh, off, bytes([rank + 1]) * 256)
+        yield from c.fsync(fh)
+
+    cluster.run_clients([worker(r) for r in range(len(cluster.clients))])
+    return cluster.read_back(path)
+
+
+def test_poisoned_shard_cache_heals_by_refresh_not_misroute():
+    """A deliberately corrupted client shard map can only cost refresh
+    round trips: the wrong server fences the request (WrongShardMsg),
+    the client refetches the map from the directory, and every grant is
+    still issued by the owner of record (invariant I8)."""
+    cluster = Cluster(sharded_config())
+    lc = cluster.lock_clients[0]
+    true_epoch = cluster.shard_map.epoch
+    for shard in range(cluster.shard_map.num_shards):
+        owner = cluster.shard_map.owner_index_of_shard(shard)
+        lc.shard_cache.poison(shard, (owner + 1) % 2)
+    image = _run_two_writers(cluster)
+    assert len(image) > 0
+    # The poisoned map mis-routed at least one request...
+    assert lc.stats.wrong_shard_replies > 0
+    assert sum(ls.stats.shard_rejections
+               for ls in cluster.lock_servers) > 0
+    # ...which was healed by a directory refresh, not by a bad grant.
+    assert lc.shard_cache.refreshes > 0
+    assert cluster.shard_directory.lookups > 0
+    assert lc.shard_cache.epoch == true_epoch
+    assert cluster.shard_ledger.checked > 0
+    for v in cluster.validators:
+        v.validate_all()
+
+
+def test_migration_moves_locks_and_bumps_epoch():
+    """Cluster.migrate_shard drains, transfers the lock table + SN
+    floors, bumps the epoch, and announces — while writers keep going."""
+    cluster = Cluster(sharded_config(seed=11))
+    shard = cluster.shard_map.shard_of((1, 0))  # /f gets fid 1
+    old_owner = cluster.shard_map.owner_index_of_shard(shard)
+    new_owner = (old_owner + 1) % 2
+
+    def migrator():
+        yield 2e-4
+        yield from cluster.migrate_shard(shard, new_owner)
+
+    cluster.create_file("/f", stripe_count=2)
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/f")
+        for i in range(8):
+            off = (i * 2 + rank) * 256
+            yield from c.write(fh, off, bytes([rank + 1]) * 256)
+        yield from c.fsync(fh)
+
+    cluster.run_clients([worker(0), worker(1), migrator()])
+
+    assert cluster.shard_map.epoch == 1
+    assert cluster.shard_map.owner_index_of_shard(shard) == new_owner
+    (rec,) = cluster.shard_migration_records
+    assert rec["shard"] == shard
+    assert rec["from"] == cluster.server_nodes[old_owner].name
+    assert rec["to"] == cluster.server_nodes[new_owner].name
+    assert rec["epoch"] == 1
+    assert rec["committed_at"] >= rec["started_at"]
+    # The shard actually owned the hot resource, so state moved.
+    assert rec["locks_moved"] + rec["floors_moved"] > 0
+    assert cluster.shard_ledger.checked > 0
+    for v in cluster.validators:
+        v.validate_all()
+
+
+def test_sharded_image_matches_unsharded_image():
+    """The shard layer is pure routing: the durable bytes are identical
+    with and without it, migration or not."""
+    def image(sharding):
+        cfg = ClusterConfig(
+            num_data_servers=2, num_clients=2, dlm="seqdlm",
+            stripe_size=1024, page_size=16, validate_locks=True,
+            content_mode="full", seed=7,
+            retry=RETRY if sharding else None, sharding=sharding)
+        return _run_two_writers(Cluster(cfg))
+
+    plain = image(None)
+    assert image(ShardConfig(num_shards=4)) == plain
+    mig = ShardMigration(shard=shard_of((1, 0), 4), to_server=1, at=3e-4)
+    assert image(ShardConfig(num_shards=4, migrations=(mig,))) == plain

@@ -130,6 +130,57 @@ def test_metrics_match_seed_kernel_golden(dlm, seed):
         "the kernel fast path must be byte-identical to the original")
 
 
+# ------------------------------------------------- sharded golden identity
+# Two claims (docs/sharding.md).  First: ``num_shards=1`` is the classic
+# co-located placement — not "sharding with one shard" but literally the
+# same code path, so it must reproduce the unsharded golden digests
+# UNMODIFIED.  Second: a genuinely sharded run (num_shards=4, which adds
+# the directory service, shard guards, and ``shard.*`` metrics) is still
+# a deterministic function of the seed, byte-for-byte.
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+@pytest.mark.parametrize("dlm", DLMS)
+def test_single_shard_matches_unsharded_golden(dlm, seed):
+    from repro.dlm.sharding import ShardConfig
+    r = run_ior(IorConfig(
+        pattern="n1-strided", clients=6, writes_per_client=12,
+        xfer=8 * 1024, stripes=2,
+        cluster=ClusterConfig(dlm=dlm, num_data_servers=2,
+                              content_mode="off", seed=seed,
+                              sharding=ShardConfig(num_shards=1))))
+    digest = _digest(MetricsSnapshot.from_dict(r.metrics).to_json())
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        return  # the unsharded parametrization owns the table entry
+    table = json.loads(GOLDEN_PATH.read_text())
+    assert digest == table[f"{dlm}/seed={seed}"], (
+        f"num_shards=1 diverged from the unsharded golden for {dlm} "
+        f"seed={seed}; ShardConfig(num_shards=1) must keep the classic "
+        "placement byte-identical")
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_four_shard_snapshot_is_byte_identical(seed):
+    from repro.dlm.sharding import ShardConfig
+    from repro.net import RetryPolicy
+
+    def once():
+        r = run_ior(IorConfig(
+            pattern="n1-strided", clients=6, writes_per_client=12,
+            xfer=8 * 1024, stripes=2,
+            cluster=ClusterConfig(
+                dlm="seqdlm", num_data_servers=2, content_mode="off",
+                seed=seed,
+                retry=RetryPolicy(timeout=3e-3, backoff=2.0,
+                                  max_timeout=5e-2, max_retries=40,
+                                  jitter=0.2),
+                sharding=ShardConfig(num_shards=4))))
+        return MetricsSnapshot.from_dict(r.metrics).to_json()
+
+    first = once()
+    assert first == once()
+    assert '"shard.rejections"' in first  # genuinely took the sharded path
+
+
 def test_sweep_parallel_matches_serial_golden():
     # Chunked/persistent-pool sweeps must hand back byte-identical
     # snapshots for the full DLM x seed grid: each cell builds its own

@@ -1,0 +1,105 @@
+"""The CLI's exit-code contract: 0 success, 1 failed check, 2 usage
+error — uniform across every subcommand (see the repro.cli docstring).
+
+Scripts and CI legs branch on these codes, so each one is pinned here
+with the cheapest invocation that exercises it.  argparse-level usage
+errors (bad choice, unknown subcommand) raise ``SystemExit(2)`` before
+``main`` returns; everything after parsing returns the code instead of
+raising, so the two families are asserted differently.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+# --------------------------------------------------------------- exit 0
+def test_list_exits_zero():
+    assert main(["list"]) == 0
+
+
+def test_model_exits_zero():
+    assert main(["model", "--size", "4096"]) == 0
+
+
+def test_chaos_small_run_exits_zero(capsys):
+    assert main(["chaos", "--no-crash", "--clients", "2",
+                 "--writes", "4", "--seed", "7"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_chaos_sharded_run_exits_zero(capsys):
+    assert main(["chaos", "--no-crash", "--clients", "2", "--writes", "4",
+                 "--seed", "7", "--shards", "4",
+                 "--migrate", "0:1:2e-4"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "sharding: 4 shards" in out
+
+
+def test_profile_exits_zero():
+    assert main(["profile", "--clients", "2", "--writes", "4",
+                 "--xfer", "1024", "--seed", "3"]) == 0
+
+
+def test_sweep_serial_exits_zero():
+    assert main(["sweep", "--grid", "dlms", "--seed", "3"]) == 0
+
+
+def test_traffic_exits_zero():
+    assert main(["traffic", "--rate", "3000", "--duration", "0.05",
+                 "--users", "100", "--clients", "2", "--workers", "2",
+                 "--seed", "3"]) == 0
+
+
+def test_shard_info_exits_zero(capsys):
+    assert main(["shard-info", "--num-shards", "8", "--servers", "3"]) == 0
+    assert "shard map" in capsys.readouterr().out
+
+
+def test_shard_info_balanced_skew_exits_zero():
+    # 8 shards round-robin over 2 servers: 4 each, skew 0.
+    assert main(["shard-info", "--num-shards", "8", "--servers", "2",
+                 "--max-skew", "0"]) == 0
+
+
+# --------------------------------------------------------------- exit 1
+def test_shard_info_skew_violation_exits_one(capsys):
+    # 5 shards over 2 servers is 3 vs 2: skew 1 exceeds --max-skew 0.
+    assert main(["shard-info", "--num-shards", "5", "--servers", "2",
+                 "--max-skew", "0"]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
+# ----------------------------------------------- exit 2 (post-parse)
+@pytest.mark.parametrize("argv", [
+    ["run", "fig99"],                               # unknown experiment
+    ["chaos", "--kill-client", "0", "--kill-server", "0"],  # exclusive
+    ["chaos", "--drop", "1.5"],                     # rate out of [0, 1]
+    ["chaos", "--shards", "4", "--kill-client", "0"],  # no sharded kill
+    ["chaos", "--migrate", "bogus"],                # not SHARD:TO:AT
+    ["chaos", "--migrate", "0:1"],                  # too few fields
+    ["chaos", "--shards", "4", "--migrate", "0:5:1e-3"],  # target range
+    ["chaos", "--shards", "0"],                     # invalid ShardConfig
+    ["sweep", "--jobs", "-1"],                      # negative pool size
+    ["traffic", "--rate", "0"],                     # empty arrival plan
+    ["shard-info", "--num-shards", "0"],            # empty namespace
+    ["shard-info", "--servers", "0"],               # no lock servers
+    ["shard-info", "--resource", "bogus"],          # not FID:STRIPE
+], ids=lambda argv: " ".join(argv))
+def test_usage_errors_exit_two(argv, capsys):
+    assert main(argv) == 2
+    assert "error" in capsys.readouterr().err
+
+
+# ------------------------------------------------ exit 2 (argparse)
+@pytest.mark.parametrize("argv", [
+    ["frobnicate"],                                 # unknown subcommand
+    ["chaos", "--dlm", "nope"],                     # bad choice
+    ["shard-info", "--placement", "nope"],          # bad choice
+    ["sweep", "--grid", "nope"],                    # bad choice
+    ["run"],                                        # missing experiment
+])
+def test_argparse_usage_errors_raise_systemexit_two(argv):
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(argv)
+    assert exc.value.code == 2

@@ -18,6 +18,8 @@ from repro import (
     ReplicationConfig,
     RetryPolicy,
     SequencerKillConfig,
+    ShardConfig,
+    ShardMigration,
     TileIoConfig,
     TrafficConfig,
     VpicConfig,
@@ -51,6 +53,10 @@ def roundtrip(cfg):
     SweepConfig(),
     SweepConfig(jobs=8, chunksize=4, chunks_per_worker=3,
                 maxtasksperchild=32),
+    ShardConfig(),
+    ShardConfig(num_shards=8, placement="range",
+                migrations=(ShardMigration(shard=3, to_server=1, at=2e-3),
+                            ShardMigration(shard=0, to_server=2, at=5e-3))),
     FaultConfig(),
     FaultConfig(drop_rate=0.05, duplicate_rate=0.01,
                 outages=(ServerOutage(0, start=1e-3, duration=1e-2),),
@@ -83,13 +89,19 @@ def test_cluster_config_round_trips_with_nested_configs():
         admission=AdmissionConfig(queue_limit=32),
         faults=FaultConfig(drop_rate=0.02),
         liveness=LivenessConfig(),
-        replication=ReplicationConfig(miss_threshold=4))
+        replication=ReplicationConfig(miss_threshold=4),
+        sharding=ShardConfig(
+            num_shards=4,
+            migrations=(ShardMigration(shard=1, to_server=0, at=3e-3),)))
     back = roundtrip(cfg)
     assert isinstance(back.retry, RetryPolicy)
     assert isinstance(back.admission, AdmissionConfig)
     assert back.admission.queue_limit == 32
     assert isinstance(back.replication, ReplicationConfig)
     assert back.replication.miss_threshold == 4
+    assert isinstance(back.sharding, ShardConfig)
+    assert isinstance(back.sharding.migrations[0], ShardMigration)
+    assert back.sharding.migrations[0].to_server == 0
 
 
 @pytest.mark.parametrize("cfg", [

@@ -30,6 +30,8 @@ PUBLIC_API = {
         "SequencerKill",
         "SequencerKillConfig",
         "SequencerKillResult",
+        "ShardConfig",
+        "ShardMigration",
         "TileIoConfig",
         "TileIoResult",
         "TrafficConfig",

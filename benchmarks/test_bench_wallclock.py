@@ -19,6 +19,7 @@ import pytest
 from repro.harness.wallclock import (
     fig4_seconds,
     kernel_events_per_sec,
+    partition_timing,
     sweep_timing,
 )
 
@@ -44,7 +45,8 @@ def test_kernel_events_per_sec(benchmark):
     direct = benchmark.pedantic(kernel_events_per_sec, args=("direct",),
                                 rounds=1, iterations=1)
     timeout = kernel_events_per_sec("timeout")
-    RESULTS["kernel"] = {"direct_events_per_sec": round(direct),
+    RESULTS["kernel"] = {"cpus": os.cpu_count() or 1,
+                         "direct_events_per_sec": round(direct),
                          "timeout_events_per_sec": round(timeout)}
     print(f"\nkernel: direct {direct:,.0f} ev/s, "
           f"timeout {timeout:,.0f} ev/s")
@@ -73,19 +75,62 @@ def test_sweep_jobs_curve(benchmark):
     print(f"\nsweep: {timing['cells']} cells, serial "
           f"{timing['serial_seconds']}s, cpus={cpus}")
     for j, entry in sorted(timing["per_jobs"].items(), key=lambda kv: int(kv[0])):
-        print(f"  jobs={j}: {entry['seconds']}s ({entry['speedup']}x, "
+        speedup = entry.get("speedup")
+        print(f"  jobs={j}: {entry['seconds']}s "
+              f"({f'{speedup}x' if speedup is not None else 'speedup n/a'}, "
               f"chunksize={entry['chunksize']}, chunks={entry['chunks']})")
     # Byte-identity is unconditional — a speedup that changes results
     # is a determinism bug, not a win.
     assert timing["byte_identical"]
+    # The serial entry reports its real dispatch shape: one cell per
+    # chunk, in order (not the old 0/0 placeholder).
+    serial_entry = timing["per_jobs"]["1"]
+    assert serial_entry["chunksize"] == 1
+    assert serial_entry["chunks"] == timing["cells"]
     if cpus >= 4:
         assert timing["best_speedup"] >= 2.0
     elif cpus >= 2:
         assert timing["best_speedup"] >= 1.3
     else:
-        # Single CPU: no parallelism to be had, so the speedup assertion
-        # is skipped *visibly* — but the pool path must still be cheap
-        # (fork + chunk dispatch + JSON-bytes transfer, no silent 0.5x).
-        print("  NOTICE: <2 CPUs — speedup assertion skipped "
-              "(parallelism unmeasurable on one core)")
-        assert timing["best_speedup"] >= 0.5
+        # Single CPU: no parallelism to be had, so speedup is not even
+        # *recorded* (an honest bench does not publish ratios it cannot
+        # measure) — but the pool path must still be cheap: fork + chunk
+        # dispatch + JSON-bytes transfer, no pathological blowup.
+        print("  NOTICE: <2 CPUs — speedup assertion skipped and speedup "
+              "fields suppressed (parallelism unmeasurable on one core)")
+        assert timing["best_speedup"] is None
+        assert all("speedup" not in e for e in timing["per_jobs"].values())
+        serial_s = timing["per_jobs"]["1"]["seconds"]
+        for j, entry in timing["per_jobs"].items():
+            if int(j) > 1 and serial_s:
+                assert entry["seconds"] <= 3.0 * serial_s, (
+                    f"jobs={j} took {entry['seconds']}s vs serial "
+                    f"{serial_s}s — pool overhead blew up")
+
+
+def test_partition_curve(benchmark):
+    # The conservative windowed runner across the partition curve: wall
+    # seconds plus protocol counters, gated on byte-identity (the whole
+    # point of the conservative design).
+    timing = benchmark.pedantic(partition_timing,
+                                kwargs={"partitions": (1, 2, 4)},
+                                rounds=1, iterations=1)
+    RESULTS["partition"] = timing
+    print(f"\npartition: golden {timing['dlm']} seed={timing['seed']}, "
+          f"serial {timing['serial_seconds']}s, cpus={timing['cpus']}")
+    for p, entry in sorted(timing["per_partitions"].items(),
+                           key=lambda kv: int(kv[0])):
+        print(f"  partitions={p}: {entry['seconds']}s "
+              f"(windows={entry.get('windows', '-')}, "
+              f"exchanged={entry.get('exchanged', '-')})")
+    assert timing["byte_identical"]
+    # The window protocol must genuinely engage: partitioned points run
+    # windows and exchange cross-partition deliveries (a zero here means
+    # the partition plan degenerated and the test is vacuous).
+    for p, entry in timing["per_partitions"].items():
+        if int(p) > 1:
+            assert entry["windows"] > 0
+            assert entry["exchanged"] > 0
+    if timing["cpus"] < 2:
+        assert all("speedup" not in e
+                   for e in timing["per_partitions"].values())

@@ -15,6 +15,16 @@ Three probes:
   default), recording per-jobs wall time, speedup vs serial, the chunk
   plan the dispatcher used, and the byte-identity verdict the
   determinism goldens enforce.
+* ``partition_timing`` — one golden-case experiment through the
+  conservative partitioned runner (:mod:`repro.sim.partition`) across a
+  curve of partition counts, recording per-count wall time, window
+  protocol counters, and the partitioned-vs-serial byte-identity verdict.
+
+Honesty policy: every section records the ``cpus`` it was measured on,
+and on single-CPU hosts **speedup claims are suppressed entirely**
+(seconds only; ``speedup`` keys are omitted and ``best_speedup`` is
+``null``) — a one-core box cannot measure parallelism, and a recorded
+sub-1x or fantasy ratio would be noise dressed as data.
 
 ``collect`` bundles them into the dict committed as
 ``BENCH_wallclock.json``; ``scripts/perf_smoke.py`` re-measures it in CI.
@@ -23,7 +33,9 @@ things hard-fail: parallel-vs-serial byte divergence (a determinism bug,
 not jitter) and — on runners with >= 2 CPUs — a parallel sweep that
 fails to beat serial by ``--min-speedup`` (the regression this layer
 exists to prevent; on < 2 CPUs the speedup gate is skipped with a
-visible notice instead of silently measuring sub-1x on one core).
+visible notice naming the CPU count instead of silently measuring
+sub-1x on one core).  The serial kernel throughput floor
+(``--kernel-floor``) only warns: same-box history is the real gate.
 """
 
 from __future__ import annotations
@@ -38,16 +50,25 @@ __all__ = [
     "kernel_events_per_sec",
     "fig4_seconds",
     "sweep_timing",
+    "partition_timing",
     "collect",
 ]
 
 DEFAULT_JOBS_CURVE = (1, 2, 4)
+DEFAULT_PARTITIONS_CURVE = (1, 2, 4)
 
 
 def kernel_events_per_sec(
-    idiom: str = "direct", procs: int = 100, yields: int = 2000, repeats: int = 3
+    idiom: str = "direct", procs: int = 100, yields: int = 2000, repeats: int = 7
 ) -> float:
-    """Best-of-``repeats`` kernel throughput for one scheduling idiom."""
+    """Best-of-``repeats`` kernel throughput for one scheduling idiom.
+
+    Best-of is the right statistic for a pure CPU-bound loop: every
+    slowdown source (GC, scheduler preemption, frequency ramp) is
+    additive noise, so the fastest repeat is the closest to the true
+    cost.  Seven repeats keep the probe stable on shared/noisy boxes
+    where best-of-3 still jitters by ~10%.
+    """
     from repro.sim.core import Simulator
 
     def once() -> float:
@@ -91,10 +112,14 @@ def sweep_timing(
 
     Runs the grid once serially (the byte-identity reference), then once
     per requested worker count through the persistent-pool path.  Each
-    ``per_jobs`` entry records wall seconds, speedup vs serial, the chunk
-    plan (:func:`~repro.harness.sweep.plan_chunks`), and its own
-    byte-identity verdict.  Speedup is only meaningful with >= 2 CPUs —
-    the dict records ``cpus`` so consumers can judge.
+    ``per_jobs`` entry records wall seconds, the chunk plan
+    (:func:`~repro.harness.sweep.plan_chunks`), and its own
+    byte-identity verdict.  Speedup vs serial is only *recorded* with
+    >= 2 CPUs: on a one-core host the ``speedup`` keys are omitted and
+    ``best_jobs``/``best_speedup`` are ``None`` — seconds are real
+    either way, ratios on one core are not.  The serial entry reports
+    its effective dispatch shape (``chunksize=1`` over ``cells``
+    chunks: one cell at a time, in order, no pool).
     """
     from repro.harness.sweep import SweepConfig, fig4_grid, plan_chunks, run_sweep
 
@@ -104,6 +129,7 @@ def sweep_timing(
     if not jobs_curve or jobs_curve[0] < 1:
         raise ValueError(f"jobs curve must be >= 1 everywhere, got {jobs_curve}")
 
+    cpus = os.cpu_count() or 1
     cells = fig4_grid(scale=scale)
     t0 = time.perf_counter()
     serial = run_sweep(cells, jobs=1)
@@ -123,28 +149,113 @@ def sweep_timing(
         if j > 1:
             chunksize, chunks = plan_chunks(len(cells), SweepConfig(jobs=j))
         else:
-            chunksize, chunks = 0, 0  # serial path: no dispatcher
+            chunksize, chunks = 1, len(cells)  # serial: one cell at a time
         per_jobs[str(j)] = {
             "seconds": round(seconds, 3),
-            "speedup": speedup,
             "chunksize": chunksize,
             "chunks": chunks,
             "byte_identical": identical,
         }
-        if j > 1 and (best_speedup is None or speedup > best_speedup):
-            best_jobs, best_speedup = j, speedup
-    if best_speedup is None:
+        if cpus >= 2:
+            per_jobs[str(j)]["speedup"] = speedup
+            if j > 1 and (best_speedup is None or speedup > best_speedup):
+                best_jobs, best_speedup = j, speedup
+    if cpus >= 2 and best_speedup is None:
         # No parallel point on the curve: serial is trivially the best.
         best_jobs, best_speedup = 1, 1.0
 
     return {
         "cells": len(cells),
-        "cpus": os.cpu_count() or 1,
+        "cpus": cpus,
         "scale": scale,
         "serial_seconds": round(serial_s, 3),
         "per_jobs": per_jobs,
         "best_jobs": best_jobs,
         "best_speedup": best_speedup,
+        "byte_identical": all_identical,
+    }
+
+
+def partition_timing(
+    partitions: Union[int, Iterable[int]] = DEFAULT_PARTITIONS_CURVE,
+    dlm: str = "seqdlm",
+    seed: int = 101,
+) -> Dict:
+    """Wall time for one golden-case experiment across partition counts.
+
+    Runs the determinism-golden IOR case serially (the byte-identity
+    reference), then once per requested partition count through the
+    conservative windowed runner (:mod:`repro.sim.partition`).  Each
+    ``per_partitions`` entry records wall seconds, the window-protocol
+    counters (windows executed, cross-partition deliveries exchanged),
+    and whether the MetricsSnapshot matched the serial bytes exactly.
+    As with :func:`sweep_timing`, ``speedup`` keys appear only on
+    >= 2-CPU hosts — and the current runner executes windows in-process,
+    so even there the number measures protocol overhead, not parallel
+    gain (docs/simulation.md, "Parallel execution").
+    """
+    from repro.metrics import MetricsSnapshot
+    from repro.pfs import ClusterConfig
+    from repro.workloads.ior import IorConfig, run_ior
+
+    if isinstance(partitions, int):
+        partitions = (partitions,)
+    curve = sorted({int(p) for p in partitions})
+    if not curve or curve[0] < 1:
+        raise ValueError(f"partitions curve must be >= 1 everywhere, got {curve}")
+
+    cpus = os.cpu_count() or 1
+
+    def once(parts: int):
+        t0 = time.perf_counter()
+        r = run_ior(
+            IorConfig(
+                pattern="n1-strided",
+                clients=6,
+                writes_per_client=12,
+                xfer=8 * 1024,
+                stripes=2,
+                cluster=ClusterConfig(
+                    dlm=dlm,
+                    num_data_servers=2,
+                    content_mode="off",
+                    seed=seed,
+                    partitions=parts,
+                ),
+            )
+        )
+        seconds = time.perf_counter() - t0
+        text = MetricsSnapshot.from_dict(r.metrics).to_json()
+        runner = r.cluster.partition_runner
+        return seconds, text, (runner.stats() if runner is not None else None)
+
+    serial_s, reference, _ = once(1)
+    per: Dict[str, Dict] = {}
+    all_identical = True
+    for p in curve:
+        if p == 1:
+            seconds, text, stats = serial_s, reference, None
+        else:
+            seconds, text, stats = once(p)
+        identical = text == reference
+        all_identical = all_identical and identical
+        entry: Dict = {
+            "seconds": round(seconds, 3),
+            "byte_identical": identical,
+        }
+        if stats is not None:
+            entry["windows"] = stats["windows"]
+            entry["exchanged"] = stats["exchanged"]
+        if cpus >= 2:
+            entry["speedup"] = round(serial_s / seconds, 3) if seconds else 0.0
+        per[str(p)] = entry
+
+    return {
+        "dlm": dlm,
+        "seed": seed,
+        "cpus": cpus,
+        "serial_seconds": round(serial_s, 3),
+        "per_partitions": per,
         "byte_identical": all_identical,
     }
 
@@ -169,11 +280,13 @@ def collect(
             "cpus": os.cpu_count() or 1,
         },
         "kernel": {
+            "cpus": os.cpu_count() or 1,
             "direct_events_per_sec": round(direct),
             "timeout_events_per_sec": round(timeout),
         },
         "fig4_small_seconds": round(fig4_seconds(scale), 3),
         "sweep": sweep_timing(jobs=jobs, scale=scale),
+        "partition": partition_timing(),
     }
     if baseline_events_per_sec:
         out["kernel"]["seed_kernel_events_per_sec"] = round(baseline_events_per_sec)
@@ -203,16 +316,35 @@ def _write_step_summary(payload: Dict) -> None:
         "|---:|---:|---:|---:|---:|:---|",
     ]
     for j, entry in sorted(sweep["per_jobs"].items(), key=lambda kv: int(kv[0])):
+        speedup = entry.get("speedup")
         lines.append(
-            f"| {j} | {entry['seconds']} | {entry['speedup']}x "
+            f"| {j} | {entry['seconds']} "
+            f"| {f'{speedup}x' if speedup is not None else '—'} "
             f"| {entry['chunksize'] or '—'} | {entry['chunks'] or '—'} "
             f"| {'yes' if entry['byte_identical'] else '**DIVERGED**'} |"
         )
+    part = payload.get("partition")
+    if part:
+        lines += [
+            "",
+            f"- partitioned runner (golden `{part['dlm']}` seed={part['seed']}): "
+            f"serial {part['serial_seconds']}s",
+            "",
+            "| partitions | wall (s) | windows | exchanged | byte-identical |",
+            "|---:|---:|---:|---:|:---|",
+        ]
+        for p, entry in sorted(part["per_partitions"].items(), key=lambda kv: int(kv[0])):
+            lines.append(
+                f"| {p} | {entry['seconds']} "
+                f"| {entry.get('windows', '—')} | {entry.get('exchanged', '—')} "
+                f"| {'yes' if entry['byte_identical'] else '**DIVERGED**'} |"
+            )
     if sweep["cpus"] < 2:
         lines.append("")
         lines.append(
-            "> runner reports < 2 CPUs — speedup gate skipped "
-            "(parallelism unmeasurable on one core)"
+            f"> runner reports {sweep['cpus']} CPU(s) — speedup gate skipped "
+            "and speedup columns suppressed (parallelism unmeasurable "
+            "on one core)"
         )
     lines.append("")
     with open(path, "a") as fh:
@@ -246,6 +378,14 @@ def main(argv=None) -> int:  # pragma: no cover - exercised via script
         help="hard floor for the best parallel speedup on >= 2-CPU "
         "runners (skipped with a notice on fewer CPUs)",
     )
+    ap.add_argument(
+        "--kernel-floor",
+        type=float,
+        default=2.0e6,
+        help="warn-only floor for the serial direct-delay kernel "
+        "throughput in events/sec (0 disables; shared runners are "
+        "noisy, so this never fails the run)",
+    )
     args = ap.parse_args(argv)
     payload = collect(jobs=args.jobs)
     text = json.dumps(payload, indent=2, sort_keys=True)
@@ -264,6 +404,24 @@ def main(argv=None) -> int:  # pragma: no cover - exercised via script
             "serial — determinism bug"
         )
         rc = 1
+    if not payload["partition"]["byte_identical"]:
+        # Same policy: the conservative windowed runner exists to be
+        # byte-identical; divergence is a lookahead/merge bug, not noise.
+        print(
+            "::error::perf-smoke: partitioned run diverged from serial "
+            "— conservative-window determinism bug"
+        )
+        rc = 1
+
+    kernel = payload["kernel"]
+    if args.kernel_floor and kernel["direct_events_per_sec"] < args.kernel_floor:
+        print(
+            f"::warning::perf-smoke: direct kernel throughput "
+            f"{kernel['direct_events_per_sec']:,} ev/s is below the "
+            f"{args.kernel_floor:,.0f} ev/s floor on a "
+            f"{kernel['cpus']}-CPU runner; shared-runner noise is "
+            "possible — investigate if it persists"
+        )
 
     parallel_jobs = [int(j) for j in sweep["per_jobs"] if int(j) > 1]
     if not parallel_jobs:

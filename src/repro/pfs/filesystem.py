@@ -181,6 +181,13 @@ class ClusterConfig(DictConfigMixin):
     #: requires ``retry``; ``num_shards = 1`` (or None) keeps the
     #: classic single-sequencer path byte-identical.
     sharding: Optional[ShardConfig] = None
+    #: Conservative partitioned execution (see :mod:`repro.sim.partition`
+    #: and docs/simulation.md): shard the cluster's nodes across this many
+    #: partitions and advance the run in lookahead-bounded time windows
+    #: with cross-partition deliveries exchanged at window barriers.
+    #: ``1`` (the default) is the classic serial path, byte-identical by
+    #: construction; ``> 1`` must be byte-identical too (golden-tested).
+    partitions: int = 1
 
     seed: int = 0
 
@@ -491,6 +498,22 @@ class Cluster:
                 self.sim.spawn(self._shard_migration_driver(mig),
                                name=f"shard-migration-{n}")
 
+        # Conservative partitioned engine (repro.sim.partition).  Built
+        # last so the planner sees every node; ``partitions == 1`` keeps
+        # the classic serial path with zero new state on the hot paths.
+        if config.partitions < 1:
+            raise ValueError(
+                f"ClusterConfig.partitions must be >= 1, "
+                f"got {config.partitions}")
+        self.partition_plan = None
+        self.partition_runner = None
+        if config.partitions > 1:
+            from repro.sim.partition import (PartitionedRunner,
+                                             plan_partitions)
+            self.partition_plan = plan_partitions(self, config.partitions)
+            self.partition_runner = PartitionedRunner(
+                self.sim, self.fabric, self.partition_plan)
+
     # ------------------------------------------------------------- placement
     def server_index_for(self, stripe_key: Hashable) -> int:
         return _stable_hash(stripe_key) % len(self.server_nodes)
@@ -525,6 +548,26 @@ class Cluster:
         return self.metadata.create(path, stripe_count,
                                     stripe_size or self.config.stripe_size)
 
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Advance the simulation: the conservative partitioned engine
+        when ``config.partitions > 1``, the serial kernel otherwise.
+        Workload drivers should prefer this over ``cluster.sim.run`` so
+        partitioning applies transparently."""
+        if self.partition_runner is not None:
+            self.partition_runner.run(until=until, max_events=max_events)
+        else:
+            self.sim.run(until=until, max_events=max_events)
+
+    def run_until(self, event, max_events: Optional[int] = None) -> None:
+        """Run until ``event`` is processed (partition-aware counterpart
+        of ``cluster.sim.run_until_event``)."""
+        if self.partition_runner is not None:
+            self.partition_runner.run_until_event(event,
+                                                  max_events=max_events)
+        else:
+            self.sim.run_until_event(event, max_events=max_events)
+
     def run_clients(self, coroutines, until: Optional[float] = None,
                     max_events: Optional[int] = None):
         """Spawn one process per client coroutine and run until all of
@@ -532,11 +575,10 @@ class Cluster:
         and do not block termination); returns their results in order."""
         procs = [self.sim.spawn(gen) for gen in coroutines]
         if until is not None:
-            self.sim.run(until=until)
+            self.run(until=until)
         else:
             from repro.sim.core import AllOf
-            self.sim.run_until_event(AllOf(self.sim, procs),
-                                     max_events=max_events)
+            self.run_until(AllOf(self.sim, procs), max_events=max_events)
         for p in procs:
             if not p.triggered:
                 raise RuntimeError("client process did not finish")

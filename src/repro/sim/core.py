@@ -48,7 +48,11 @@ Two further fast paths cut per-event constant factors:
 * **Direct delays**: a process may ``yield 1.5e-6`` instead of ``yield
   sim.timeout(1.5e-6)``.  No Timeout object, callbacks list, or dispatch
   call is created; the scheduler stores ``(time, NORMAL, seq, None,
-  process)`` and resumes the generator directly from the run loop.
+  process)`` and resumes the generator directly from the run loop.  The
+  hot run loops go one step further and send into the generator *in
+  place* — no ``_resume`` frame at all — handing only the uncommon
+  outcomes (process end, event yields, usage errors) back to the
+  general resume path.
 * **Timeout free-list**: processed :class:`Timeout` objects are recycled
   when the run loop can prove (via ``sys.getrefcount``) that it holds the
   sole remaining reference, so user code that keeps a timeout alive
@@ -241,6 +245,19 @@ class Event:
 
 
 _PENDING = Event.PENDING
+
+
+def _throw_usage(proc: "Process", exc: SimulationError) -> None:
+    """Resume ``proc`` by throwing a kernel-usage error into its generator.
+
+    Mirrors the error spin at the bottom of :meth:`Process._resume_impl`
+    (a pre-failed event handed to the resume loop), factored out so the
+    inlined run-loop dispatch can share it.
+    """
+    event = Event(proc.sim)
+    event._ok = False
+    event._value = exc
+    proc._resume(event)
 
 #: Shared pre-processed event used to resume a process from a direct
 #: (plain-number) delay: the resume path only reads ``_ok``/``_value``.
@@ -707,27 +724,85 @@ class Simulator:
                 elif fut:
                     # Fast path: only the monotone future lane is live —
                     # the steady state of timeout/delay-dominated phases.
-                    entry = fut[0]
+                    # Pop first and push back on the (rare) non-pop exits.
+                    entry = fut_pop()
                     if entry[0] == _INF:
+                        fut.appendleft(entry)
                         raise SimulationError(
                             "deadlock: event can never trigger (heap empty)")
                     if n >= budget:
+                        fut.appendleft(entry)
                         raise SimulationError(
                             f"event budget {max_events} exhausted "
                             f"at t={self._now}")
                     n += 1
-                    fut_pop()
                 else:
                     raise SimulationError(
                         "deadlock: event can never trigger (heap empty)")
                 self._pending -= 1
-                self._now = entry[0]
+                tnow = entry[0]
+                self._now = tnow
                 ev = entry[3]
                 if ev is None:
+                    # Direct-delay resume, fully inlined: send into the
+                    # generator right here (no _resume frame) and handle
+                    # the overwhelmingly common outcome — another positive
+                    # plain-number delay — in place.  Everything else
+                    # (process end, event yields, usage errors) defers to
+                    # the general resume path with identical semantics.
                     proc = entry[4]
-                    if proc._dwait == entry[2]:
-                        proc._dwait = 0
-                        proc._resume(_NULL_EVENT)
+                    if proc._dwait != entry[2]:
+                        continue  # invalidated by an interrupt: stale no-op
+                    proc._dwait = 0
+                    try:
+                        result = proc._send(None)
+                    except StopIteration as stop:
+                        proc.succeed(stop.value, priority=0)
+                        continue
+                    except BaseException as exc:
+                        proc.fail(exc, priority=0)
+                        continue
+                    cls = result.__class__
+                    if cls is float or cls is int:
+                        if result > 0:
+                            seq = self._seq = self._seq + 1
+                            t = tnow + result
+                            nentry = (t, 1, seq, None, proc)
+                            if fut:
+                                tail = fut[-1]
+                                if t > tail[0] or \
+                                        (t == tail[0] and tail[1] <= 1):
+                                    fut.append(nentry)
+                                else:
+                                    _heappush(heap, nentry)
+                            else:
+                                fut.append(nentry)
+                        elif result == 0:
+                            seq = self._seq = self._seq + 1
+                            inorm.append((tnow, 1, seq, None, proc))
+                        else:
+                            _throw_usage(proc, SimulationError(
+                                f"process {proc.name!r} yielded negative "
+                                f"delay {result!r}"))
+                            continue
+                        proc._dwait = seq
+                        p = self._pending + 1
+                        self._pending = p
+                        if p > self._max_queue_len:
+                            self._max_queue_len = p
+                    elif isinstance(result, Event):
+                        if result.sim is not self:
+                            _throw_usage(proc, SimulationError(
+                                "event belongs to a different simulator"))
+                        elif result.callbacks is None:
+                            proc._resume(result)  # already processed
+                        else:
+                            result.callbacks.append(proc._resume)
+                            proc._target = result
+                    else:
+                        _throw_usage(proc, SimulationError(
+                            f"process {proc.name!r} yielded non-event "
+                            f"{result!r}"))
                     continue
                 callbacks = ev.callbacks
                 ev.callbacks = None
@@ -799,22 +874,140 @@ class Simulator:
                 elif fut:
                     # Fast path: only the monotone future lane is live —
                     # the steady state of timeout/delay-dominated phases.
-                    entry = fut[0]
+                    # Pop first and push back on the (rare) non-pop exits.
+                    entry = fut_pop()
                     t = entry[0]
                     if until is not None:
                         if t > until:
+                            fut.appendleft(entry)
                             self._now = until
                             return
                     elif t == _INF:
+                        fut.appendleft(entry)
                         break  # inf-delay entries never fire (as before)
                     if n >= budget:
+                        fut.appendleft(entry)
                         raise SimulationError(
                             f"event budget {max_events} exhausted "
                             f"at t={self._now}")
                     n += 1
-                    fut_pop()
                 else:
                     break
+                self._pending -= 1
+                tnow = entry[0]
+                self._now = tnow
+                ev = entry[3]
+                if ev is None:
+                    # Direct-delay resume, fully inlined (see
+                    # run_until_event for the commentary).
+                    proc = entry[4]
+                    if proc._dwait != entry[2]:
+                        continue  # invalidated by an interrupt: stale no-op
+                    proc._dwait = 0
+                    try:
+                        result = proc._send(None)
+                    except StopIteration as stop:
+                        proc.succeed(stop.value, priority=0)
+                        continue
+                    except BaseException as exc:
+                        proc.fail(exc, priority=0)
+                        continue
+                    cls = result.__class__
+                    if cls is float or cls is int:
+                        if result > 0:
+                            seq = self._seq = self._seq + 1
+                            t = tnow + result
+                            nentry = (t, 1, seq, None, proc)
+                            if fut:
+                                tail = fut[-1]
+                                if t > tail[0] or \
+                                        (t == tail[0] and tail[1] <= 1):
+                                    fut.append(nentry)
+                                else:
+                                    _heappush(heap, nentry)
+                            else:
+                                fut.append(nentry)
+                        elif result == 0:
+                            seq = self._seq = self._seq + 1
+                            inorm.append((tnow, 1, seq, None, proc))
+                        else:
+                            _throw_usage(proc, SimulationError(
+                                f"process {proc.name!r} yielded negative "
+                                f"delay {result!r}"))
+                            continue
+                        proc._dwait = seq
+                        p = self._pending + 1
+                        self._pending = p
+                        if p > self._max_queue_len:
+                            self._max_queue_len = p
+                    elif isinstance(result, Event):
+                        if result.sim is not self:
+                            _throw_usage(proc, SimulationError(
+                                "event belongs to a different simulator"))
+                        elif result.callbacks is None:
+                            proc._resume(result)  # already processed
+                        else:
+                            result.callbacks.append(proc._resume)
+                            proc._target = result
+                    else:
+                        _throw_usage(proc, SimulationError(
+                            f"process {proc.name!r} yielded non-event "
+                            f"{result!r}"))
+                    continue
+                callbacks = ev.callbacks
+                ev.callbacks = None
+                ev._processed = True
+                if len(callbacks) == 1:
+                    callbacks[0](ev)
+                else:
+                    for fn in callbacks:
+                        fn(ev)
+                if not ev._ok and not ev._defused:
+                    raise ev._value
+                if (ev.__class__ is Timeout and getref(ev) == 2
+                        and len(free) < _FREE_MAX):
+                    free.append(ev)
+        finally:
+            self._event_count += n
+        if until is not None:
+            self._now = until
+
+    def run_window(self, horizon: float,
+                   until_event: Optional[Event] = None,
+                   max_events: Optional[int] = None) -> bool:
+        """Process events with time strictly below ``horizon`` in global
+        ``(time, priority, seq)`` order, then stop.
+
+        The building block of the conservative partitioned engine
+        (:mod:`repro.sim.partition`): a bounded window is safe to execute
+        because cross-partition deliveries parked in the fabric's exchange
+        buffers are guaranteed — by the network lookahead — to land at or
+        beyond ``horizon``.  The clock is left at the last processed
+        event, never advanced to ``horizon``, so every schedule key
+        assigned inside the next window matches the serial kernel exactly.
+
+        Returns ``True`` iff ``until_event`` was processed inside the
+        window.  ``max_events`` bounds the number of events processed;
+        exhausting the budget raises :class:`SimulationError`.
+        """
+        budget = max_events if max_events is not None else _UNLIMITED
+        heap = self._heap
+        free = self._free
+        getref = _getrefcount
+        n = 0
+        try:
+            while True:
+                if until_event is not None and until_event._processed:
+                    return True
+                best, src = self._select()
+                if best is None or best[0] >= horizon:
+                    return False
+                if n >= budget:
+                    raise SimulationError(
+                        f"event budget {max_events} exhausted "
+                        f"at t={self._now}")
+                n += 1
+                entry = _heappop(src) if src is heap else src.popleft()
                 self._pending -= 1
                 self._now = entry[0]
                 ev = entry[3]
@@ -839,5 +1032,3 @@ class Simulator:
                     free.append(ev)
         finally:
             self._event_count += n
-        if until is not None:
-            self._now = until

@@ -1,0 +1,203 @@
+"""Conservative partitioned execution of one cluster simulation.
+
+PARSIR-style conservative synchronization (PAPERS.md, arxiv 2410.00644)
+adapted to the ccPFS fabric: the cluster's logical nodes are sharded
+across *partitions*, and the run advances in bounded **time windows** of
+width ``Fabric.lookahead()`` — the minimum cross-node delivery delay
+(``latency + per_message_overhead``; the fault injector only ever *adds*
+delay, so the bound survives chaos runs).  Inside a window every
+partition's events are causally independent of the other partitions'
+*future* messages: anything a remote partition sends at time ``t`` can
+only land at ``>= t + lookahead >=`` the window horizon.  Cross-partition
+fabric deliveries are therefore parked in per-destination exchange
+buffers (:meth:`repro.net.fabric.Fabric.flush_exchange`) and merged onto
+the live schedule at the window barrier.
+
+Determinism is the contract, not a best effort: every parked delivery is
+assigned its final ``(time, priority, seq)`` schedule key at *send* time,
+exactly as the serial kernel would, and the kernel's pop always takes
+the globally minimal key across lanes — so the event processing order,
+every MetricsSnapshot, and every file image are byte-identical to a
+serial run (enforced by tests/integration/test_partition_identity.py).
+
+The windows execute in-process, one partition group at a time in exact
+global key order.  The window/exchange protocol is precisely what a
+multi-process deployment needs — each partition only ever *executes*
+events it owns inside a horizon no remote send can pierce — but the
+repo's components share Python object state across nodes (generators,
+caches, direct fabric state reads), which pickling would tear apart; see
+docs/simulation.md ("Parallel execution") for the honest scope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.fabric import Fabric
+from repro.sim.core import Event, SimulationError, Simulator
+
+__all__ = ["PartitionPlan", "plan_partitions", "PartitionedRunner"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """An assignment of cluster node names to partition ids."""
+
+    num_partitions: int
+    assignment: Dict[str, int]
+
+    def partition_of(self, name: str) -> int:
+        """Partition owning ``name`` (nodes added after planning — e.g. a
+        promoted standby's node — default to partition 0)."""
+        return self.assignment.get(name, 0)
+
+    def counts(self) -> Dict[int, int]:
+        """Nodes per partition (planner balance diagnostics)."""
+        out = {p: 0 for p in range(self.num_partitions)}
+        for p in self.assignment.values():
+            out[p] += 1
+        return out
+
+
+def plan_partitions(cluster, num_partitions: int) -> PartitionPlan:
+    """Shard a cluster's nodes across ``num_partitions`` partitions.
+
+    Heuristics (deterministic, so two runs of the same config plan
+    identically):
+
+    * the metadata node anchors partition 0 (every client opens against
+      it, so it stays with the first client group);
+    * data server ``ds<i>`` goes to partition ``i % P`` — and its standby
+      ``sb<i>`` is **co-located** with it, because the async SN
+      replication stream between a sequencer and its standby is the
+      chattiest pair in an HA cluster;
+    * clients fill the least-loaded partition (lowest id on ties), which
+      balances the dominant population without splitting server pairs.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+    assignment: Dict[str, int] = {}
+    loads = [0] * num_partitions
+    assignment[cluster.metadata_node.name] = 0
+    loads[0] += 1
+    for i, node in enumerate(cluster.server_nodes):
+        p = i % num_partitions
+        assignment[node.name] = p
+        loads[p] += 1
+    for sb in getattr(cluster, "standbys", ()):
+        p = assignment[cluster.server_nodes[sb.index].name]
+        assignment[sb.node.name] = p
+        loads[p] += 1
+    for node in cluster.client_nodes:
+        p = min(range(num_partitions), key=lambda j: (loads[j], j))
+        assignment[node.name] = p
+        loads[p] += 1
+    return PartitionPlan(num_partitions, assignment)
+
+
+class PartitionedRunner:
+    """Drives a simulation through conservative time windows.
+
+    Construction switches the fabric into partition mode (cross-partition
+    deliveries park in exchange buffers); :meth:`run` and
+    :meth:`run_until_event` then mirror the serial
+    :meth:`~repro.sim.core.Simulator.run` /
+    :meth:`~repro.sim.core.Simulator.run_until_event` semantics exactly —
+    same termination conditions, same deadlock/budget errors, same final
+    clock — while interleaving window execution with barrier flushes.
+    """
+
+    def __init__(self, sim: Simulator, fabric: Fabric, plan: PartitionPlan):
+        lookahead = fabric.lookahead()
+        if lookahead <= 0.0:
+            raise SimulationError(
+                "conservative partitioning needs positive lookahead: "
+                "NetworkConfig.latency + per_message_overhead must be > 0")
+        self.sim = sim
+        self.fabric = fabric
+        self.plan = plan
+        self.lookahead = lookahead
+        fabric.enable_partitions(plan.assignment, plan.num_partitions)
+        self._horizon = 0.0
+        #: Protocol counters (runner-level only — deliberately kept out of
+        #: the MetricsSnapshot so partitioned digests match serial ones).
+        self.windows = 0
+        self.barriers = 0
+        self.exchanged = 0
+        self.max_exchange_batch = 0
+
+    def _barrier(self) -> int:
+        """Window barrier: merge parked cross-partition deliveries onto
+        the live schedule, asserting none precedes the last horizon."""
+        moved = self.fabric.flush_exchange(min_time=self._horizon)
+        self.barriers += 1
+        self.exchanged += moved
+        if moved > self.max_exchange_batch:
+            self.max_exchange_batch = moved
+        return moved
+
+    def run_until_event(self, event: Event,
+                        max_events: Optional[int] = None) -> None:
+        """Run windows until ``event`` has been processed."""
+        sim = self.sim
+        remaining = max_events
+        while not event._processed:
+            self._barrier()
+            t = sim.peek()
+            if t == _INF:
+                raise SimulationError(
+                    "deadlock: event can never trigger (heap empty)")
+            horizon = t + self.lookahead
+            self._horizon = horizon
+            before = sim.events_processed
+            self.windows += 1
+            if sim.run_window(horizon, until_event=event,
+                              max_events=remaining):
+                return
+            if remaining is not None:
+                remaining -= sim.events_processed - before
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run windows until the schedule drains or ``until`` is reached.
+
+        Events at exactly ``until`` are processed (serial ``run``
+        semantics); the clock finishes at ``until`` when given.  The last
+        straddling window is clipped to ``nextafter(until)`` — still safe,
+        because any message sent inside it lands at least one lookahead
+        past the window's first event, which is ``>=`` the clipped horizon.
+        """
+        sim = self.sim
+        remaining = max_events
+        while True:
+            self._barrier()
+            t = sim.peek()
+            if t == _INF or (until is not None and t > until):
+                break
+            horizon = t + self.lookahead
+            if until is not None and horizon > until:
+                horizon = math.nextafter(until, _INF)
+            self._horizon = horizon
+            before = sim.events_processed
+            self.windows += 1
+            sim.run_window(horizon, max_events=remaining)
+            if remaining is not None:
+                remaining -= sim.events_processed - before
+        if until is not None:
+            sim._now = until
+
+    def stats(self) -> Dict[str, float]:
+        """Window-protocol counters for reports and benches (never part
+        of the MetricsSnapshot: serial and partitioned bytes must match)."""
+        return {
+            "partitions": self.plan.num_partitions,
+            "lookahead": self.lookahead,
+            "windows": self.windows,
+            "barriers": self.barriers,
+            "exchanged": self.exchanged,
+            "max_exchange_batch": self.max_exchange_batch,
+        }

@@ -1,0 +1,206 @@
+"""Unit tests for the conservative partitioned execution layer.
+
+Three pieces under test (see docs/simulation.md, "Parallel execution"):
+the partition planner (:func:`repro.sim.partition.plan_partitions`), the
+windowed kernel primitive (:meth:`repro.sim.core.Simulator.run_window`),
+and the fabric's exchange-buffer machinery
+(:meth:`repro.net.fabric.Fabric.flush_exchange`).  End-to-end
+byte-identity against the golden digests lives in
+tests/integration/test_partition_identity.py.
+"""
+
+import pytest
+
+from repro.dlm.replication import ReplicationConfig
+from repro.net.fabric import Fabric, NetworkConfig
+from repro.net.rpc import RetryPolicy
+from repro.pfs import Cluster, ClusterConfig
+from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.partition import (
+    PartitionedRunner,
+    PartitionPlan,
+    plan_partitions,
+)
+from tests.integration.conftest import small_cluster
+
+
+# ------------------------------------------------------------ planner
+
+def _ha_cluster(servers=3, clients=5):
+    return Cluster(ClusterConfig(
+        num_data_servers=servers, num_clients=clients,
+        replication=ReplicationConfig(), retry=RetryPolicy(),
+        start_cleaner=False))
+
+
+def test_planner_anchors_meta_and_round_robins_servers():
+    cluster = _ha_cluster()
+    plan = plan_partitions(cluster, 2)
+    assert plan.partition_of("meta") == 0
+    assert plan.partition_of("ds0") == 0
+    assert plan.partition_of("ds1") == 1
+    assert plan.partition_of("ds2") == 0
+
+
+def test_planner_colocates_standby_with_its_sequencer():
+    cluster = _ha_cluster()
+    assert cluster.standbys, "HA cluster should have standbys"
+    for p in (2, 3):
+        plan = plan_partitions(cluster, p)
+        for sb in cluster.standbys:
+            active = cluster.server_nodes[sb.index].name
+            assert plan.partition_of(sb.node.name) == \
+                plan.partition_of(active), (
+                    f"standby {sb.node.name} split from {active} at "
+                    f"{p} partitions — the replication stream is the "
+                    "chattiest pair and must stay local")
+
+
+def test_planner_is_deterministic_and_balanced():
+    a = plan_partitions(_ha_cluster(), 3)
+    b = plan_partitions(_ha_cluster(), 3)
+    assert a == b
+    counts = a.counts()
+    assert sum(counts.values()) == len(a.assignment)
+    assert set(counts) == {0, 1, 2}
+    # Clients fill least-loaded first, so no partition can end up more
+    # than one node heavier than another beyond the fixed server skew.
+    assert max(counts.values()) - min(counts.values()) <= 2
+
+
+def test_planner_rejects_nonpositive_partition_count():
+    with pytest.raises(ValueError):
+        plan_partitions(_ha_cluster(), 0)
+
+
+def test_plan_defaults_unknown_nodes_to_partition_zero():
+    plan = PartitionPlan(2, {"a": 1})
+    assert plan.partition_of("a") == 1
+    assert plan.partition_of("added-later") == 0
+
+
+# ------------------------------------------------------------ run_window
+
+def test_run_window_processes_strictly_below_horizon():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.timeout(t).add_callback(lambda _ev, t=t: fired.append(t))
+    done = sim.run_window(2.0)
+    assert done is False
+    assert fired == [1.0]
+    # The clock sits at the last processed event, NOT at the horizon:
+    # a later barrier merge may still schedule work inside (now, horizon).
+    assert sim.now == 1.0
+    sim.run_window(3.5)
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_window_returns_true_when_target_event_processed():
+    sim = Simulator()
+    target = sim.timeout(1.0)
+    sim.timeout(2.0)
+    assert sim.run_window(5.0, until_event=target) is True
+    assert sim.now == 1.0  # stopped at the target, not the horizon
+
+
+def test_run_window_budget_matches_serial_error():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.timeout(t)
+    with pytest.raises(SimulationError, match="event budget 2 exhausted"):
+        sim.run_window(10.0, max_events=2)
+
+
+# ------------------------------------------------------ exchange buffers
+
+def _fabric(latency=1.0e-6, overhead=2.0e-7):
+    sim = Simulator()
+    fab = Fabric(sim, NetworkConfig(latency=latency,
+                                    per_message_overhead=overhead))
+    return sim, fab
+
+
+def test_lookahead_is_latency_plus_overhead():
+    _sim, fab = _fabric(latency=3.0e-6, overhead=1.0e-6)
+    assert fab.lookahead() == pytest.approx(4.0e-6)
+
+
+def test_runner_requires_positive_lookahead():
+    sim, fab = _fabric(latency=0.0, overhead=0.0)
+    with pytest.raises(SimulationError, match="positive lookahead"):
+        PartitionedRunner(sim, fab, PartitionPlan(2, {"a": 0, "b": 1}))
+
+
+def test_flush_exchange_detects_lookahead_violation():
+    sim, fab = _fabric()
+    fab.enable_partitions({"a": 0, "b": 1}, 2)
+    ev = Event(sim)
+    ev._value = None
+    sim._seq += 1
+    fab._exchange[1].append((0.5, 1, sim._seq, ev))
+    sim._pending += 1
+    with pytest.raises(SimulationError, match="lookahead violation"):
+        fab.flush_exchange(min_time=1.0)
+
+
+def test_flush_exchange_moves_parked_entries_onto_the_schedule():
+    sim, fab = _fabric()
+    fab.enable_partitions({"a": 0, "b": 1}, 2)
+    fired = []
+    for t in (2.0, 3.0):
+        ev = Event(sim)
+        ev._value = None
+        ev.callbacks.append(lambda _ev, t=t: fired.append(t))
+        sim._seq += 1
+        fab._exchange[1].append((t, 1, sim._seq, ev))
+        sim._pending += 1
+    assert fab.flush_exchange(min_time=1.0) == 2
+    assert not any(fab._exchange[p] for p in range(2))
+    sim.run()
+    assert fired == [2.0, 3.0]
+
+
+# ------------------------------------------------- end-to-end via cluster
+
+def _cluster_trace(partitions):
+    cluster = small_cluster(dlm="seqdlm", clients=4, servers=2,
+                            stripe_size=512, partitions=partitions)
+    cluster.create_file("/part", stripe_count=4)
+
+    def worker(rank):
+        c = cluster.clients[rank]
+        fh = yield from c.open("/part")
+        for i in range(8):
+            off = (i * 4 + rank) * 300
+            yield from c.write(fh, off, bytes([rank + 1]) * 300)
+        yield from c.fsync(fh)
+
+    cluster.run_clients([worker(r) for r in range(4)])
+    return cluster, (cluster.sim.now, cluster.sim.events_processed,
+                     cluster.read_back("/part"),
+                     cluster.metrics_snapshot().to_json())
+
+
+def test_partitioned_cluster_run_matches_serial_exactly():
+    _serial_cluster, serial = _cluster_trace(1)
+    for p in (2, 3):
+        cluster, trace = _cluster_trace(p)
+        assert trace == serial, f"partitions={p} diverged from serial"
+        stats = cluster.partition_runner.stats()
+        # Not a vacuous pass: windows ran and real cross-partition
+        # traffic went through the exchange buffers.
+        assert stats["windows"] > 0
+        assert stats["exchanged"] > 0
+        assert cluster.fabric.exchange_parked == stats["exchanged"]
+
+
+def test_single_partition_uses_the_plain_serial_path():
+    cluster = small_cluster(partitions=1)
+    assert cluster.partition_runner is None
+    assert cluster.fabric._partition_of is None
+
+
+def test_cluster_rejects_nonpositive_partitions():
+    with pytest.raises(ValueError):
+        small_cluster(partitions=0)

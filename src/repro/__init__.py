@@ -23,8 +23,11 @@ Package map
 ``repro.net``          fabric + OPS-limited RPC (the CaRT model),
                        retry policies and admission control
 ``repro.storage``      NVMe timing model + byte-accurate stripe objects
-``repro.dlm``          the lock managers: SeqDLM + the three baselines,
-                       plus the invariant validator and protocol tracer
+``repro.dlm``          the lock managers: SeqDLM + the three baselines
+                       and the decentralized mutual-exclusion family
+                       (Lamport, token tree, quorum leases) behind a
+                       pluggable registry, plus the invariant validator
+                       and protocol tracer
 ``repro.pfs``          ccPFS: cache, data servers, metadata, libccPFS API,
                        IO forwarding, burst-buffer tiering, recovery
 ``repro.workloads``    IOR / Tile-IO / VPIC-IO / chaos-kill drivers
@@ -46,7 +49,12 @@ or drive an open-loop overload run::
     print(run_traffic(TrafficConfig(rate=20_000.0)).completion_ratio)
 """
 
-from repro.dlm import DLMConfig, make_dlm_config
+from repro.dlm import (
+    DLMConfig,
+    available_dlms,
+    make_dlm_config,
+    register_dlm,
+)
 from repro.dlm.config import LivenessConfig
 from repro.dlm.replication import ReplicationConfig
 from repro.dlm.sharding import ShardConfig, ShardMigration
@@ -73,7 +81,7 @@ from repro.workloads import (
     run_vpic,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdmissionConfig",
@@ -101,7 +109,9 @@ __all__ = [
     "VpicConfig",
     "VpicResult",
     "__version__",
+    "available_dlms",
     "make_dlm_config",
+    "register_dlm",
     "run_client_kill",
     "run_experiment",
     "run_ior",

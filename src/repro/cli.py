@@ -55,6 +55,12 @@ def _add_common_flags(parser: argparse.ArgumentParser,
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Importing the package (not just the registry module) registers the
+    # built-in decentralized algorithms, so --dlm accepts every name a
+    # library user would see from available_dlms().
+    from repro.dlm import available_dlms
+
+    dlm_choices = tuple(available_dlms())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SeqDLM/ccPFS reproduction: regenerate the paper's "
@@ -94,9 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "still reflects the data-safety oracle")
     chaos_p.add_argument("--workload", default="ior",
                          choices=("ior", "tile-io"))
-    chaos_p.add_argument("--dlm", default="seqdlm",
-                         choices=("seqdlm", "dlm-basic", "dlm-lustre",
-                                  "dlm-datatype"))
+    chaos_p.add_argument("--dlm", default="seqdlm", choices=dlm_choices)
     chaos_p.add_argument("--drop", type=float, default=None,
                          help="message drop probability (default 0.05; "
                               "0 with --kill-client, where a lossy net "
@@ -163,9 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="run an IOR point and rank services by simulated busy "
              "time (where did the run's time go?)")
-    prof_p.add_argument("--dlm", default="seqdlm",
-                        choices=("seqdlm", "dlm-basic", "dlm-lustre",
-                                 "dlm-datatype"))
+    prof_p.add_argument("--dlm", default="seqdlm", choices=dlm_choices)
     prof_p.add_argument("--pattern", default="n1-strided",
                         choices=("n-n", "n1-segmented", "n1-strided"))
     prof_p.add_argument("--clients", type=int, default=8)
@@ -207,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", type=int, nargs="+", default=None,
                          help="seed list for --grid dlms "
                               "(default: just --seed)")
+    sweep_p.add_argument("--dlm", action="append", default=None,
+                         dest="dlms", choices=dlm_choices,
+                         help="DLM(s) for --grid dlms (repeatable; "
+                              "default: the four server-based DLMs)")
 
     traffic_p = sub.add_parser(
         "traffic",
@@ -218,8 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(byte-identical across same-seed "
                                 "reruns)")
     traffic_p.add_argument("--dlm", default="seqdlm",
-                           choices=("seqdlm", "dlm-basic", "dlm-lustre",
-                                    "dlm-datatype"))
+                           choices=dlm_choices)
     traffic_p.add_argument("--arrival", default="poisson",
                            choices=("poisson", "bursty", "ramp"),
                            help="arrival-process shape")
@@ -365,6 +370,18 @@ def _cmd_chaos(args) -> int:
         print("repro chaos: error: --kill-client and --kill-server are "
               "mutually exclusive", file=sys.stderr)
         return 2
+    try:
+        from repro.dlm import make_dlm_config
+        decentralized = bool(getattr(make_dlm_config(args.dlm),
+                                     "decentralized", False))
+    except ValueError as exc:
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
+    if decentralized and (kill or kill_server):
+        print(f"repro chaos: error: --kill-client/--kill-server need a "
+              f"server-based DLM; {args.dlm} is decentralized "
+              f"(see docs/algorithms.md)", file=sys.stderr)
+        return 2
 
     def rate(given, normal):
         # Unstated rates default to 0 for kill runs: eviction timeouts
@@ -450,6 +467,11 @@ def _cmd_chaos(args) -> int:
                 cluster=cluster_cfg))
     except AssertionError as exc:
         failure = exc
+    except ValueError as exc:
+        # Unsupported flag/DLM combinations (e.g. sharding a
+        # decentralized cluster) are usage errors, not failed checks.
+        print(f"repro chaos: error: {exc}", file=sys.stderr)
+        return 2
     dt = time.time() - t0
 
     if failure is not None:
@@ -737,9 +759,10 @@ def _cmd_sweep(args) -> int:
     if args.grid == "fig4":
         cells = fig4_grid(scale=args.scale)
     else:
+        dlms = (tuple(args.dlms) if args.dlms else
+                ("seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"))
         cells = dlm_seed_grid(
-            ("seqdlm", "dlm-basic", "dlm-lustre", "dlm-datatype"),
-            seeds, pattern="n1-strided", clients=8,
+            dlms, seeds, pattern="n1-strided", clients=8,
             writes_per_client=64, xfer=64 * 1024, stripes=2,
             num_data_servers=2)
     if args.partitions > 1:
@@ -788,7 +811,12 @@ def _cmd_traffic(args) -> int:
         print(f"repro traffic: error: {exc}", file=sys.stderr)
         return 2
     t0 = time.time()
-    r = run_traffic(config)
+    try:
+        r = run_traffic(config)
+    except ValueError as exc:
+        # Cluster construction rejects unsupported DLM combinations.
+        print(f"repro traffic: error: {exc}", file=sys.stderr)
+        return 2
     dt = time.time() - t0
     if args.json:
         print(_snapshot_json(r.metrics))

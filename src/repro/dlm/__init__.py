@@ -18,16 +18,39 @@ as the paper does (§V-A):
   compatibility matrix (Table II), deterministic mode-selection rules
   (Fig. 10), and automatic lock conversion (upgrade/downgrade, Fig. 9).
 
-Entry points: build a :class:`~repro.dlm.config.DLMConfig` (usually via
-:func:`~repro.dlm.config.make_dlm_config`), attach a
-:class:`~repro.dlm.server.LockServer` per data-server node and a
-:class:`~repro.dlm.client.LockClient` per client node.
+A second, **decentralized** family (docs/algorithms.md) removes the lock
+server from the grant path entirely — coordination happens client-to-
+client over the fabric:
+
+* **dlm-lamport** — Ricart–Agrawala request/reply over Lamport clocks;
+* **dlm-token** — Raymond's token tree with lazy lock caching;
+* **dlm-lease** — Redlock-style majority quorum leases.
+
+Algorithms are looked up through the pluggable registry
+(:mod:`repro.dlm.registry`): :func:`~repro.dlm.registry.available_dlms`
+lists every name, :func:`~repro.dlm.registry.register_dlm` adds
+third-party ones, and :func:`~repro.dlm.config.make_dlm_config`
+resolves a name to its preset config.
+
+Entry points: build a DLM config (usually via
+:func:`~repro.dlm.config.make_dlm_config`); the classic family attaches
+a :class:`~repro.dlm.server.LockServer` per data-server node and a
+:class:`~repro.dlm.client.LockClient` per client node, while the
+decentralized family attaches one
+:class:`~repro.dlm.mutex.MutexCoordinator` per client node.
 """
 
 from repro.dlm.config import DLMConfig, ExpansionPolicy, make_dlm_config
 from repro.dlm.client import ClientLock, LockClient
 from repro.dlm.extent import EOF, Extent, ExtentMap, align_extent
 from repro.dlm.lcm import is_compatible
+from repro.dlm.mutex import (
+    LamportConfig,
+    LeaseQuorumConfig,
+    MutexCoordinator,
+    TokenConfig,
+)
+from repro.dlm.registry import available_dlms, coordinator_for, register_dlm
 from repro.dlm.replication import ReplicationConfig, StandbySequencer
 from repro.dlm.server import LockServer
 from repro.dlm.sharding import (
@@ -41,10 +64,19 @@ from repro.dlm.trace import LockTracer, render_timeline
 from repro.dlm.types import LockMode, LockState, severity_lub, can_satisfy
 from repro.dlm.validator import (
     LockValidator,
+    MutexLedger,
+    MutexValidator,
     ShardLedger,
     SnLedger,
     attach_validator,
 )
+
+# Importing the coordinator modules registers the decentralized family
+# with the registry as a side effect (same pattern third-party plugins
+# use: import → register_dlm at module scope).
+from repro.dlm.lamport import LamportCoordinator
+from repro.dlm.lease import LeaseQuorumCoordinator
+from repro.dlm.token import TokenCoordinator
 
 __all__ = [
     "ClientLock",
@@ -54,12 +86,19 @@ __all__ = [
     "Extent",
     "ExtentMap",
     "ExpansionPolicy",
+    "LamportConfig",
+    "LamportCoordinator",
+    "LeaseQuorumConfig",
+    "LeaseQuorumCoordinator",
     "LockClient",
     "LockMode",
     "LockServer",
     "LockState",
     "LockTracer",
     "LockValidator",
+    "MutexCoordinator",
+    "MutexLedger",
+    "MutexValidator",
     "ReplicationConfig",
     "ShardConfig",
     "ShardLedger",
@@ -67,7 +106,12 @@ __all__ = [
     "ShardMigration",
     "SnLedger",
     "StandbySequencer",
+    "TokenConfig",
+    "TokenCoordinator",
     "attach_validator",
+    "available_dlms",
+    "coordinator_for",
+    "register_dlm",
     "render_timeline",
     "align_extent",
     "can_satisfy",

@@ -9,10 +9,12 @@ Fig. 19 (lock conversion on/off).
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.config import DictConfigMixin, register_fn
+from repro.dlm import registry as _registry
 from repro.dlm.lcm import CompatibilityFn, seqdlm_compatible, traditional_compatible
 from repro.dlm.types import LockMode
 
@@ -111,7 +113,10 @@ class LivenessConfig(DictConfigMixin):
                              "or every lease expires between beats")
 
 
-_PRESETS = {
+# The paper's four server-arbitrated DLMs, registered with the public
+# registry (repro.dlm.registry).  Preset contents are unchanged from the
+# pre-registry era — the golden byte-identity digests depend on that.
+_CLASSIC_PRESETS = {
     "seqdlm": dict(lcm=seqdlm_compatible, expansion=ExpansionPolicy.GREEDY,
                    early_revocation=True, lock_upgrading=True,
                    lock_downgrading=True, rich_modes=True),
@@ -131,17 +136,50 @@ _PRESETS = {
 }
 
 
-def make_dlm_config(name: str, **overrides) -> DLMConfig:
-    """Build one of the four evaluated DLMs, optionally overriding flags
-    (e.g. ``make_dlm_config("seqdlm", early_revocation=False)`` for the
-    Fig. 18 ablation)."""
-    key = name.lower()
-    if key not in _PRESETS:
-        raise ValueError(
-            f"unknown DLM {name!r}; choose from {sorted(_PRESETS)}")
-    params = dict(_PRESETS[key])
-    params.update(overrides)
-    return DLMConfig(name=key, **params)
+def _classic_factory(key: str):
+    params = _CLASSIC_PRESETS[key]
+
+    def factory(**overrides) -> DLMConfig:
+        merged = dict(params)
+        merged.update(overrides)
+        return DLMConfig(name=key, **merged)
+
+    factory.__name__ = "preset_" + key.replace("-", "_")
+    factory.__qualname__ = factory.__name__
+    return factory
+
+
+for _key in _CLASSIC_PRESETS:
+    _registry.register_dlm(_key, _classic_factory(_key))
+del _key
+
+
+def make_dlm_config(name: str, **overrides):
+    """Build any registered DLM's config by name, optionally overriding
+    fields (e.g. ``make_dlm_config("seqdlm", early_revocation=False)``
+    for the Fig. 18 ablation).  Delegates to
+    :func:`repro.dlm.registry.make_dlm_config`; unknown names raise a
+    :class:`ValueError` listing every registered algorithm."""
+    return _registry.make_dlm_config(name, **overrides)
+
+
+_presets_shim_warned = False
+
+
+def __getattr__(attr):
+    # Back-compat shim for code that reached into the (always private)
+    # preset table directly; the registry replaced it in v1.4.0.
+    if attr == "_PRESETS":
+        global _presets_shim_warned
+        if not _presets_shim_warned:
+            _presets_shim_warned = True
+            warnings.warn(
+                "repro.dlm.config._PRESETS is deprecated; use "
+                "repro.dlm.registry (register_dlm / available_dlms / "
+                "make_dlm_config) instead",
+                DeprecationWarning, stacklevel=2)
+        return {key: dict(params) for key, params in _CLASSIC_PRESETS.items()}
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")
 
 
 def select_mode(is_read: bool, implicit_read: bool = False,

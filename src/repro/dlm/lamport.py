@@ -1,0 +1,117 @@
+"""Ricart–Agrawala mutual exclusion over Lamport clocks (``dlm-lamport``).
+
+Protocol (per resource):
+
+* To enter, a node stamps a ``MutexRequestMsg`` with its Lamport clock
+  and fans it to every peer, then waits for all N-1 replies.
+* A peer replies immediately unless it (a) holds the resource, or
+  (b) is itself waiting with higher priority (lower ``(ts, index)``).
+  In those cases the RPC reply is *deferred* — stored and answered only
+  when the peer's own tenure ends.  A deferred request also acts as a
+  revocation: the peer's cached lock flips to CANCELING so it is given
+  up as soon as local uses drain (the same early-revocation shape the
+  server DLMs implement with callbacks).
+* Replies carry the replier's highest known sequence number for the
+  resource; the entrant uses ``max(all of them, own last) + 1`` as its
+  tenure's SN.  The previous holder is always among the repliers (its
+  reply, deferred or not, arrives after its own tenure's SN is known),
+  so SNs are strictly monotonic per resource — invariant I9.
+
+Safety: requests are totally ordered by ``(ts, index)``; two concurrent
+entrants each receive the other's reply only in priority order, so at
+most one can hold all N-1 replies at a time.  Liveness caveat: a reply
+deferred by a holder that never releases blocks the requester forever —
+there is no timeout on the CS itself (client crashes are rejected at
+cluster-config time for this family; see docs/algorithms.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Hashable
+
+from repro.dlm.mutex import (
+    LamportConfig,
+    MutexCoordinator,
+    MutexReplyMsg,
+    MutexRequestMsg,
+)
+from repro.dlm.registry import register_dlm
+from repro.dlm.types import LockState
+
+__all__ = ["LamportCoordinator"]
+
+
+class LamportCoordinator(MutexCoordinator):
+    """Ricart–Agrawala with lazy lock caching."""
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self._clock = 0
+        #: Our outstanding request's priority per resource, or absent.
+        self._pending: Dict[Hashable, tuple] = {}
+        #: Requests we owe replies to, FIFO per resource.
+        self._deferred: Dict[Hashable, list] = {}
+        #: Highest SN this node has held or seen in a reply, per resource.
+        self._last_sn: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------- protocol
+    def _enter(self, rid: Hashable) -> Generator:
+        self._clock += 1
+        ts = self._clock
+        self._pending[rid] = (ts, self.index)
+
+        def ask(i, peer):
+            reply = yield from self._call(
+                peer, MutexRequestMsg(rid, ts, self.index))
+            self._clock = max(self._clock, reply.ts)
+            return reply
+
+        replies = yield from self._fan_out(ask)
+        del self._pending[rid]
+        sn = max([self._last_sn.get(rid, 0)]
+                 + [r.last_sn for r in replies]) + 1
+        self._last_sn[rid] = sn
+        # Peers that queued behind us while we gathered replies turn the
+        # fresh lock straight into a CANCELING one (early revocation).
+        pretagged = bool(self._deferred.get(rid))
+        return sn, pretagged
+
+    def _release(self, lock) -> Generator:
+        rid = lock.resource_id
+        for req in self._deferred.pop(rid, ()):
+            self._respond(req,
+                          MutexReplyMsg(rid, self._last_sn.get(rid, 0),
+                                        ts=self._clock))
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def _on_message(self, req) -> None:
+        msg = req.payload
+        if not isinstance(msg, MutexRequestMsg):  # pragma: no cover
+            raise TypeError(f"unexpected mutex payload {msg!r}")
+        self._clock = max(self._clock, msg.ts)
+        rid = msg.resource_id
+        lock = self._cache.get(rid)
+        mine = self._pending.get(rid)
+        if lock is not None:
+            # Peer interest is the revocation signal: stop reusing the
+            # cached lock and give it up once local uses drain.
+            if lock.state is LockState.GRANTED:
+                lock.state = LockState.CANCELING
+                self._maybe_cancel(lock)
+            self._deferred.setdefault(rid, []).append(req)
+            return
+        if mine is not None and mine < (msg.ts, msg.sender):
+            # We are also waiting, with priority: reply after our tenure.
+            self._deferred.setdefault(rid, []).append(req)
+            return
+        self._respond(req, MutexReplyMsg(rid, self._last_sn.get(rid, 0),
+                                         ts=self._clock))
+
+
+def _lamport_preset(**overrides) -> LamportConfig:
+    return LamportConfig(**overrides)
+
+
+register_dlm("dlm-lamport", _lamport_preset,
+             coordinator_cls=LamportCoordinator)

@@ -1,0 +1,187 @@
+"""Redlock-style quorum-lease mutual exclusion (``dlm-lease``).
+
+Every coordinator is also a *voter*: its ``"mutex"`` service keeps, per
+resource, at most one granted vote ``(holder, expires)`` plus the
+highest sequence number it has been told about.  To enter, a candidate
+sends a ``VoteRequestMsg`` to **all** N voters (itself included — the
+fabric delivers self-RPCs) and waits for every reply, which keeps the
+outcome deterministic.  A majority (``N // 2 + 1``) of grants wins;
+anything less releases the collected votes (``VoteReleaseMsg`` with
+``sn=0``) and retries after seeded jittered exponential backoff.
+
+The winner's SN is ``max(last_sn over granting voters, own last) + 1``:
+releases publish the tenure's SN to every voter, and a new majority
+always intersects the previous holder's release set in at least one
+voter, so SNs stay strictly monotonic per resource (invariant I9; the
+own-last term covers back-to-back self-tenures whose release acks are
+still in flight).
+
+Unlike the Lamport/token variants this family releases **eagerly**
+(``eager_release``): votes are time-limited, so caching a lock past its
+lease would let a voter re-grant while we still think we hold it.
+Liveness caveat, documented in docs/algorithms.md: a holder that stays
+in its critical section longer than ``lease.lease_duration`` can be
+double-granted by expiring voters — the I9 ledger turns that into a
+loud :class:`~repro.dlm.validator.LockInvariantViolation` rather than
+silent corruption.  Contending candidates may also need several ballot
+rounds (counted in ``ballot_rounds`` / ``ballots_lost``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Hashable
+
+from repro.dlm.mutex import (
+    LeaseQuorumConfig,
+    MutexCoordinator,
+    VoteReleaseMsg,
+    VoteReplyMsg,
+    VoteRequestMsg,
+)
+from repro.dlm.registry import register_dlm
+
+__all__ = ["LeaseQuorumCoordinator"]
+
+
+class _VoterState:
+    __slots__ = ("grant", "last_sn")
+
+    def __init__(self):
+        #: ``(holder_index, expires)`` or None.
+        self.grant = None
+        self.last_sn = 0
+
+
+class LeaseQuorumCoordinator(MutexCoordinator):
+    """Quorum leases with majority ballots and eager release."""
+
+    eager_release = True
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self._voters: Dict[Hashable, _VoterState] = {}
+        #: Highest SN of a tenure this node itself completed, per rid.
+        self._last_sn: Dict[Hashable, int] = {}
+        self.ballot_rounds = 0
+        self.ballots_lost = 0
+        self._backoff_rng = (self.rng.stream("lease-backoff")
+                             if self.rng is not None else None)
+
+    def _voter(self, rid: Hashable) -> _VoterState:
+        st = self._voters.get(rid)
+        if st is None:
+            st = self._voters[rid] = _VoterState()
+        return st
+
+    # ------------------------------------------------------------- protocol
+    def _enter(self, rid: Hashable) -> Generator:
+        quorum = len(self.peers) // 2 + 1
+        attempt = 0
+        while True:
+            self.ballot_rounds += 1
+
+            def ask(i, peer):
+                reply = yield from self._call(
+                    peer, VoteRequestMsg(rid, self.index))
+                return reply
+
+            # Ballot to every voter *including self* (a self-RPC), so
+            # the reply set is complete and the outcome deterministic.
+            replies = yield from self._ballot(ask)
+            granted = [r for r in replies if r.granted]
+            if len(granted) >= quorum:
+                sn = max([self._last_sn.get(rid, 0)]
+                         + [r.last_sn for r in granted]) + 1
+                self._last_sn[rid] = sn
+                return sn, False
+            # Lost: give the collected votes back, then back off.
+            self.ballots_lost += 1
+            yield from self._publish_release(rid, replies, sn=0)
+            yield self._backoff_delay(attempt)
+            attempt += 1
+
+    def _ballot(self, ask) -> Generator:
+        procs = [self.sim.spawn(ask(i, peer),
+                                name=f"lease-vote-{self.node.name}-{i}")
+                 for i, peer in enumerate(self.peers)]
+        yield self.sim.all_of(procs)
+        replies = []
+        for p in procs:
+            if not p.ok:
+                raise p.value
+            replies.append(p.value)
+        return replies
+
+    def _release(self, lock) -> Generator:
+        # Publish the tenure's SN and clear the vote at every voter;
+        # waiting for the acks keeps voter state settled (deterministic)
+        # before the departed-waiters gate opens.
+        yield from self._publish_release(lock.resource_id, None,
+                                         sn=lock.sn)
+
+    def _publish_release(self, rid: Hashable, replies, sn: int) -> Generator:
+        """Send ``VoteReleaseMsg`` to voters (all of them, or only those
+        that granted in ``replies``) and wait for the acks."""
+
+        def tell(i, peer):
+            reply = yield from self._call(peer,
+                                          VoteReleaseMsg(rid, self.index, sn))
+            return reply
+
+        procs = []
+        for i, peer in enumerate(self.peers):
+            if replies is not None and not replies[i].granted:
+                continue
+            procs.append(self.sim.spawn(
+                tell(i, peer), name=f"lease-release-{self.node.name}-{i}"))
+        if procs:
+            yield self.sim.all_of(procs)
+        for p in procs:
+            if not p.ok:
+                raise p.value
+
+    def _backoff_delay(self, attempt: int) -> float:
+        cfg: LeaseQuorumConfig = self.config
+        delay = min(cfg.backoff_base * (cfg.backoff_factor ** attempt),
+                    cfg.backoff_max)
+        # Index-proportional skew: split ballots must not retry in
+        # lockstep forever when no rng was provided (symmetric peers
+        # would otherwise collide on every round).
+        delay *= 1 + 0.01 * self.index
+        if self._backoff_rng is not None and cfg.backoff_jitter:
+            delay *= 1 + cfg.backoff_jitter * (
+                2 * self._backoff_rng.uniform() - 1)
+        return delay
+
+    # -------------------------------------------------------------- handler
+    def _on_message(self, req) -> None:
+        msg = req.payload
+        rid = msg.resource_id
+        v = self._voter(rid)
+        if isinstance(msg, VoteRequestMsg):
+            now = self.sim.now
+            if v.grant is not None and v.grant[1] <= now:
+                v.grant = None  # lease expired: reclaim lazily
+            if v.grant is None or v.grant[0] == msg.candidate:
+                v.grant = (msg.candidate,
+                           now + self.config.lease.lease_duration)
+                self._respond(req, VoteReplyMsg(rid, True, v.last_sn))
+            else:
+                self._respond(req, VoteReplyMsg(rid, False, v.last_sn))
+            return
+        if isinstance(msg, VoteReleaseMsg):
+            if msg.sn:
+                v.last_sn = max(v.last_sn, msg.sn)
+            if v.grant is not None and v.grant[0] == msg.holder:
+                v.grant = None
+            self._respond(req, "ack")
+            return
+        raise TypeError(f"unexpected mutex payload {msg!r}")  # pragma: no cover
+
+
+def _lease_preset(**overrides) -> LeaseQuorumConfig:
+    return LeaseQuorumConfig(**overrides)
+
+
+register_dlm("dlm-lease", _lease_preset,
+             coordinator_cls=LeaseQuorumCoordinator)

@@ -1,0 +1,181 @@
+"""Raymond's token-tree mutual exclusion (``dlm-token``).
+
+One token exists per resource, born at the tree root (node 0) with the
+resource's ``next_sn`` counter inside it.  Every node keeps, per
+resource:
+
+* ``holder`` — which *neighbour* is in the token's direction (or self);
+* ``queue`` — FIFO of neighbours (or self) that asked for the token;
+* ``asked`` — whether an ask toward the holder is already outstanding.
+
+To enter, a node queues itself and sends a ``TokenAskMsg`` one hop
+toward the token; intermediate nodes enqueue the asker and forward one
+ask of their own.  When the token arrives (``TokenPassMsg``, an acked
+RPC), the head of the queue is served: either the local waiter enters,
+or the token is passed one hop toward the next asker — re-asking
+immediately after if more requests remain queued.  The holder keeps the
+token while its queue is empty (lazy caching: repeated local entries
+are message-free cache hits).
+
+Safety: the token is unique — passes are acked RPCs, fault-injected
+duplicates are suppressed by the service's req_id dedup, and an install
+over an already-held token is ignored loudly-visibly in stats.  SNs are
+drawn from the counter *inside* the token (``sn = token.next_sn++``),
+so per-resource strict monotonicity (invariant I9) is immediate.
+
+Liveness caveat: a lost token is not regenerated.  Under message
+faults every hop retries (``RetryPolicy``); if a pass exhausts its
+budget the sending process raises ``RpcTimeoutError`` and the run fails
+loudly rather than silently deadlocking (see docs/algorithms.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Hashable
+
+from repro.dlm.mutex import (
+    MutexCoordinator,
+    TokenAskMsg,
+    TokenConfig,
+    TokenPassMsg,
+)
+from repro.dlm.registry import register_dlm
+from repro.dlm.types import LockState
+
+__all__ = ["TokenCoordinator"]
+
+
+class _ResourceState:
+    __slots__ = ("holder", "queue", "asked", "token", "in_use",
+                 "enter_event")
+
+    def __init__(self, holder: int):
+        self.holder = holder
+        self.queue: list = []
+        self.asked = False
+        #: ``{"next_sn": int}`` while this node owns the token.
+        self.token = None
+        self.in_use = False
+        #: Pending local entry's wake-up event (at most one: the
+        #: coordinator's acquire gate serializes local entries).
+        self.enter_event = None
+
+
+class TokenCoordinator(MutexCoordinator):
+    """Raymond token tree over ``config.topology``."""
+
+    def __init__(self, *args, **kw):
+        super().__init__(*args, **kw)
+        self._states: Dict[Hashable, _ResourceState] = {}
+        #: Duplicate token installs ignored (0 unless faults misbehave).
+        self.duplicate_tokens = 0
+
+    def _state(self, rid: Hashable) -> _ResourceState:
+        st = self._states.get(rid)
+        if st is None:
+            if self.index == 0:
+                st = _ResourceState(holder=0)
+                st.token = {"next_sn": 1}  # the token is born at the root
+            else:
+                st = _ResourceState(holder=self.config.topology(self.index))
+            self._states[rid] = st
+        return st
+
+    # ------------------------------------------------------------- protocol
+    def _enter(self, rid: Hashable) -> Generator:
+        st = self._state(rid)
+        if st.token is None or st.in_use or st.queue:
+            st.queue.append(self.index)
+            ev = st.enter_event = self.sim.event()
+            self._maybe_ask(rid)
+            self._advance(rid)  # we may already hold an idle token
+            yield ev
+        else:
+            st.in_use = True
+        sn = st.token["next_sn"]
+        st.token["next_sn"] += 1
+        # Neighbours that queued while we waited for the token turn the
+        # fresh lock straight into a CANCELING one (early revocation) so
+        # the token travels on as soon as local uses drain.
+        return sn, bool(st.queue)
+
+    def _release(self, lock) -> Generator:
+        st = self._state(lock.resource_id)
+        st.in_use = False
+        self._advance(lock.resource_id)
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def _maybe_ask(self, rid: Hashable) -> None:
+        st = self._state(rid)
+        if st.token is not None or st.asked or not st.queue:
+            return
+        st.asked = True
+        self.sim.spawn(self._send(st.holder,
+                                  TokenAskMsg(rid, self.index)),
+                       name=f"token-ask-{self.node.name}")
+
+    def _advance(self, rid: Hashable) -> None:
+        """Serve the queue head while we own an idle token."""
+        st = self._state(rid)
+        if st.token is None or st.in_use or not st.queue:
+            return
+        nxt = st.queue.pop(0)
+        if nxt == self.index:
+            # Claim the token for the waiting local entry *before* the
+            # waiter resumes, so a racing second _advance cannot also
+            # serve it.
+            st.in_use = True
+            ev, st.enter_event = st.enter_event, None
+            ev.succeed()
+            return
+        token, st.token = st.token, None
+        st.holder = nxt
+        st.asked = False
+        self.sim.spawn(self._send(nxt, TokenPassMsg(rid, token["next_sn"])),
+                       name=f"token-pass-{self.node.name}")
+        # Raymond: if others still wait behind the one we just served,
+        # immediately ask the new holder to send the token back.
+        self._maybe_ask(rid)
+
+    def _send(self, peer_index: int, payload) -> Generator:
+        yield from self._call(self.peers[peer_index], payload)
+
+    # -------------------------------------------------------------- handler
+    def _on_message(self, req) -> None:
+        msg = req.payload
+        rid = msg.resource_id
+        st = self._state(rid)
+        if isinstance(msg, TokenAskMsg):
+            self._respond(req, "ack")
+            if msg.sender not in st.queue:
+                st.queue.append(msg.sender)
+            # Remote interest is the revocation signal: stop reusing the
+            # cached lock so the tenure ends and the token can travel.
+            lock = self._cache.get(rid)
+            if lock is not None and lock.state is LockState.GRANTED:
+                lock.state = LockState.CANCELING
+                self._maybe_cancel(lock)
+            if st.token is not None:
+                self._advance(rid)
+            else:
+                self._maybe_ask(rid)
+            return
+        if isinstance(msg, TokenPassMsg):
+            self._respond(req, "ack")
+            if st.token is not None:  # pragma: no cover - dedup guards this
+                self.duplicate_tokens += 1
+                return
+            st.token = {"next_sn": msg.next_sn}
+            st.holder = self.index
+            st.asked = False
+            self._advance(rid)
+            return
+        raise TypeError(f"unexpected mutex payload {msg!r}")  # pragma: no cover
+
+
+def _token_preset(**overrides) -> TokenConfig:
+    return TokenConfig(**overrides)
+
+
+register_dlm("dlm-token", _token_preset, coordinator_cls=TokenCoordinator)

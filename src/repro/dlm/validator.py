@@ -49,6 +49,16 @@ I8. **Shard ownership of record** — on a sharded cluster
     never produce a grant — the shard guard bounces the request before
     it touches the lock table.  Checked by the cluster-shared
     :class:`ShardLedger`.
+I9. **Decentralized mutual exclusion over the message trace** — the
+    sequencer-free variants (:mod:`repro.dlm.mutex`) have no server
+    state to inspect, so their invariant is phrased over the
+    coordinators' enter/exit trace instead: at any instant at most one
+    node is inside a resource's critical section, a node may only exit
+    a section it entered, and successive tenures carry strictly
+    increasing sequence numbers (the property the extent caches rely
+    on, exactly what the sequencer provides in SeqDLM).  Checked by the
+    cluster-shared :class:`MutexLedger`, fed synchronously by each
+    coordinator before its release messages leave the node.
 
 The validator is pure observation — it never mutates server state — and
 is cheap enough to leave on in every integration test.  Violations raise
@@ -65,8 +75,8 @@ from repro.dlm.server import LockServer, _Resource
 from repro.dlm.types import LockState, is_write_mode
 from repro.dlm.extent import overlaps
 
-__all__ = ["LockInvariantViolation", "LockValidator", "ShardLedger",
-           "SnLedger", "attach_validator"]
+__all__ = ["LockInvariantViolation", "LockValidator", "MutexLedger",
+           "MutexValidator", "ShardLedger", "SnLedger", "attach_validator"]
 
 
 class LockInvariantViolation(AssertionError):
@@ -315,6 +325,92 @@ class LockValidator:
         return n
 
 
+class MutexLedger:
+    """Cluster-wide enter/exit trace ledger backing I9.
+
+    The decentralized coordinators call :meth:`note_enter` the instant
+    they create their tenure's lock and :meth:`note_exit` *before* any
+    release message leaves the node; since a peer can only enter after
+    receiving such a message, a double-holder is caught synchronously at
+    the second ``note_enter`` — even when both events carry the same
+    simulated timestamp.
+    """
+
+    def __init__(self):
+        #: rid -> (holder node name, sn) while someone is inside.
+        self._holder: Dict[Hashable, Tuple[str, int]] = {}
+        self._last_sn: Dict[Hashable, int] = {}
+        self.entries = 0
+        self.exits = 0
+
+    def note_enter(self, rid: Hashable, holder: str, sn: int) -> None:
+        cur = self._holder.get(rid)
+        if cur is not None:
+            raise LockInvariantViolation(
+                f"[I9] {holder!r} entered the critical section of {rid!r} "
+                f"while {cur[0]!r} holds it (sn {cur[1]})")
+        last = self._last_sn.get(rid, 0)
+        if sn <= last:
+            raise LockInvariantViolation(
+                f"[I9] non-monotonic mutex SN on {rid!r}: {holder!r} "
+                f"entered with sn {sn} <= last issued {last}")
+        self._holder[rid] = (holder, sn)
+        self._last_sn[rid] = sn
+        self.entries += 1
+
+    def note_exit(self, rid: Hashable, holder: str) -> None:
+        cur = self._holder.get(rid)
+        if cur is None or cur[0] != holder:
+            raise LockInvariantViolation(
+                f"[I9] {holder!r} exited the critical section of {rid!r} "
+                f"which it does not hold (holder of record: "
+                f"{cur[0] if cur else None!r})")
+        del self._holder[rid]
+        self.exits += 1
+
+    def holder_of(self, rid: Hashable) -> Optional[str]:
+        cur = self._holder.get(rid)
+        return cur[0] if cur is not None else None
+
+
+class MutexValidator:
+    """Per-coordinator view over a shared :class:`MutexLedger` (I9).
+
+    Installs itself as the coordinator's ``ledger`` hook, counts checks,
+    and offers the same :meth:`validate_all` final sweep the server
+    validators have: every lock still cached at a coordinator must be
+    the ledger's holder of record for its resource.
+    """
+
+    def __init__(self, coordinator, ledger: MutexLedger):
+        self.coordinator = coordinator
+        self.ledger = ledger
+        self.checks = 0
+        coordinator.ledger = self
+
+    def note_enter(self, rid: Hashable, holder: str, sn: int) -> None:
+        self.checks += 1
+        self.ledger.note_enter(rid, holder, sn)
+
+    def note_exit(self, rid: Hashable, holder: str) -> None:
+        self.checks += 1
+        self.ledger.note_exit(rid, holder)
+
+    def validate_all(self) -> int:
+        """Final sweep; returns the number of live tenures verified."""
+        verified = 0
+        name = self.coordinator.node.name
+        for lock in self.coordinator.cached_locks():
+            self.checks += 1
+            holder = self.ledger.holder_of(lock.resource_id)
+            if holder != name:
+                raise LockInvariantViolation(
+                    f"[I9] {name!r} caches a lock on {lock.resource_id!r} "
+                    f"but the ledger's holder of record is {holder!r}")
+            verified += 1
+        return verified
+
+
 def attach_validator(cluster) -> List[LockValidator]:
     """Attach a validator to every lock server of a cluster.
 
@@ -326,7 +422,17 @@ def attach_validator(cluster) -> List[LockValidator]:
     On a sharded cluster (``cluster.shard_map`` set) they additionally
     share one :class:`ShardLedger` (stored as ``cluster.shard_ledger``)
     checking I8 against the authoritative map.
+
+    On a decentralized cluster (``cluster.mutex_coordinators`` set)
+    there are no lock servers: every coordinator instead gets a
+    :class:`MutexValidator` over one shared :class:`MutexLedger`
+    (stored as ``cluster.mutex_ledger``) checking I9.
     """
+    coordinators = getattr(cluster, "mutex_coordinators", None)
+    if coordinators:
+        mutex_ledger = MutexLedger()
+        cluster.mutex_ledger = mutex_ledger
+        return [MutexValidator(c, mutex_ledger) for c in coordinators]
     ledger = SnLedger()
     cluster.sn_ledger = ledger
     shard_ledger = None

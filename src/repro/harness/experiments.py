@@ -589,6 +589,7 @@ from repro.harness.extensions import (  # noqa: E402
     ext_client_liveness,
     ext_client_scaling,
     ext_lockahead,
+    ext_mutex_compare,
     ext_overload,
     ext_read_phase,
     ext_shard_scale,
@@ -615,6 +616,7 @@ EXPERIMENTS = {
     "ext_client_liveness": ext_client_liveness,
     "ext_overload": ext_overload,
     "ext_shard_scale": ext_shard_scale,
+    "ext_mutex_compare": ext_mutex_compare,
 }
 
 

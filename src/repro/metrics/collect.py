@@ -101,6 +101,8 @@ def _services_by_name(cluster) -> Dict[str, List]:
     services = [cluster.metadata.service]
     services += [ls.service for ls in _lock_servers(cluster)]
     services += [ds.service for ds in cluster.data_servers]
+    services += [c.service
+                 for c in getattr(cluster, "mutex_coordinators", [])]
     for svc in services:
         groups.setdefault(svc.name, []).append(svc)
     return groups
@@ -368,6 +370,24 @@ def collect_cluster_metrics(cluster) -> MetricsSnapshot:
         else:
             m["shard.table_locks_max"] = _gauge(
                 max(sizes.values(), default=0), "resources", owner)
+
+    # -- decentralized mutual exclusion (registry coordinators only) -------
+    # Gated like the failover and shard blocks: classic runs have no
+    # coordinators, so their golden digests never see these keys.  The
+    # ``mutex.messages_per_cs`` / ``mutex.sync_delay`` histograms stream
+    # into the registry directly and arrive via ``registry.snapshot``.
+    coords = getattr(cluster, "mutex_coordinators", None)
+    if coords:
+        owner = "dlm.mutex"
+        m["mutex.coordinators"] = _gauge(len(coords), "nodes", owner)
+        m["mutex.protocol_messages"] = _counter(
+            sum(c.protocol_messages for c in coords), "messages", owner)
+        # Algorithm-specific counters, zero for the other algorithms.
+        for key, unit in (("ballot_rounds", "ballots"),
+                          ("ballots_lost", "ballots"),
+                          ("duplicate_tokens", "tokens")):
+            m[f"mutex.{key}"] = _counter(
+                sum(getattr(c, key, 0) for c in coords), unit, owner)
 
     # -- the chaos-report resilience set (always full, zero-filled) --------
     for key, value in resilience_counters(cluster).items():

@@ -202,10 +202,14 @@ class ClusterConfig(DictConfigMixin):
                     DeprecationWarning, stacklevel=2)
         object.__setattr__(self, name, value)
 
-    def dlm_config(self) -> DLMConfig:
-        if isinstance(self.dlm, DLMConfig):
-            return self.dlm
-        return make_dlm_config(self.dlm, **self.dlm_overrides)
+    def dlm_config(self):
+        """Resolve ``dlm`` to its config object: strings go through the
+        registry (any name in ``available_dlms()``); config instances —
+        :class:`DLMConfig` or a decentralized variant's config — pass
+        through unchanged."""
+        if isinstance(self.dlm, str):
+            return make_dlm_config(self.dlm, **self.dlm_overrides)
+        return self.dlm
 
     def resolved_content_mode(self) -> str:
         from repro.pfs.content import resolve_content_mode
@@ -235,6 +239,48 @@ class Cluster:
             latency=config.net_latency, bandwidth=config.net_bandwidth,
             per_message_overhead=config.net_message_overhead))
         self.dlm_config = config.dlm_config()
+        #: True when the configured DLM is a client-side coordination
+        #: layer (repro.dlm.mutex) instead of a server-arbitrated lock
+        #: table: no lock servers are built, clients coordinate
+        #: peer-to-peer, and the validator checks I9 over the message
+        #: trace instead of I1–I8 over server state.
+        self._decentralized = bool(getattr(self.dlm_config,
+                                           "decentralized", False))
+        self._coordinator_cls = None
+        if self._decentralized:
+            from repro.dlm.registry import coordinator_for
+            self._coordinator_cls = coordinator_for(self.dlm_config.name)
+            if self._coordinator_cls is None:
+                raise ValueError(
+                    f"decentralized DLM {self.dlm_config.name!r} has no "
+                    f"registered coordinator class (register_dlm "
+                    f"coordinator_cls)")
+            unsupported = [
+                ("replication", config.replication),
+                ("sharding", config.sharding),
+                ("liveness", config.liveness),
+            ]
+            for feature, value in unsupported:
+                if value is not None:
+                    raise ValueError(
+                        f"ClusterConfig.{feature} is not supported with "
+                        f"the decentralized DLM {self.dlm_config.name!r}: "
+                        f"it configures the lock-server machinery this "
+                        f"family replaces")
+            if config.faults is not None and config.faults.sequencer_kills:
+                raise ValueError(
+                    "FaultConfig.sequencer_kills targets lock servers; "
+                    "a decentralized DLM has none")
+            if config.faults is not None and config.faults.client_outages:
+                raise ValueError(
+                    "FaultConfig.client_outages is not supported with a "
+                    "decentralized DLM: peer crashes need the lease/"
+                    "eviction machinery the lock servers provide")
+            if config.partitions > 1:
+                raise ValueError(
+                    "ClusterConfig.partitions > 1 is not supported with "
+                    "a decentralized DLM yet (the partition planner "
+                    "co-locates around sequencers)")
 
         # Fault plan: attach the injector and drive timed outages.
         self.fault_plan: Optional[FaultPlan] = None
@@ -343,6 +389,22 @@ class Cluster:
                             else None,
                             content_mode=config.resolved_content_mode(),
                             dedup=resilient, admission=_adm("io"))
+            if self._decentralized:
+                # No sequencer anywhere: extent-cache cleaning cannot
+                # consult an mSN floor (DataServer wired _query_msn to
+                # the co-located "dlm" service, which does not exist
+                # here), and there is no local lock client to force
+                # global syncs through — the clean pass simply keeps
+                # entries, bounded by the coordinators' flush-on-release
+                # discipline.
+                ecache.msn_query_fn = None
+                ecache.force_sync_fn = None
+                if config.start_cleaner:
+                    ecache.start_cleaner()
+                self.server_nodes.append(node)
+                self.data_servers.append(ds)
+                self.dlm_nodes.append(node)
+                continue
             ls = LockServer(node, self.dlm_config, ops=config.dlm_ops,
                             retry=retry,
                             rng=self.rng.stream(f"retry/{node.name}"),
@@ -421,7 +483,44 @@ class Cluster:
         self.client_nodes: List[Node] = []
         self.clients: List[CcpfsClient] = []
         self.lock_clients: List[LockClient] = []
-        for i in range(config.num_clients):
+        #: Decentralized coordinators (repro.dlm.mutex); empty on
+        #: classic clusters.  When set, these *are* the lock_clients —
+        #: they implement the same client surface.
+        self.mutex_coordinators: list = []
+        if self._decentralized:
+            # Every coordinator needs the full peer list, so the nodes
+            # are created before any coordinator is.
+            peer_nodes = [self.fabric.add_node(f"client{i}")
+                          for i in range(config.num_clients)]
+            for i, node in enumerate(peer_nodes):
+                coord = self._coordinator_cls(
+                    node, self.dlm_config, peers=peer_nodes, index=i,
+                    retry=retry,
+                    rng=self.rng.stream(f"mutex/{node.name}"),
+                    dedup=resilient)
+                cache = ClientCache(
+                    self.sim,
+                    content_mode=config.resolved_content_mode(),
+                    min_dirty=config.min_dirty,
+                    max_dirty=config.max_dirty)
+                client = CcpfsClient(
+                    node, coord, cache,
+                    data_server_for=self.server_node_for,
+                    metadata_node=self.metadata_node,
+                    page_size=config.page_size,
+                    mem_bandwidth=config.mem_bandwidth,
+                    flush_timeout=config.flush_timeout,
+                    start_flush_daemon=config.flush_daemon,
+                    flush_wire_cap=config.flush_wire_cap,
+                    partial_page_rmw=config.partial_page_rmw,
+                    retry=retry,
+                    rng=self.rng.stream(f"retry/{node.name}/pfs"))
+                self.client_nodes.append(node)
+                self.clients.append(client)
+                self.lock_clients.append(coord)
+                self.mutex_coordinators.append(coord)
+        classic_clients = 0 if self._decentralized else config.num_clients
+        for i in range(classic_clients):
             node = self.fabric.add_node(f"client{i}")
             server_for = self.dlm_node_for
             shard_cache = None
@@ -622,7 +721,8 @@ class Cluster:
         states) is lost; the block store and extent log survive."""
         ds = self.data_servers[index]
         ds.crash()
-        self.lock_servers[index].reset_state()
+        if self.lock_servers:
+            self.lock_servers[index].reset_state()
 
     def recover_server(self, index: int) -> Generator:
         """§IV-C2 recovery: replay the extent log, gather lock states from
@@ -631,6 +731,12 @@ class Cluster:
         ds = self.data_servers[index]
         node = self.server_nodes[index]
         ds.recover()
+        if not self.lock_servers:
+            # Decentralized DLM: lock state lives at the clients and
+            # survives a data-server crash untouched; only the durable
+            # extent-log replay above matters.
+            yield 0.0
+            return
         server = self.lock_servers[index]
         if ds.extent_log is not None:
             # Durable SNs floor the recovered sequencers: a lock released

@@ -68,7 +68,8 @@ def test_registry_contains_every_paper_artifact():
                 "table3", "fig20", "fig21_22", "fig23", "fig24_25",
                 "ablation_cache", "ablation_expansion", "ablation_rmw",
                 "ext_scaling", "ext_read_phase", "ext_lockahead",
-                "ext_client_liveness", "ext_overload", "ext_shard_scale"}
+                "ext_client_liveness", "ext_overload", "ext_shard_scale",
+                "ext_mutex_compare"}
     assert expected == set(EXPERIMENTS)
 
 

@@ -29,7 +29,7 @@ def test_paper_scale_matches_published_constants():
 
 def test_top_level_package_metadata():
     import repro
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 @pytest.mark.parametrize("module,names", [
@@ -37,7 +37,8 @@ def test_top_level_package_metadata():
     ("repro.net", ["Fabric", "RpcService", "rpc_call", "one_way"]),
     ("repro.storage", ["StorageDevice", "BlockStore", "WriteCostModel"]),
     ("repro.dlm", ["LockServer", "LockClient", "LockMode", "ExtentMap",
-                   "make_dlm_config"]),
+                   "make_dlm_config", "available_dlms", "register_dlm",
+                   "MutexCoordinator"]),
     ("repro.pfs", ["Cluster", "ClusterConfig", "CcpfsClient",
                    "libccpfs_open"]),
     ("repro.workloads", ["run_ior", "run_tile_io", "run_vpic"]),

@@ -81,6 +81,31 @@ def test_dlm_config_round_trips_with_registered_callable(dlm):
     assert back.lcm is cfg.lcm
 
 
+@pytest.mark.parametrize("dlm", ["dlm-lamport", "dlm-token", "dlm-lease"])
+def test_decentralized_configs_round_trip(dlm):
+    cfg = make_dlm_config(dlm)
+    back = roundtrip(cfg)
+    assert back.decentralized
+
+
+def test_token_config_round_trips_topology_callable():
+    """TokenConfig carries the tree-topology *function*; like
+    ``DLMConfig.lcm`` it serializes by registered name and resolves
+    back to the same object."""
+    cfg = make_dlm_config("dlm-token")
+    back = roundtrip(cfg)
+    assert back.topology is cfg.topology
+
+
+def test_lease_config_round_trips_nested_liveness():
+    cfg = make_dlm_config("dlm-lease", backoff_base=1e-4,
+                          lease=LivenessConfig(lease_duration=2e-2))
+    back = roundtrip(cfg)
+    assert isinstance(back.lease, LivenessConfig)
+    assert back.lease.lease_duration == 2e-2
+    assert back.backoff_base == 1e-4
+
+
 def test_cluster_config_round_trips_with_nested_configs():
     cfg = ClusterConfig(
         num_clients=3, num_data_servers=2, dlm="seqdlm",

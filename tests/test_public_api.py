@@ -39,7 +39,9 @@ PUBLIC_API = {
         "VpicConfig",
         "VpicResult",
         "__version__",
+        "available_dlms",
         "make_dlm_config",
+        "register_dlm",
         "run_client_kill",
         "run_experiment",
         "run_ior",
